@@ -1,0 +1,240 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (regenerating its rows/series), plus ablation benchmarks for
+// the design choices called out in DESIGN.md and micro-benchmarks of the
+// simulator's hot paths.
+//
+// The dynamic experiments (Figure 6, Table 9, Figure 7) run at a scaled
+// window sized for benchmark runs; cmd/experiments regenerates them at the
+// full calibration scale recorded in EXPERIMENTS.md. Set
+// GALS_BENCH_WINDOW to override the window.
+package gals
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"gals/internal/bpred"
+	"gals/internal/cache"
+	"gals/internal/core"
+	"gals/internal/isa"
+	"gals/internal/timing"
+	"gals/internal/workload"
+)
+
+// benchWindow is the instruction window for dynamic experiment benchmarks.
+func benchWindow() int64 {
+	if s := os.Getenv("GALS_BENCH_WINDOW"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	// 60K instructions: large enough that warmup (compulsory misses) does
+	// not drown the Figure 6 means; the recorded EXPERIMENTS.md run uses
+	// 100K.
+	return 60_000
+}
+
+var printOnce sync.Map
+
+// runExperimentBench regenerates one experiment per iteration (the suite
+// pipeline is cached per options, so repeated iterations measure retrieval
+// plus any uncached work) and prints the resulting rows once.
+func runExperimentBench(b *testing.B, id string) {
+	b.Helper()
+	o := DefaultExperimentOptions()
+	o.Window = benchWindow()
+	var tab *ExperimentTable
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = RunExperiment(id, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, done := printOnce.LoadOrStore(id, true); !done && tab != nil {
+		fmt.Println(tab.Render())
+	}
+}
+
+func BenchmarkTable1(b *testing.B)  { runExperimentBench(b, "table1") }
+func BenchmarkFigure2(b *testing.B) { runExperimentBench(b, "figure2") }
+func BenchmarkTable2(b *testing.B)  { runExperimentBench(b, "table2") }
+func BenchmarkTable3(b *testing.B)  { runExperimentBench(b, "table3") }
+func BenchmarkFigure3(b *testing.B) { runExperimentBench(b, "figure3") }
+func BenchmarkFigure4(b *testing.B) { runExperimentBench(b, "figure4") }
+func BenchmarkTable4(b *testing.B)  { runExperimentBench(b, "table4") }
+func BenchmarkTable5(b *testing.B)  { runExperimentBench(b, "table5") }
+func BenchmarkTable6(b *testing.B)  { runExperimentBench(b, "table6") }
+func BenchmarkTable7(b *testing.B)  { runExperimentBench(b, "table7") }
+func BenchmarkTable8(b *testing.B)  { runExperimentBench(b, "table8") }
+
+// BenchmarkFigure6 regenerates the headline comparison and reports the
+// suite-mean improvements as custom metrics (paper: +17.6% / +20.4%).
+func BenchmarkFigure6(b *testing.B) {
+	o := DefaultExperimentOptions()
+	o.Window = benchWindow()
+	var r *SuiteResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = EvaluateSuite(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.MeanProg, "program-adaptive-%")
+	b.ReportMetric(r.MeanPhase, "phase-adaptive-%")
+	if _, done := printOnce.LoadOrStore("figure6", true); !done {
+		tab, _ := RunExperiment("figure6", o)
+		fmt.Println(tab.Render())
+	}
+}
+
+func BenchmarkTable9(b *testing.B)  { runExperimentBench(b, "table9") }
+func BenchmarkFigure7(b *testing.B) { runExperimentBench(b, "figure7") }
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks: the design choices DESIGN.md calls out.
+
+// ablationRun reports the run time (us) of one machine variant on apsi, the
+// paper's phase-rich example.
+func ablationRun(b *testing.B, mutate func(*Config)) {
+	b.Helper()
+	spec, err := Workload("apsi")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultPhaseAdaptive()
+	mutate(&cfg)
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res, err = Run(spec, cfg, benchWindow())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Seconds()*1e6, "us-runtime")
+	b.ReportMetric(float64(res.Stats.Reconfigs), "reconfigs")
+}
+
+// BenchmarkAblationControllersOff freezes both controllers: the cost of
+// losing phase adaptation entirely.
+func BenchmarkAblationControllersOff(b *testing.B) {
+	ablationRun(b, func(c *Config) { c.DisableCacheAdapt = true; c.DisableIQAdapt = true })
+}
+
+// BenchmarkAblationCacheOnly enables only the Accounting Cache controller.
+func BenchmarkAblationCacheOnly(b *testing.B) {
+	ablationRun(b, func(c *Config) { c.DisableIQAdapt = true })
+}
+
+// BenchmarkAblationIQOnly enables only the ILP-tracking queue controller.
+func BenchmarkAblationIQOnly(b *testing.B) {
+	ablationRun(b, func(c *Config) { c.DisableCacheAdapt = true })
+}
+
+// BenchmarkAblationFull is the complete Phase-Adaptive machine.
+func BenchmarkAblationFull(b *testing.B) {
+	ablationRun(b, func(c *Config) {})
+}
+
+// BenchmarkAblationIQHysteresis1 drops the queue controller's anti-thrash
+// hysteresis to a single interval (the paper's literal "resize as soon as
+// all four counts are available").
+func BenchmarkAblationIQHysteresis1(b *testing.B) {
+	ablationRun(b, func(c *Config) { c.IQHysteresis = 1 })
+}
+
+// BenchmarkAblationSlowPLL runs with unscaled 10-20us PLL lock times,
+// showing the cost of slow frequency changes at short phase lengths.
+func BenchmarkAblationSlowPLL(b *testing.B) {
+	ablationRun(b, func(c *Config) { c.PLLScale = 1.0 })
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the simulator's hot paths.
+
+func BenchmarkSimulatorSynchronous(b *testing.B) {
+	spec, _ := workload.ByName("gcc")
+	m := core.NewMachine(spec, core.DefaultSync())
+	b.ResetTimer()
+	m.Run(int64(b.N))
+}
+
+func BenchmarkSimulatorProgramAdaptive(b *testing.B) {
+	spec, _ := workload.ByName("gcc")
+	m := core.NewMachine(spec, core.DefaultAdaptive(core.ProgramAdaptive))
+	b.ResetTimer()
+	m.Run(int64(b.N))
+}
+
+func BenchmarkSimulatorPhaseAdaptive(b *testing.B) {
+	spec, _ := workload.ByName("gcc")
+	cfg := core.DefaultAdaptive(core.PhaseAdaptive)
+	cfg.PLLScale = 0.1
+	m := core.NewMachine(spec, cfg)
+	b.ResetTimer()
+	m.Run(int64(b.N))
+}
+
+func BenchmarkAccountingCacheAccess(b *testing.B) {
+	c := cache.New(cache.Geometry{Name: "bench", Sets: 512, Ways: 8, LineBytes: 64})
+	c.Configure(2, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*64)&0xFFFFF, i&7 == 0)
+	}
+}
+
+func BenchmarkBranchPredictor(b *testing.B) {
+	p := bpred.New(timing.ICache16K1W.Spec().BPred)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := uint64(0x400000 + (i%512)*36)
+		taken := i%3 != 0
+		p.Predict(pc)
+		p.Update(pc, taken)
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	spec, _ := workload.ByName("gcc")
+	tr := spec.NewTrace()
+	var in isa.Inst
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Next(&in)
+	}
+}
+
+// BenchmarkAblationICacheSets probes the paper's Section 7 future-work
+// hypothesis: on vpr (64KB of I-capacity wanted, no associativity need —
+// the paper's worst Program-Adaptive loss), a sets-resized direct-mapped
+// front end recovers the frequency lost to the ways-based design's 4-way
+// configuration.
+func BenchmarkAblationICacheSets(b *testing.B) {
+	spec, err := Workload("vpr")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ways := DefaultProgramAdaptive()
+	ways.ICache = 3 // 64KB 4-way (ways-based)
+	sets := ways
+	sets.ICacheBySets = true // 64KB direct mapped (sets-based)
+	var tw, ts *Result
+	for i := 0; i < b.N; i++ {
+		tw, err = Run(spec, ways, benchWindow())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts, err = Run(spec, sets, benchWindow())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(tw.Seconds()*1e6, "us-ways")
+	b.ReportMetric(ts.Seconds()*1e6, "us-sets")
+	b.ReportMetric(Improvement(tw.TimeFS, ts.TimeFS), "sets-gain-%")
+}

@@ -1,0 +1,73 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                  # every static table/figure (fast)
+//	experiments -run figure6     # one experiment
+//	experiments -all             # everything, including the sweeps
+//	experiments -all -full -window 100000 > results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gals"
+)
+
+// static experiments need no simulation and always run quickly.
+var static = map[string]bool{
+	"table1": true, "table2": true, "table3": true, "table4": true,
+	"table5": true, "table6": true, "table7": true, "table8": true,
+	"figure2": true, "figure3": true, "figure4": true,
+}
+
+func main() {
+	var (
+		run     = flag.String("run", "", "comma-separated experiment IDs (default: all static)")
+		all     = flag.Bool("all", false, "run everything including the design-space sweeps")
+		window  = flag.Int64("window", 100_000, "instruction window per simulation run")
+		workers = flag.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
+		full    = flag.Bool("full", false, "sweep all 1,024 synchronous configurations (paper scale)")
+		pll     = flag.Float64("pllscale", 0.1, "PLL lock-time scale")
+	)
+	flag.Parse()
+
+	opts := gals.DefaultExperimentOptions()
+	opts.Window = *window
+	opts.Workers = *workers
+	opts.FullSyncSpace = *full
+	opts.PLLScale = *pll
+
+	var ids []string
+	switch {
+	case *run != "":
+		ids = strings.Split(*run, ",")
+	case *all:
+		ids = gals.Experiments()
+	default:
+		for _, id := range gals.Experiments() {
+			if static[id] {
+				ids = append(ids, id)
+			}
+		}
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		t, err := gals.RunExperiment(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Render())
+		if d := time.Since(start); d > time.Second {
+			fmt.Printf("(%s took %.1fs)\n", id, d.Seconds())
+		}
+		fmt.Println()
+	}
+}

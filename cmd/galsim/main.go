@@ -1,0 +1,132 @@
+// Command galsim runs one benchmark on one machine configuration and
+// prints run statistics.
+//
+// Usage:
+//
+//	galsim -bench gcc -mode phase -n 100000
+//	galsim -bench em3d -mode sync -icache 64k1W -dcache 0 -iq 16 -fq 16
+//	galsim -bench art -mode phase -trace
+//
+// Modes: sync (fully synchronous), program (Program-Adaptive MCD with the
+// given fixed configuration), phase (Phase-Adaptive MCD with the on-line
+// controllers enabled).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gals/internal/core"
+	"gals/internal/timing"
+	"gals/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "gcc", "benchmark run name (see -list)")
+		mode    = flag.String("mode", "phase", "machine mode: sync, program, phase")
+		n       = flag.Int64("n", 100_000, "instruction window length")
+		icache  = flag.String("icache", "", "I-cache config: sync mode: Table 3 name (e.g. 64k1W); adaptive: 16k1W|32k2W|48k3W|64k4W")
+		dcache  = flag.Int("dcache", 0, "D/L2 config index 0..3 (Table 1)")
+		iq      = flag.Int("iq", 16, "integer issue queue size (16/32/48/64)")
+		fq      = flag.Int("fq", 16, "FP issue queue size (16/32/48/64)")
+		seed    = flag.Int64("seed", 42, "PLL/jitter seed")
+		jitter  = flag.Float64("jitter", 0, "clock jitter fraction (e.g. 0.01)")
+		pll     = flag.Float64("pllscale", 0.1, "PLL lock-time scale for shortened windows")
+		doTrace = flag.Bool("trace", false, "print reconfiguration events (phase mode)")
+		list    = flag.Bool("list", false, "list benchmark runs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.Suite() {
+			fmt.Printf("%-18s %-12s window %s\n", s.Name, s.Suite, s.Window)
+		}
+		return
+	}
+
+	spec, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "galsim: unknown benchmark %q (try -list)\n", *bench)
+		os.Exit(1)
+	}
+
+	var cfg core.Config
+	switch *mode {
+	case "sync":
+		cfg = core.DefaultSync()
+		if *icache != "" {
+			idx, ok := timing.SyncICacheIndexByName(*icache)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "galsim: unknown sync i-cache %q\n", *icache)
+				os.Exit(1)
+			}
+			cfg.SyncICache = idx
+		}
+	case "program":
+		cfg = core.DefaultAdaptive(core.ProgramAdaptive)
+		if *icache != "" {
+			cfg.ICache = parseAdaptiveICache(*icache)
+		}
+	case "phase":
+		cfg = core.DefaultAdaptive(core.PhaseAdaptive)
+		if *icache != "" {
+			cfg.ICache = parseAdaptiveICache(*icache)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "galsim: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+	cfg.DCache = timing.DCacheConfig(*dcache)
+	cfg.IntIQ = timing.IQSize(*iq)
+	cfg.FPIQ = timing.IQSize(*fq)
+	cfg.Seed = *seed
+	cfg.JitterFrac = *jitter
+	cfg.PLLScale = *pll
+	cfg.RecordTrace = *doTrace
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "galsim:", err)
+		os.Exit(1)
+	}
+
+	res := core.RunWorkload(spec, cfg, *n)
+	printResult(res)
+	if *doTrace {
+		fmt.Println("\nreconfiguration trace:")
+		for _, e := range res.Stats.ReconfigEvents {
+			fmt.Printf("  @%9d instr  %-7s -> %s\n", e.Instr, e.Kind, e.Config)
+		}
+	}
+}
+
+func parseAdaptiveICache(name string) timing.ICacheConfig {
+	for _, c := range timing.ICacheConfigs() {
+		if strings.EqualFold(c.String(), name) {
+			return c
+		}
+	}
+	fmt.Fprintf(os.Stderr, "galsim: unknown adaptive i-cache %q\n", name)
+	os.Exit(1)
+	return 0
+}
+
+func printResult(r *core.Result) {
+	s := r.Stats
+	fmt.Printf("workload   %s\nconfig     %s\n", r.Workload, r.Config.Label())
+	fmt.Printf("instrs     %d\n", s.Instructions)
+	fmt.Printf("time       %.3f us\n", float64(r.TimeFS)/float64(timing.FemtosPerMicro))
+	fmt.Printf("throughput %.3f instr/ns\n", r.IPnsec())
+	if s.Branches > 0 {
+		fmt.Printf("branches   %d  mispredicts %d (%.2f%%)\n",
+			s.Branches, s.Mispredicts, 100*float64(s.Mispredicts)/float64(s.Branches))
+	}
+	fmt.Printf("loads      %d  stores %d  fp %d\n", s.Loads, s.Stores, s.FPOps)
+	fmt.Printf("L1I        A %d  B %d  miss %d\n", s.ICacheA, s.ICacheB, s.ICacheMiss)
+	fmt.Printf("L1D        A %d  B %d  miss %d\n", s.DCacheA, s.DCacheB, s.DCacheMiss)
+	fmt.Printf("L2         A %d  B %d  miss %d  (mem %d)\n", s.L2A, s.L2B, s.L2Miss, s.MemAccesses)
+	if s.Reconfigs > 0 {
+		fmt.Printf("reconfigs  %d\n", s.Reconfigs)
+	}
+}

@@ -1,0 +1,122 @@
+// Command sweep performs the paper's design-space explorations
+// (Section 4) and prints a draft of Figure 6:
+//
+//   - search the 1,024-point fully synchronous space for the best overall
+//     machine,
+//   - search the 256-point adaptive MCD space per application
+//     (Program-Adaptive),
+//   - run the Phase-Adaptive machine with its on-line controllers,
+//
+// then report per-application percent improvements over the best
+// synchronous design and the suite means.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"gals/internal/core"
+	"gals/internal/sweep"
+	"gals/internal/timing"
+	"gals/internal/workload"
+)
+
+func main() {
+	var (
+		window  = flag.Int64("window", 30_000, "instruction window per run")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		pll     = flag.Float64("pllscale", 0.1, "PLL lock-time scale")
+		quick   = flag.Bool("quick", false, "prune the synchronous space to direct-mapped I-caches (5x faster)")
+		only    = flag.String("bench", "", "restrict to one benchmark (adaptive stages only)")
+	)
+	flag.Parse()
+
+	opts := sweep.Options{Window: *window, Workers: *workers, PLLScale: *pll}
+	specs := workload.Suite()
+	if *only != "" {
+		s, ok := workload.ByName(*only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sweep: unknown benchmark %q\n", *only)
+			os.Exit(1)
+		}
+		specs = []workload.Spec{s}
+	}
+
+	syncCfgs := sweep.SyncSpace()
+	if *quick {
+		var pruned []core.Config
+		for _, c := range syncCfgs {
+			if c.SyncICache < 5 { // Table 3 rows 0-4 are the direct-mapped ones
+				pruned = append(pruned, c)
+			}
+		}
+		syncCfgs = pruned
+	}
+
+	start := time.Now()
+	fmt.Printf("sync sweep: %d configs x %d benchmarks, window %d\n", len(syncCfgs), len(specs), *window)
+	syncTimes := sweep.Measure(specs, syncCfgs, opts)
+	bestSync := sweep.BestOverall(syncTimes)
+	fmt.Printf("best overall synchronous: %s  (%.1fs)\n", syncCfgs[bestSync].Label(), time.Since(start).Seconds())
+
+	// Show the ranking of the synchronous space (geomean run time relative
+	// to the best) for the most informative configurations.
+	type ranked struct {
+		ci    int
+		score float64
+	}
+	var rank []ranked
+	for ci := range syncCfgs {
+		s := 0.0
+		for _, t := range syncTimes[ci] {
+			s += math.Log(float64(t))
+		}
+		rank = append(rank, ranked{ci, s})
+	}
+	sort.Slice(rank, func(i, j int) bool { return rank[i].score < rank[j].score })
+	n := float64(len(specs))
+	fmt.Println("top synchronous configurations (geomean vs best):")
+	for i := 0; i < 10 && i < len(rank); i++ {
+		rel := math.Exp((rank[i].score - rank[0].score) / n)
+		fmt.Printf("  %2d. %-44s %+.2f%%\n", i+1, syncCfgs[rank[i].ci].Label(), (rel-1)*100)
+	}
+	for i, r := range rank {
+		c := syncCfgs[r.ci]
+		if timing.SyncICacheSpecs()[c.SyncICache].Name == "64k1W" && c.DCache == timing.DCache32K1W &&
+			c.IntIQ == timing.IQ16 && c.FPIQ == timing.IQ16 {
+			rel := math.Exp((r.score - rank[0].score) / n)
+			fmt.Printf("  paper's best-sync config ranks #%d: %-30s %+.2f%%\n", i+1, c.Label(), (rel-1)*100)
+		}
+	}
+	fmt.Println()
+
+	adCfgs := sweep.AdaptiveSpace()
+	fmt.Printf("adaptive sweep: %d configs x %d benchmarks\n", len(adCfgs), len(specs))
+	adTimes := sweep.Measure(specs, adCfgs, opts)
+	bestPer := sweep.BestPerApp(adTimes)
+
+	phase := sweep.PhaseResults(specs, opts)
+
+	fmt.Printf("\n%-18s %11s %11s %8s %8s   %s\n", "benchmark", "t_sync(us)", "t_prog(us)", "prog%", "phase%", "best adaptive config")
+	var sumProg, sumPhase float64
+	for si, spec := range specs {
+		ts := syncTimes[bestSync][si]
+		tp := adTimes[bestPer[si]][si]
+		tph := phase[si].TimeFS
+		ip := sweep.Improvement(ts, tp)
+		iph := sweep.Improvement(ts, tph)
+		sumProg += ip
+		sumPhase += iph
+		fmt.Printf("%-18s %11.2f %11.2f %+8.1f %+8.1f   %s\n",
+			spec.Name, us(ts), us(tp), ip, iph, adCfgs[bestPer[si]].Label())
+	}
+	fmt.Printf("\nmean improvement: program-adaptive %+.1f%%  phase-adaptive %+.1f%%  (paper: +17.6%% / +20.4%%)\n",
+		sumProg/n, sumPhase/n)
+	fmt.Printf("total sweep time %.1fs\n", time.Since(start).Seconds())
+}
+
+func us(fs int64) float64 { return float64(fs) / 1e9 }

@@ -1,0 +1,75 @@
+// Designspace explores the adaptive MCD configuration space for one
+// benchmark — the per-application exhaustive search that defines the
+// paper's Program-Adaptive mode (Section 4) — and reports how each
+// structure's sizing trades frequency against hit rates and parallelism.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gals"
+)
+
+func main() {
+	bench := flag.String("bench", "em3d", "benchmark to explore")
+	window := flag.Int64("window", 60_000, "instruction window per configuration")
+	flag.Parse()
+
+	spec, err := gals.Workload(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: the best-overall fully synchronous machine.
+	syncRes, err := gals.Run(spec, gals.DefaultSynchronous(), *window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on the best synchronous machine: %.2f us\n\n", spec.Name, syncRes.Seconds()*1e6)
+
+	// One-dimensional slices through the adaptive space, holding the other
+	// structures at the base configuration.
+	fmt.Println("D-cache/L2 slice (i$=16k1W, iq=16, fq=16):")
+	for dc := gals.DCacheConfig(0); dc < 4; dc++ {
+		cfg := gals.DefaultProgramAdaptive()
+		cfg.DCache = dc
+		r, err := gals.Run(spec, cfg, *window)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  d$=%-16v time %8.2f us  improvement %+6.1f%%\n",
+			dc, r.Seconds()*1e6, gals.Improvement(syncRes.TimeFS, r.TimeFS))
+	}
+
+	fmt.Println("\nI-cache slice (d$=32k1W, iq=16, fq=16):")
+	for ic := gals.ICacheConfig(0); ic < 4; ic++ {
+		cfg := gals.DefaultProgramAdaptive()
+		cfg.ICache = ic
+		r, err := gals.Run(spec, cfg, *window)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  i$=%-6v time %8.2f us  improvement %+6.1f%%\n",
+			ic, r.Seconds()*1e6, gals.Improvement(syncRes.TimeFS, r.TimeFS))
+	}
+
+	fmt.Println("\nInteger issue queue slice (caches at base):")
+	for _, iq := range []gals.IQSize{16, 32, 48, 64} {
+		cfg := gals.DefaultProgramAdaptive()
+		cfg.IntIQ = iq
+		r, err := gals.Run(spec, cfg, *window)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  iq=%-3d time %8.2f us  improvement %+6.1f%%\n",
+			iq, r.Seconds()*1e6, gals.Improvement(syncRes.TimeFS, r.TimeFS))
+	}
+
+	// Full 256-point search: the Program-Adaptive selection.
+	best, t := gals.ProgramAdaptiveSearch(spec, gals.SweepOptions{Window: *window})
+	fmt.Printf("\nProgram-Adaptive selection (256-point exhaustive search):\n  %s\n", best.Label())
+	fmt.Printf("  time %8.2f us  improvement %+6.1f%% over best synchronous\n",
+		float64(t)/1e9, gals.Improvement(syncRes.TimeFS, t))
+}

@@ -1,0 +1,40 @@
+// Quickstart: run one benchmark on the best fully synchronous machine and
+// on the Phase-Adaptive GALS machine, and print the improvement — the
+// paper's headline comparison, on one workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gals"
+)
+
+func main() {
+	const window = 100_000
+
+	spec, err := gals.Workload("gcc")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	syncRes, err := gals.Run(spec, gals.DefaultSynchronous(), window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	phaseRes, err := gals.Run(spec, gals.DefaultPhaseAdaptive(), window)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark: %s (%s)\n\n", spec.Name, spec.Suite)
+	fmt.Printf("%-22s %12s %14s\n", "machine", "time (us)", "instr/ns")
+	for _, r := range []*gals.Result{syncRes, phaseRes} {
+		fmt.Printf("%-22s %12.2f %14.3f\n",
+			r.Config.Mode, r.Seconds()*1e6, r.IPnsec())
+	}
+	fmt.Printf("\nphase-adaptive improvement over synchronous: %+.1f%%\n",
+		gals.Improvement(syncRes.TimeFS, phaseRes.TimeFS))
+	fmt.Printf("reconfigurations performed by the controllers: %d\n",
+		phaseRes.Stats.Reconfigs)
+}

@@ -1,0 +1,155 @@
+// Package gals is a full reproduction of "Dynamically Trading Frequency
+// for Complexity in a GALS Microprocessor" (Dropsho, Semeraro, Albonesi,
+// Magklis, Scott; MICRO-37, 2004): an adaptive multiple-clock-domain
+// processor model in which each domain's key structure — instruction cache
+// and branch predictor, data/L2 cache pair, integer and floating-point
+// issue queues — can be upsized at the cost of that domain's clock
+// frequency alone, under hardware phase-adaptive control.
+//
+// The package is a facade over the internal implementation:
+//
+//   - Workloads() lists the deterministic synthetic models of the paper's
+//     40 benchmark runs (MediaBench / Olden / SPEC2000, Tables 6-8).
+//   - Run() executes one benchmark on one machine configuration
+//     (Synchronous, ProgramAdaptive, or PhaseAdaptive).
+//   - Experiments()/RunExperiment() regenerate every table and figure of
+//     the paper's evaluation.
+//   - BestSynchronous(), ProgramAdaptiveSearch() and EvaluateSuite()
+//     expose the design-space sweeps of Section 4.
+//
+// A minimal session:
+//
+//	spec, _ := gals.Workload("gcc")
+//	res, _ := gals.Run(spec, gals.DefaultPhaseAdaptive(), 100_000)
+//	fmt.Printf("%.3f instructions/ns\n", res.IPnsec())
+package gals
+
+import (
+	"fmt"
+
+	"gals/internal/core"
+	"gals/internal/experiment"
+	"gals/internal/sweep"
+	"gals/internal/timing"
+	"gals/internal/workload"
+)
+
+// Re-exported core types. Config selects a machine, Result reports a run;
+// see the internal/core documentation on the fields.
+type (
+	// Config selects one machine configuration.
+	Config = core.Config
+	// Mode selects Synchronous, ProgramAdaptive or PhaseAdaptive.
+	Mode = core.Mode
+	// Result summarizes one simulation run.
+	Result = core.Result
+	// Stats are a run's counters.
+	Stats = core.Stats
+	// ReconfigEvent is one phase-controller decision (Figure 7 traces).
+	ReconfigEvent = core.ReconfigEvent
+	// WorkloadSpec describes one benchmark run.
+	WorkloadSpec = workload.Spec
+	// WorkloadParams parameterize a synthetic workload phase.
+	WorkloadParams = workload.Params
+	// ExperimentTable is one regenerated table or figure.
+	ExperimentTable = experiment.Table
+	// ExperimentOptions scale the dynamic experiments.
+	ExperimentOptions = experiment.Options
+	// SuiteResult is the full Figure-6 evaluation pipeline output.
+	SuiteResult = experiment.SuiteResult
+	// SweepOptions control design-space sweeps.
+	SweepOptions = sweep.Options
+	// ICacheConfig, DCacheConfig and IQSize name structure configurations.
+	ICacheConfig = timing.ICacheConfig
+	DCacheConfig = timing.DCacheConfig
+	IQSize       = timing.IQSize
+)
+
+// Machine modes.
+const (
+	Synchronous     = core.Synchronous
+	ProgramAdaptive = core.ProgramAdaptive
+	PhaseAdaptive   = core.PhaseAdaptive
+)
+
+// DefaultSynchronous returns the best-overall fully synchronous machine of
+// the paper's sweep (64KB direct-mapped I-cache, 16-entry queues).
+func DefaultSynchronous() Config { return core.DefaultSync() }
+
+// DefaultProgramAdaptive returns the adaptive MCD base configuration with
+// structures fixed for a whole run.
+func DefaultProgramAdaptive() Config { return core.DefaultAdaptive(core.ProgramAdaptive) }
+
+// DefaultPhaseAdaptive returns the adaptive MCD machine with the paper's
+// on-line controllers enabled (Accounting Caches and ILP-tracked issue
+// queues), starting from the smallest/fastest configuration.
+func DefaultPhaseAdaptive() Config {
+	cfg := core.DefaultAdaptive(core.PhaseAdaptive)
+	cfg.PLLScale = 0.1 // scaled to the shortened default windows
+	return cfg
+}
+
+// Workloads returns the benchmark suite in the paper's Figure 6 order.
+func Workloads() []WorkloadSpec { return workload.Suite() }
+
+// Workload finds a benchmark run by name (e.g. "gcc", "adpcm decode").
+func Workload(name string) (WorkloadSpec, error) {
+	s, ok := workload.ByName(name)
+	if !ok {
+		return WorkloadSpec{}, fmt.Errorf("gals: unknown workload %q (have %v)", name, workload.Names())
+	}
+	return s, nil
+}
+
+// Run simulates n instructions of spec on cfg.
+func Run(spec WorkloadSpec, cfg Config, n int64) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("gals: non-positive window %d", n)
+	}
+	return core.RunWorkload(spec, cfg, n), nil
+}
+
+// Experiments lists the regenerable tables and figures in paper order.
+func Experiments() []string { return experiment.IDs() }
+
+// RunExperiment regenerates one table or figure by ID (e.g. "figure6").
+func RunExperiment(id string, o ExperimentOptions) (*ExperimentTable, error) {
+	return experiment.Run(id, o)
+}
+
+// DefaultExperimentOptions match the runs recorded in EXPERIMENTS.md.
+func DefaultExperimentOptions() ExperimentOptions { return experiment.DefaultOptions() }
+
+// EvaluateSuite runs the full Figure-6 pipeline: best-synchronous search,
+// per-application Program-Adaptive search, and Phase-Adaptive runs.
+func EvaluateSuite(o ExperimentOptions) (*SuiteResult, error) {
+	return experiment.RunSuite(o)
+}
+
+// BestSynchronous sweeps the fully synchronous design space over the whole
+// suite and returns the best-overall configuration (paper Section 4).
+func BestSynchronous(o SweepOptions) Config {
+	specs := workload.Suite()
+	cfgs := sweep.SyncSpace()
+	times := sweep.Measure(specs, cfgs, o)
+	return cfgs[sweep.BestOverall(times)]
+}
+
+// ProgramAdaptiveSearch exhaustively evaluates the 256 adaptive MCD
+// configurations on one benchmark and returns the best one with its run
+// time — the paper's Program-Adaptive selection for that application.
+func ProgramAdaptiveSearch(spec WorkloadSpec, o SweepOptions) (Config, timing.FS) {
+	cfgs := sweep.AdaptiveSpace()
+	times := sweep.Measure([]workload.Spec{spec}, cfgs, o)
+	best := sweep.BestPerApp(times)[0]
+	return cfgs[best], times[best][0]
+}
+
+// Improvement returns the percent run-time improvement of adapted over
+// baseline, the metric of paper Figure 6.
+func Improvement(baseline, adapted timing.FS) float64 {
+	return sweep.Improvement(baseline, adapted)
+}

@@ -1,0 +1,89 @@
+package gals
+
+import (
+	"testing"
+)
+
+func TestWorkloadLookup(t *testing.T) {
+	if _, err := Workload("gcc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Workload("not-a-benchmark"); err == nil {
+		t.Error("bogus workload lookup succeeded")
+	}
+	if len(Workloads()) != 40 {
+		t.Errorf("suite has %d workloads, want 40", len(Workloads()))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	spec, _ := Workload("gzip")
+	if _, err := Run(spec, Config{Mode: ProgramAdaptive, IntIQ: 5, FPIQ: 16}, 1000); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := Run(spec, DefaultSynchronous(), 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	r, err := Run(spec, DefaultSynchronous(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Instructions != 2000 {
+		t.Errorf("ran %d instructions, want 2000", r.Stats.Instructions)
+	}
+}
+
+func TestThreeModesRun(t *testing.T) {
+	spec, _ := Workload("adpcm encode")
+	for _, cfg := range []Config{DefaultSynchronous(), DefaultProgramAdaptive(), DefaultPhaseAdaptive()} {
+		r, err := Run(spec, cfg, 5000)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg.Mode, err)
+		}
+		if r.TimeFS <= 0 {
+			t.Errorf("%v: non-positive time", cfg.Mode)
+		}
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := Experiments()
+	if len(ids) != 14 {
+		t.Errorf("got %d experiments, want 14", len(ids))
+	}
+	tab, err := RunExperiment("table1", DefaultExperimentOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Errorf("table1 rows = %d, want 4", len(tab.Rows))
+	}
+}
+
+func TestImprovementMetric(t *testing.T) {
+	if got := Improvement(150, 100); got != 50 {
+		t.Errorf("Improvement = %v, want 50", got)
+	}
+}
+
+func TestProgramAdaptiveSearchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-point search in -short mode")
+	}
+	spec, _ := Workload("adpcm encode")
+	cfg, tt := ProgramAdaptiveSearch(spec, SweepOptions{Window: 2000})
+	if tt <= 0 {
+		t.Fatal("non-positive best time")
+	}
+	if cfg.Mode != ProgramAdaptive {
+		t.Errorf("search returned mode %v", cfg.Mode)
+	}
+	// The search result can never be slower than the base configuration.
+	base, err := Run(spec, DefaultProgramAdaptive(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt > base.TimeFS {
+		t.Errorf("exhaustive best (%d) slower than base config (%d)", tt, base.TimeFS)
+	}
+}

@@ -1,0 +1,270 @@
+// Package clock models the clocking system of the adaptive GALS processor:
+// one independent clock per domain, dynamic frequency changes with a PLL
+// lock-time penalty, per-edge jitter, and the Sjogren-Myers synchronization
+// circuit on every cross-domain communication path (paper Section 2).
+//
+// Simulation time is a global integer femtosecond timeline (timing.FS).
+// Each domain's clock is a piecewise-uniform edge train: a sequence of
+// epochs, each with a constant period, plus a small deterministic jitter on
+// every edge. Frequency changes append a new epoch; the PLL model decides
+// when the new epoch takes effect.
+package clock
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gals/internal/timing"
+)
+
+// Domain identifies one of the processor's clock domains (paper Figure 1).
+type Domain int
+
+const (
+	// FrontEnd covers the L1 I-cache, branch predictor, rename, ROB and
+	// dispatch.
+	FrontEnd Domain = iota
+	// Integer covers the integer issue queue, register file and units.
+	Integer
+	// FloatingPoint covers the FP issue queue, register file and units.
+	FloatingPoint
+	// LoadStore covers the load/store queue, L1 D-cache and L2 cache.
+	LoadStore
+	// Memory is the fixed-frequency external main memory interface.
+	Memory
+	// NumDomains is the number of clock domains.
+	NumDomains = int(Memory) + 1
+)
+
+var domainNames = [NumDomains]string{"front-end", "integer", "floating-point", "load/store", "memory"}
+
+// String returns the domain's name.
+func (d Domain) String() string {
+	if int(d) < len(domainNames) {
+		return domainNames[d]
+	}
+	return fmt.Sprintf("Domain(%d)", int(d))
+}
+
+// SyncThreshold is the fraction of the faster clock's period within which
+// two edges are considered "too close", forcing an extra consumer cycle of
+// synchronization delay (Sjogren & Myers, as modeled by the MCD simulator).
+const SyncThreshold = 0.3
+
+// epoch is a run of uniform clock periods starting at a known edge.
+type epoch struct {
+	start  timing.FS // time of edge 0 of this epoch
+	period timing.FS
+	base   uint64 // global edge index of edge 0 (for jitter hashing)
+}
+
+// Clock is a single domain's clock. The zero value is not usable; use New.
+type Clock struct {
+	domain Domain
+	epochs []epoch
+	// jitterFrac is the peak-to-peak jitter as a fraction of the period
+	// (0 disables jitter).
+	jitterFrac float64
+	seed       uint64
+}
+
+// New creates a clock for domain d with the given initial period. seed
+// makes the jitter deterministic per run; jitterFrac is the peak jitter as
+// a fraction of the period (e.g. 0.01 for 1%).
+func New(d Domain, period timing.FS, seed uint64, jitterFrac float64) *Clock {
+	if period <= 0 {
+		panic(fmt.Sprintf("clock: non-positive period %d", period))
+	}
+	if jitterFrac < 0 || jitterFrac > 0.05 {
+		panic(fmt.Sprintf("clock: jitter fraction %v out of range [0, 0.05]", jitterFrac))
+	}
+	return &Clock{
+		domain:     d,
+		epochs:     []epoch{{start: 0, period: period, base: 0}},
+		jitterFrac: jitterFrac,
+		seed:       seed ^ (uint64(d) * 0x9e3779b97f4a7c15),
+	}
+}
+
+// Domain returns the domain this clock drives.
+func (c *Clock) Domain() Domain { return c.domain }
+
+// Period returns the clock period in effect at time t.
+func (c *Clock) Period(t timing.FS) timing.FS { return c.epochAt(t).period }
+
+// CurrentPeriod returns the period of the most recent epoch (the one that
+// governs all future edges).
+func (c *Clock) CurrentPeriod() timing.FS { return c.epochs[len(c.epochs)-1].period }
+
+// epochAt returns the epoch governing time t.
+func (c *Clock) epochAt(t timing.FS) epoch {
+	// Epochs are few (one per reconfiguration); scan from the back.
+	for i := len(c.epochs) - 1; i > 0; i-- {
+		if c.epochs[i].start <= t {
+			return c.epochs[i]
+		}
+	}
+	return c.epochs[0]
+}
+
+// jitter returns the deterministic jitter offset of global edge index n.
+func (c *Clock) jitter(n uint64, period timing.FS) timing.FS {
+	if c.jitterFrac == 0 {
+		return 0
+	}
+	// splitmix64 hash of (seed, n): cheap, stateless, deterministic.
+	z := c.seed + n*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	// Map to [-jitterFrac/2, +jitterFrac/2] of the period.
+	frac := (float64(z>>11)/float64(1<<53) - 0.5) * c.jitterFrac
+	return timing.FS(frac * float64(period))
+}
+
+// edgeTime returns the time of local edge n of epoch e.
+func (c *Clock) edgeTime(e epoch, n uint64) timing.FS {
+	t := e.start + timing.FS(n)*e.period
+	return t + c.jitter(e.base+n, e.period)
+}
+
+// EdgeAtOrAfter returns the time of the first clock edge at or after t.
+func (c *Clock) EdgeAtOrAfter(t timing.FS) timing.FS {
+	e := c.epochAt(t)
+	if t <= e.start {
+		return c.edgeTime(e, 0)
+	}
+	n := uint64((t - e.start) / e.period)
+	// Jitter can move edges slightly in either direction; probe around the
+	// nominal index for the first edge >= t.
+	if n > 0 {
+		n--
+	}
+	for {
+		if et := c.edgeTime(e, n); et >= t {
+			return et
+		}
+		n++
+	}
+}
+
+// NextEdge returns the time of the first clock edge strictly after t.
+func (c *Clock) NextEdge(t timing.FS) timing.FS { return c.EdgeAtOrAfter(t + 1) }
+
+// After returns the time of the edge n cycles after the first edge at or
+// after t. After(t, 0) == EdgeAtOrAfter(t). It is the primary primitive for
+// charging an n-cycle latency that begins at time t.
+func (c *Clock) After(t timing.FS, n int) timing.FS {
+	if n < 0 {
+		panic("clock: negative cycle count")
+	}
+	tt := c.EdgeAtOrAfter(t)
+	for n > 0 {
+		last := c.epochs[len(c.epochs)-1]
+		if tt >= last.start {
+			// Entirely inside the final epoch: jump analytically. The
+			// index of tt within the epoch is recovered by rounding
+			// (jitter is a small fraction of the period).
+			k := uint64((tt - last.start + last.period/2) / last.period)
+			return c.edgeTime(last, k+uint64(n))
+		}
+		// Near a historical epoch boundary (rare: only right around a
+		// reconfiguration): step edge by edge.
+		tt = c.NextEdge(tt)
+		n--
+	}
+	return tt
+}
+
+// SetPeriodAt schedules a new period that takes effect at the first edge at
+// or after time t. Calls must be monotonically increasing in t; attempting
+// to change history panics.
+func (c *Clock) SetPeriodAt(t timing.FS, period timing.FS) {
+	if period <= 0 {
+		panic(fmt.Sprintf("clock: non-positive period %d", period))
+	}
+	last := c.epochs[len(c.epochs)-1]
+	start := c.EdgeAtOrAfter(t)
+	if start < last.start {
+		panic(fmt.Sprintf("clock: period change at %d precedes epoch start %d", start, last.start))
+	}
+	if period == last.period {
+		return
+	}
+	elapsed := uint64(0)
+	if start > last.start {
+		elapsed = uint64((start - last.start + last.period - 1) / last.period)
+	}
+	c.epochs = append(c.epochs, epoch{start: start, period: period, base: last.base + elapsed})
+}
+
+// Align returns the first consumer edge at which a value produced at tp in
+// the producer domain can be consumed, without a metastability penalty.
+// This models queue-mediated domain crossings (dispatch into the issue
+// queues, load/store queue insertion, ROB completion): the inter-domain
+// FIFOs of the MCD design hide the synchronizer there, so only clock-edge
+// alignment is paid (Semeraro et al., "Hiding Synchronization Delays in a
+// GALS Processor Microarchitecture"). Same-domain transfers are free.
+func Align(producer, consumer *Clock, tp timing.FS) timing.FS {
+	if producer == consumer {
+		return tp
+	}
+	return consumer.EdgeAtOrAfter(tp)
+}
+
+// Sync models the inter-domain synchronization circuit on direct (bypass)
+// paths: a value produced in the producer domain at time tp becomes usable
+// in the consumer domain at the returned time. If the consumer's sampling
+// edge falls within SyncThreshold of the faster clock's period after tp, an
+// extra consumer cycle is charged (paper Section 2). Same-domain transfers
+// are free.
+func Sync(producer, consumer *Clock, tp timing.FS) timing.FS {
+	if producer == consumer {
+		return tp
+	}
+	tc := consumer.EdgeAtOrAfter(tp)
+	fast := producer.Period(tp)
+	if cp := consumer.Period(tp); cp < fast {
+		fast = cp
+	}
+	if float64(tc-tp) < SyncThreshold*float64(fast) {
+		tc = consumer.NextEdge(tc)
+	}
+	return tc
+}
+
+// PLL models the per-domain frequency synthesizer. Lock times are normally
+// distributed with mean 15us, clipped to [10us, 20us] (paper Section 2),
+// drawn from a deterministic per-run source.
+type PLL struct {
+	rng *rand.Rand
+}
+
+// PLL lock-time distribution parameters.
+const (
+	// PLLLockMean is the mean PLL lock time.
+	PLLLockMean = 15 * timing.FemtosPerMicro
+	// PLLLockMin and PLLLockMax clip the distribution's range.
+	PLLLockMin = 10 * timing.FemtosPerMicro
+	// PLLLockMax is the maximum lock time.
+	PLLLockMax = 20 * timing.FemtosPerMicro
+	// pllLockStdDev makes ~99.7% of the mass fall inside the clip range.
+	pllLockStdDev = float64(PLLLockMax-PLLLockMean) / 3
+)
+
+// NewPLL creates a PLL lock-time source with a deterministic seed.
+func NewPLL(seed int64) *PLL {
+	return &PLL{rng: rand.New(rand.NewSource(seed))}
+}
+
+// LockTime draws one lock duration.
+func (p *PLL) LockTime() timing.FS {
+	d := timing.FS(p.rng.NormFloat64()*pllLockStdDev) + PLLLockMean
+	if d < PLLLockMin {
+		d = PLLLockMin
+	}
+	if d > PLLLockMax {
+		d = PLLLockMax
+	}
+	return d
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+
+	"gals/internal/cache"
+	"gals/internal/clock"
+	"gals/internal/timing"
+	"gals/internal/workload"
+)
+
+// lockTime draws one PLL lock duration, scaled for shortened simulation
+// windows (Config.PLLScale).
+func (m *Machine) lockTime() timing.FS {
+	d := m.pll.LockTime()
+	scale := m.cfg.PLLScale
+	if scale <= 0 {
+		scale = 1
+	}
+	return timing.FS(float64(d) * scale)
+}
+
+// applyPending commits any reconfigurations whose PLL lock completed before
+// the pipeline's current position.
+func (m *Machine) applyPending() {
+	now := m.lastCommit
+	if p := m.pendingFE; p != nil && now >= p.at {
+		m.iCfg = timing.ICacheConfig(p.final)
+		m.icache.Configure(p.final+1, true)
+		m.bank.SetActive(m.iCfg)
+		m.fePeriod = m.clocks[clock.FrontEnd].CurrentPeriod()
+		m.pendingFE = nil
+	}
+	if p := m.pendingLS; p != nil && now >= p.at {
+		m.dCfg = timing.DCacheConfig(p.final)
+		ways := dcacheWaysA(m.dCfg)
+		m.dcache.Configure(ways, true)
+		m.l2.Configure(ways, true)
+		m.lsPeriod = m.clocks[clock.LoadStore].CurrentPeriod()
+		m.pendingLS = nil
+	}
+	if p := m.pendingIntIQ; p != nil && now >= p.at {
+		m.intIQ = p.final
+		m.pendingIntIQ = nil
+	}
+	if p := m.pendingFPIQ; p != nil && now >= p.at {
+		m.fpIQ = p.final
+		m.pendingFPIQ = nil
+	}
+}
+
+// record notes a reconfiguration event for Figure 7 traces.
+func (m *Machine) record(kind reconfigKind, label string, index int) {
+	m.stats.Reconfigs++
+	if !m.cfg.RecordTrace {
+		return
+	}
+	names := [...]string{"dcache", "icache", "int-iq", "fp-iq"}
+	m.stats.ReconfigEvents = append(m.stats.ReconfigEvents, ReconfigEvent{
+		Instr:  m.count,
+		Kind:   names[kind],
+		Config: label,
+		Index:  index,
+	})
+}
+
+// cacheDecide runs the Accounting Cache interval decision (Section 3.1)
+// for the front end and the load/store pair, at commit time `now`.
+func (m *Machine) cacheDecide(now timing.FS) {
+	m.decideICache(now)
+	m.decideDCache(now)
+	m.icache.ResetStats()
+	m.dcache.ResetStats()
+	m.l2.ResetStats()
+}
+
+// decideICache picks the front-end configuration minimizing modeled access
+// cost over the interval just ended.
+func (m *Machine) decideICache(now timing.FS) {
+	if m.pendingFE != nil {
+		return // a change is already in flight
+	}
+	stats := m.icache.Stats()
+	if stats.Accesses == 0 {
+		return
+	}
+	// Miss service estimate: L2 A access plus a round trip of domain
+	// crossings at current frequencies.
+	missPenalty := timing.FS(m.dCfg.Spec().L2ALat)*m.lsPeriod + m.fePeriod + m.lsPeriod
+
+	best, bestCost := m.iCfg, timing.FS(1<<62)
+	for _, cand := range timing.ICacheConfigs() {
+		spec := cand.Spec()
+		aH, bH, miss := stats.Reconstruct(int(cand)+1, true)
+		cost := cache.Cost(aH, bH, miss, cand != timing.ICache64K4W, cache.CostParams{
+			ALat: spec.ALat, BLat: spec.BLat,
+			Period:      cand.AdaptPeriod(),
+			MissPenalty: missPenalty,
+		})
+		if cost < bestCost {
+			best, bestCost = cand, cost
+		}
+	}
+	if best == m.iCfg {
+		return
+	}
+	// Run the simpler (smaller) configuration during the PLL lock:
+	// downsize at the start when speeding up, upsize at the end when
+	// slowing down (Section 3.1).
+	trans := best
+	if m.iCfg < trans {
+		trans = m.iCfg
+	}
+	m.icache.Configure(int(trans)+1, true)
+	m.bank.SetActive(trans)
+	lockDone := now + m.lockTime()
+	m.clocks[clock.FrontEnd].SetPeriodAt(lockDone, best.AdaptPeriod())
+	m.pendingFE = &pendingReconfig{at: lockDone, final: int(best)}
+	m.record(reconfigICache, best.String(), int(best))
+}
+
+// decideDCache picks the joint L1-D/L2 configuration minimizing the
+// combined modeled access cost.
+func (m *Machine) decideDCache(now timing.FS) {
+	if m.pendingLS != nil {
+		return
+	}
+	l1 := m.dcache.Stats()
+	l2 := m.l2.Stats()
+	if l1.Accesses == 0 {
+		return
+	}
+	_, _, curMiss := l1.Reconstruct(dcacheWaysA(m.dCfg), true)
+
+	memPenalty := timing.MemLatency(L2LineBytes) + 2*m.lsPeriod
+
+	best, bestCost := m.dCfg, timing.FS(1<<62)
+	for _, cand := range timing.DCacheConfigs() {
+		spec := cand.Spec()
+		ways := dcacheWaysA(cand)
+		period := cand.AdaptPeriod()
+		hasB := cand != timing.DCache256K8W
+
+		a1, b1, miss1 := l1.Reconstruct(ways, hasB)
+		cost := cache.Cost(a1, b1, miss1, hasB, cache.CostParams{
+			ALat: spec.L1ALat, BLat: spec.L1BLat, Period: period,
+		})
+
+		// The L2 counters were collected under the current configuration's
+		// L1 miss stream; scale them to the candidate's L1 miss rate.
+		a2, b2, miss2 := l2.Reconstruct(ways, hasB)
+		if curMiss > 0 {
+			f := float64(miss1) / float64(curMiss)
+			a2 = uint64(float64(a2) * f)
+			b2 = uint64(float64(b2) * f)
+			miss2 = uint64(float64(miss2) * f)
+		}
+		cost += cache.Cost(a2, b2, miss2, hasB, cache.CostParams{
+			ALat: spec.L2ALat, BLat: spec.L2BLat, Period: period,
+			MissPenalty: memPenalty,
+		})
+		if cost < bestCost {
+			best, bestCost = cand, cost
+		}
+	}
+	if best == m.dCfg {
+		return
+	}
+	trans := best
+	if m.dCfg < trans {
+		trans = m.dCfg
+	}
+	ways := dcacheWaysA(trans)
+	m.dcache.Configure(ways, true)
+	m.l2.Configure(ways, true)
+	lockDone := now + m.lockTime()
+	m.clocks[clock.LoadStore].SetPeriodAt(lockDone, best.AdaptPeriod())
+	m.pendingLS = &pendingReconfig{at: lockDone, final: int(best)}
+	m.record(reconfigDCache, best.String(), int(best))
+}
+
+// iqDecide feeds a completed ILP-tracking interval to both issue-queue
+// controllers (Section 3.2), at rename time `now`.
+func (m *Machine) iqDecide(now timing.FS) {
+	samples := m.tracker.Samples()
+
+	if m.pendingIntIQ == nil {
+		if size, resize := m.intCtl.Decide(samples); resize {
+			trans := size
+			if m.intIQ < trans {
+				trans = m.intIQ
+			}
+			m.intIQ = trans
+			lockDone := now + m.lockTime()
+			m.clocks[clock.Integer].SetPeriodAt(lockDone, timing.IQPeriod(size))
+			m.pendingIntIQ = &pendingIQ{at: lockDone, final: size}
+			m.record(reconfigIntIQ, fmt.Sprintf("%d", size), timing.IQIndex(size))
+		}
+	}
+	if m.pendingFPIQ == nil {
+		if size, resize := m.fpCtl.Decide(samples); resize {
+			trans := size
+			if m.fpIQ < trans {
+				trans = m.fpIQ
+			}
+			m.fpIQ = trans
+			lockDone := now + m.lockTime()
+			m.clocks[clock.FloatingPoint].SetPeriodAt(lockDone, timing.IQPeriod(size))
+			m.pendingFPIQ = &pendingIQ{at: lockDone, final: size}
+			m.record(reconfigFPIQ, fmt.Sprintf("%d", size), timing.IQIndex(size))
+		}
+	}
+}
+
+// RunWorkload builds a machine for spec and cfg and runs a window of n
+// instructions.
+func RunWorkload(spec workload.Spec, cfg Config, n int64) *Result {
+	return NewMachine(spec, cfg).Run(n)
+}

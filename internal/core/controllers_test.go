@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"gals/internal/clock"
+	"gals/internal/isa"
+	"gals/internal/timing"
+	"gals/internal/workload"
+)
+
+// runInstrs drives a machine n instructions forward.
+func runInstrs(m *Machine, n int) {
+	var in isa.Inst
+	for i := 0; i < n; i++ {
+		m.trace.Next(&in)
+		m.step(&in)
+	}
+}
+
+func TestCacheDecideUpsizesUnderPressure(t *testing.T) {
+	// A large, low-locality working set must push the D/L2 controller off
+	// the base configuration within a few intervals.
+	spec := bench(t, "em3d")
+	m := NewMachine(spec, phaseCfg())
+	runInstrs(m, 4*CacheIntervalInstrs)
+	if m.dCfg == timing.DCache32K1W && m.pendingLS == nil {
+		t.Errorf("em3d left the D-cache at the base configuration after 4 intervals")
+	}
+}
+
+func TestCacheDecideStaysSmallWithoutPressure(t *testing.T) {
+	spec := bench(t, "adpcm encode")
+	m := NewMachine(spec, phaseCfg())
+	runInstrs(m, 4*CacheIntervalInstrs)
+	if m.dCfg != timing.DCache32K1W {
+		t.Errorf("adpcm moved the D-cache to %v despite an 8KB working set", m.dCfg)
+	}
+	if m.iCfg != timing.ICache16K1W {
+		t.Errorf("adpcm moved the I-cache to %v despite a 4KB kernel", m.iCfg)
+	}
+}
+
+func TestPendingReconfigAppliesAfterLock(t *testing.T) {
+	spec := bench(t, "em3d")
+	cfg := phaseCfg()
+	m := NewMachine(spec, cfg)
+	// Run until a D-cache reconfiguration is initiated.
+	var in isa.Inst
+	for i := 0; i < 10*CacheIntervalInstrs && m.pendingLS == nil; i++ {
+		m.trace.Next(&in)
+		m.step(&in)
+	}
+	if m.pendingLS == nil {
+		t.Skip("no reconfiguration initiated in window")
+	}
+	lockDone := m.pendingLS.at
+	final := timing.DCacheConfig(m.pendingLS.final)
+	// During the lock the transitional (smaller) configuration rules.
+	if m.dCfg != timing.DCache32K1W {
+		t.Errorf("transitional config %v, want base (simpler) during lock", m.dCfg)
+	}
+	// Advance past the lock completion.
+	for i := 0; i < 20*CacheIntervalInstrs && m.pendingLS != nil; i++ {
+		m.trace.Next(&in)
+		m.step(&in)
+	}
+	if m.pendingLS != nil {
+		t.Fatal("pending reconfiguration never applied")
+	}
+	if m.dCfg != final {
+		t.Errorf("applied config %v, want %v", m.dCfg, final)
+	}
+	if m.lastCommit < lockDone {
+		t.Error("pending applied before the PLL lock completed")
+	}
+	// The load/store clock now runs at the new configuration's period.
+	if got := m.clocks[clock.LoadStore].CurrentPeriod(); got != final.AdaptPeriod() {
+		t.Errorf("LS period %d, want %d", got, final.AdaptPeriod())
+	}
+}
+
+func TestOnlyOneInFlightChangePerDomain(t *testing.T) {
+	spec := bench(t, "apsi")
+	m := NewMachine(spec, phaseCfg())
+	var in isa.Inst
+	for i := 0; i < 8*CacheIntervalInstrs; i++ {
+		m.trace.Next(&in)
+		m.step(&in)
+		// While a change is pending, decide() must not start another:
+		// SetPeriodAt would otherwise try to rewrite clock history.
+		if m.pendingLS != nil && m.pendingLS.at < m.lastCommit {
+			m.applyPending()
+			if m.pendingLS != nil {
+				t.Fatal("pending change survived applyPending past its time")
+			}
+		}
+	}
+}
+
+func TestIntervalStatsResetEachDecision(t *testing.T) {
+	spec := bench(t, "gzip")
+	m := NewMachine(spec, phaseCfg())
+	runInstrs(m, CacheIntervalInstrs+10)
+	// Just past the first decision: the caches' interval stats restarted.
+	if acc := m.icache.Stats().Accesses; acc > uint64(CacheIntervalInstrs) {
+		t.Errorf("i-cache stats not reset: %d accesses", acc)
+	}
+}
+
+func TestLockTimeScaling(t *testing.T) {
+	spec := bench(t, "gzip")
+	cfg := phaseCfg()
+	cfg.PLLScale = 0.5
+	m := NewMachine(spec, cfg)
+	d := m.lockTime()
+	if d < timing.FS(float64(clock.PLLLockMin)*0.5) || d > timing.FS(float64(clock.PLLLockMax)*0.5) {
+		t.Errorf("scaled lock %d outside 0.5x[%d, %d]", d, clock.PLLLockMin, clock.PLLLockMax)
+	}
+	cfg.PLLScale = 0 // zero means unscaled
+	m2 := NewMachine(spec, cfg)
+	d2 := m2.lockTime()
+	if d2 < clock.PLLLockMin || d2 > clock.PLLLockMax {
+		t.Errorf("unscaled lock %d outside [%d, %d]", d2, clock.PLLLockMin, clock.PLLLockMax)
+	}
+}
+
+func TestMSTPhaseFlipping(t *testing.T) {
+	// mst's bursty phases make the cache controller flip configurations
+	// (paper Section 5.1 explains why Phase-Adaptive trails
+	// Program-Adaptive there).
+	spec := bench(t, "mst")
+	cfg := phaseCfg()
+	cfg.RecordTrace = true
+	r := RunWorkload(spec, cfg, 100_000)
+	dcacheEvents := 0
+	for _, e := range r.Stats.ReconfigEvents {
+		if e.Kind == "dcache" {
+			dcacheEvents++
+		}
+	}
+	if dcacheEvents < 2 {
+		t.Errorf("mst produced %d d-cache reconfigurations, want flipping behaviour", dcacheEvents)
+	}
+}
+
+func TestStoreForwarding(t *testing.T) {
+	// A load that hits a recent store's address must not be slower than
+	// the same load without the store (forwarding, not ordering stalls).
+	mkSpec := func(name string, seed int64) workload.Spec {
+		p := workload.Defaults()
+		p.DataKB = 8
+		p.StrideFrac, p.StackFrac = 0, 1 // all accesses in the hot stack
+		return workload.Spec{Name: name, Seed: seed, Base: p}
+	}
+	r := RunWorkload(mkSpec("fwd", 3), DefaultSync(), 20_000)
+	if r.Stats.Loads == 0 {
+		t.Fatal("no loads")
+	}
+	// With an 8KB region and a 4KB stack, everything hits L1 after
+	// warmup; forwarding must never make loads slower than cache hits,
+	// so throughput should be healthy.
+	if ipc := r.IPnsec(); ipc < 0.3 {
+		t.Errorf("stack-heavy workload throughput %.3f instr/ns: forwarding path suspect", ipc)
+	}
+}
+
+func TestRecordTraceGating(t *testing.T) {
+	spec := bench(t, "apsi")
+	cfg := phaseCfg()
+	cfg.RecordTrace = false
+	r := RunWorkload(spec, cfg, 60_000)
+	if len(r.Stats.ReconfigEvents) != 0 {
+		t.Error("events recorded with RecordTrace=false")
+	}
+	if r.Stats.Reconfigs == 0 {
+		t.Error("reconfig counter should still count with RecordTrace=false")
+	}
+}

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"gals/internal/bpred"
+	"gals/internal/cache"
+	"gals/internal/clock"
+	"gals/internal/mem"
+	"gals/internal/queue"
+	"gals/internal/timing"
+	"gals/internal/workload"
+)
+
+// window enforces a fixed-occupancy structural constraint: an instruction
+// may claim a slot only after the instruction n slots earlier released its
+// slot. push records a release time; floor(n) returns the release time of
+// the n-th most recent push (or 0 when fewer than n pushes have happened).
+type window struct {
+	buf []timing.FS
+	seq int64
+}
+
+func newWindow(capacity int) *window {
+	return &window{buf: make([]timing.FS, capacity)}
+}
+
+func (w *window) push(t timing.FS) {
+	w.buf[w.seq%int64(len(w.buf))] = t
+	w.seq++
+}
+
+func (w *window) floor(n int) timing.FS {
+	if n <= 0 || w.seq < int64(n) {
+		return 0
+	}
+	return w.buf[(w.seq-int64(n))%int64(len(w.buf))]
+}
+
+// fuPool models a set of identical functional units.
+type fuPool struct {
+	avail []timing.FS
+}
+
+func newFUPool(n int) *fuPool { return &fuPool{avail: make([]timing.FS, n)} }
+
+// acquire returns the earliest start time >= t on any unit and books the
+// unit until busyUntil(start).
+func (f *fuPool) acquire(t timing.FS, busy func(start timing.FS) timing.FS) timing.FS {
+	best := 0
+	for i := 1; i < len(f.avail); i++ {
+		if f.avail[i] < f.avail[best] {
+			best = i
+		}
+	}
+	start := t
+	if f.avail[best] > start {
+		start = f.avail[best]
+	}
+	f.avail[best] = busy(start)
+	return start
+}
+
+// storeEntry is one slot of the store-forwarding table.
+type storeEntry struct {
+	addr  uint64
+	seq   int64 // memory-op sequence number of the store
+	ready timing.FS
+}
+
+const storeTableSize = 1024
+
+// reconfigKind tags reconfiguration events for Figure 7 traces.
+type reconfigKind int
+
+const (
+	reconfigDCache reconfigKind = iota
+	reconfigICache
+	reconfigIntIQ
+	reconfigFPIQ
+)
+
+// ReconfigEvent records one phase-controller decision (Figure 7).
+type ReconfigEvent struct {
+	// Instr is the committed-instruction count at the decision.
+	Instr int64
+	// Kind names the resized structure: "dcache", "icache", "int-iq",
+	// "fp-iq".
+	Kind string
+	// Config is the new configuration label (e.g. "128k4W/1024k4W", "32").
+	Config string
+	// Index is the new configuration's upsizing index (0..3).
+	Index int
+}
+
+// Machine is one configured processor instance bound to one workload trace.
+// Create with NewMachine, drive with Run.
+type Machine struct {
+	cfg   Config
+	trace *workload.Trace
+
+	clocks [clock.NumDomains]*clock.Clock
+	pll    *clock.PLL
+
+	icache *cache.AccountingCache
+	dcache *cache.AccountingCache
+	l2     *cache.AccountingCache
+	memc   *mem.Controller
+
+	bank     *bpred.Bank      // adaptive modes
+	syncPred *bpred.Predictor // synchronous mode
+
+	// Current adaptive configuration state.
+	iCfg     timing.ICacheConfig
+	dCfg     timing.DCacheConfig
+	intIQ    timing.IQSize
+	fpIQ     timing.IQSize
+	fePeriod timing.FS
+	lsPeriod timing.FS
+
+	// Structural windows.
+	rob      *window // commit times; ROBEntries
+	fetchQ   *window // rename times; FetchQueueEntries
+	intQ     *window // issue times of int-queue ops; capacity 64
+	fpQ      *window // issue times of fp-queue ops; capacity 64
+	lsq      *window // commit times of memory ops; LSQEntries
+	intRegs  *window // commit times of int-dest ops; PhysIntRegs-NumIntRegs
+	fpRegs   *window // commit times of fp-dest ops
+	fetchBW  *window // fetch group starts (1 line/cycle)
+	renameBW *window // rename grants; DecodeWidth per cycle
+	intIssue *window // issue grants; IssueWidth per cycle
+	fpIssue  *window
+	commitBW *window // commit grants; RetireWidth per cycle
+	dports   *window // D-cache port grants; DCachePorts per cycle
+	mshr     *window // outstanding-miss completion times
+
+	intFU  *fuPool // IntALU
+	intMul *fuPool
+	fpFU   *fuPool
+	fpMul  *fuPool
+
+	// Register scoreboard: ready time and producing domain per logical reg.
+	regReady  [64]timing.FS
+	regDomain [64]clock.Domain
+
+	// Store-forwarding table.
+	stores  [storeTableSize]storeEntry
+	memSeq  int64 // memory-op sequence counter
+	loadSeq int64
+
+	// Fetch state.
+	curLine     uint64
+	lineLeft    int // fetch-group slots left in the current line group
+	groupReady  timing.FS
+	nextLineAt  timing.FS // earliest start of the next line access
+	minFetch    timing.FS // redirect floor after mispredictions
+	minIntIssue timing.FS // integer-side mispredict floor
+	lastCommit  timing.FS
+	lastRename  timing.FS
+
+	// Controllers (PhaseAdaptive).
+	tracker       *queue.Tracker
+	intCtl        *queue.Controller
+	fpCtl         *queue.Controller
+	intervalStart int64
+	pendingFE     *pendingReconfig
+	pendingLS     *pendingReconfig
+	pendingIntIQ  *pendingIQ
+	pendingFPIQ   *pendingIQ
+
+	stats Stats
+	count int64
+}
+
+// pendingReconfig is an in-flight cache-domain frequency change.
+type pendingReconfig struct {
+	at    timing.FS // PLL lock completion
+	final int       // target config index
+}
+
+// pendingIQ is an in-flight issue-queue resize.
+type pendingIQ struct {
+	at    timing.FS
+	final timing.IQSize
+}
+
+// Stats accumulates run statistics.
+type Stats struct {
+	Instructions int64
+	Branches     int64
+	Mispredicts  int64
+	Loads        int64
+	Stores       int64
+	FPOps        int64
+
+	ICacheA, ICacheB, ICacheMiss int64
+	DCacheA, DCacheB, DCacheMiss int64
+	L2A, L2B, L2Miss             int64
+	MemAccesses                  int64
+
+	Reconfigs      int64
+	ReconfigEvents []ReconfigEvent
+
+	// ConfigInstrs accumulates committed instructions spent in each
+	// configuration index per structure (for distribution reporting).
+	ICacheInstrs [timing.NumICacheConfigs]int64
+	DCacheInstrs [timing.NumDCacheConfigs]int64
+	IntIQInstrs  [4]int64
+	FPIQInstrs   [4]int64
+}
+
+// Result summarizes one run.
+type Result struct {
+	Workload string
+	Config   Config
+	// TimeFS is the total execution time of the window.
+	TimeFS timing.FS
+	Stats  Stats
+}
+
+// Seconds returns the run time in seconds.
+func (r *Result) Seconds() float64 { return float64(r.TimeFS) * 1e-15 }
+
+// IPnsec returns committed instructions per nanosecond (the throughput
+// metric the paper's "performance improvement" compares).
+func (r *Result) IPnsec() float64 {
+	if r.TimeFS == 0 {
+		return 0
+	}
+	return float64(r.Stats.Instructions) / (float64(r.TimeFS) / float64(timing.FemtosPerNano))
+}
+
+// NewMachine builds a machine for cfg bound to a fresh trace of spec.
+func NewMachine(spec workload.Spec, cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{
+		cfg:   cfg,
+		trace: spec.NewTrace(),
+		memc:  mem.New(),
+		pll:   clock.NewPLL(cfg.Seed ^ 0x9e37),
+		iCfg:  cfg.ICache,
+		dCfg:  cfg.DCache,
+		intIQ: cfg.IntIQ,
+		fpIQ:  cfg.FPIQ,
+	}
+
+	// Clocks.
+	if cfg.Mode == Synchronous {
+		g := clock.New(clock.FrontEnd, cfg.GlobalPeriod(), uint64(cfg.Seed), cfg.JitterFrac)
+		for d := 0; d < clock.NumDomains; d++ {
+			m.clocks[d] = g // one shared clock: Sync() is the identity
+		}
+	} else {
+		fePeriod := cfg.ICache.AdaptPeriod()
+		if cfg.ICacheBySets {
+			fePeriod = cfg.ICache.SetsPeriod()
+		}
+		m.clocks[clock.FrontEnd] = clock.New(clock.FrontEnd, fePeriod, uint64(cfg.Seed), cfg.JitterFrac)
+		m.clocks[clock.Integer] = clock.New(clock.Integer, timing.IQPeriod(cfg.IntIQ), uint64(cfg.Seed), cfg.JitterFrac)
+		m.clocks[clock.FloatingPoint] = clock.New(clock.FloatingPoint, timing.IQPeriod(cfg.FPIQ), uint64(cfg.Seed), cfg.JitterFrac)
+		m.clocks[clock.LoadStore] = clock.New(clock.LoadStore, cfg.DCache.AdaptPeriod(), uint64(cfg.Seed), cfg.JitterFrac)
+		m.clocks[clock.Memory] = clock.New(clock.Memory, timing.PeriodFS(MemFreqMHz), uint64(cfg.Seed), cfg.JitterFrac)
+	}
+	m.fePeriod = m.clocks[clock.FrontEnd].CurrentPeriod()
+	m.lsPeriod = m.clocks[clock.LoadStore].CurrentPeriod()
+
+	// Caches and predictor.
+	if cfg.Mode == Synchronous {
+		ic := timing.SyncICacheSpecs()[cfg.SyncICache]
+		m.icache = cache.New(cache.Geometry{
+			Name: "L1I", Sets: ic.SizeKB * 1024 / LineBytes / ic.Assoc,
+			Ways: ic.Assoc, LineBytes: LineBytes,
+		})
+		ds := cfg.DCache.Spec()
+		m.dcache = cache.New(cache.Geometry{
+			Name: "L1D", Sets: ds.L1SizeKB * 1024 / LineBytes / ds.Assoc,
+			Ways: ds.Assoc, LineBytes: LineBytes,
+		})
+		m.l2 = cache.New(cache.Geometry{
+			Name: "L2", Sets: ds.L2SizeKB * 1024 / L2LineBytes / ds.Assoc,
+			Ways: ds.Assoc, LineBytes: L2LineBytes,
+		})
+		m.syncPred = bpred.New(ic.BPred)
+	} else {
+		// Adaptive geometry: physically maximal, partitioned by ways; the
+		// sets-resized front-end variant is direct mapped at the selected
+		// set count instead.
+		if cfg.ICacheBySets {
+			ss := cfg.ICache.SetsSpec()
+			m.icache = cache.New(cache.Geometry{Name: "L1I", Sets: ss.Sets, Ways: 1, LineBytes: LineBytes})
+		} else {
+			m.icache = cache.New(cache.Geometry{Name: "L1I", Sets: 16 * 1024 / LineBytes, Ways: 4, LineBytes: LineBytes})
+		}
+		m.dcache = cache.New(cache.Geometry{Name: "L1D", Sets: 32 * 1024 / LineBytes, Ways: 8, LineBytes: LineBytes})
+		m.l2 = cache.New(cache.Geometry{Name: "L2", Sets: 256 * 1024 / L2LineBytes, Ways: 8, LineBytes: L2LineBytes})
+		ab := cfg.Mode == PhaseAdaptive
+		if !cfg.ICacheBySets {
+			m.icache.Configure(int(cfg.ICache)+1, ab)
+		}
+		m.dcache.Configure(dcacheWaysA(cfg.DCache), ab)
+		m.l2.Configure(dcacheWaysA(cfg.DCache), ab)
+		m.bank = bpred.NewBank(cfg.ICache)
+	}
+
+	// Windows and pools.
+	m.rob = newWindow(ROBEntries)
+	m.fetchQ = newWindow(FetchQueueEntries)
+	m.intQ = newWindow(64)
+	m.fpQ = newWindow(64)
+	m.lsq = newWindow(LSQEntries)
+	m.intRegs = newWindow(PhysIntRegs - 32)
+	m.fpRegs = newWindow(PhysFPRegs - 32)
+	m.fetchBW = newWindow(1)
+	m.renameBW = newWindow(DecodeWidth)
+	m.intIssue = newWindow(IssueWidth)
+	m.fpIssue = newWindow(IssueWidth)
+	m.commitBW = newWindow(RetireWidth)
+	m.dports = newWindow(DCachePorts)
+	m.mshr = newWindow(MSHREntries)
+	m.intFU = newFUPool(IntALUs)
+	m.intMul = newFUPool(IntMulDivs)
+	m.fpFU = newFUPool(FPALUs)
+	m.fpMul = newFUPool(FPMulDivs)
+
+	if cfg.Mode == PhaseAdaptive {
+		m.tracker = queue.NewTracker()
+		h := cfg.IQHysteresis
+		if h <= 0 {
+			h = 2 // two agreeing intervals before a resize (anti-thrash)
+		}
+		m.intCtl = queue.NewController(false, cfg.IntIQ, h)
+		m.fpCtl = queue.NewController(true, cfg.FPIQ, h)
+	}
+	return m
+}
+
+// dcacheWaysA maps a Table 1 configuration to the number of A-partition
+// ways in the physically 8-way adaptive caches.
+func dcacheWaysA(c timing.DCacheConfig) int { return c.Spec().Assoc }
+
+// Trace returns the bound workload trace.
+func (m *Machine) Trace() *workload.Trace { return m.trace }
+
+// Clock returns a domain clock (for tests).
+func (m *Machine) Clock(d clock.Domain) *clock.Clock { return m.clocks[d] }

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"gals/internal/cache"
+	"gals/internal/clock"
+	"gals/internal/isa"
+	"gals/internal/timing"
+)
+
+func maxFS(a, b timing.FS) timing.FS {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// srcReady returns the time operand r is usable in the consumer domain,
+// including cross-domain synchronization cost.
+func (m *Machine) srcReady(r isa.Reg, consumer clock.Domain) timing.FS {
+	if !r.Valid() {
+		return 0
+	}
+	t := m.regReady[r]
+	if t == 0 {
+		return 0
+	}
+	prod := m.regDomain[r]
+	if prod == consumer {
+		return t
+	}
+	return clock.Sync(m.clocks[prod], m.clocks[consumer], t)
+}
+
+// writeDest records a register result produced in domain d at time t.
+func (m *Machine) writeDest(r isa.Reg, d clock.Domain, t timing.FS) {
+	if r.Valid() {
+		m.regReady[r] = t
+		m.regDomain[r] = d
+	}
+}
+
+// mispredictPenalties returns the (front-end, integer) cycle penalties for
+// the machine's organization (Table 5).
+func (m *Machine) mispredictPenalties() (int, int) {
+	if m.cfg.Mode == Synchronous {
+		return SyncMispredictFE, SyncMispredictInt
+	}
+	return AdaptMispredictFE, AdaptMispredictInt
+}
+
+// icacheLatencies returns the A latency and extra B latency of the current
+// front-end configuration.
+func (m *Machine) icacheLatencies() (int, int) {
+	if m.cfg.Mode == Synchronous {
+		return timing.SyncICacheSpecs()[m.cfg.SyncICache].ALat, 0
+	}
+	if m.cfg.ICacheBySets {
+		return m.iCfg.SetsSpec().ALat, 0
+	}
+	s := m.iCfg.Spec()
+	return s.ALat, s.BLat
+}
+
+// dcacheLatencies returns (L1 A, L1 extra B, L2 A, L2 extra B) latencies of
+// the current load/store configuration.
+func (m *Machine) dcacheLatencies() (int, int, int, int) {
+	s := m.dCfg.Spec()
+	if m.cfg.Mode == Synchronous {
+		return s.L1ALat, 0, s.L2ALat, 0
+	}
+	return s.L1ALat, s.L1BLat, s.L2ALat, s.L2BLat
+}
+
+// l2Access performs a functional+timed unified-L2 access for a line fill
+// request arriving in the load/store domain at time t (already
+// synchronized), returning the completion time in the load/store domain.
+func (m *Machine) l2Access(addr uint64, t timing.FS, write bool) timing.FS {
+	ls := m.clocks[clock.LoadStore]
+	_, _, l2A, l2B := m.dcacheLatencies()
+	cls := m.l2.Access(addr, write)
+	switch cls {
+	case cache.AHit:
+		m.stats.L2A++
+		return ls.After(t, l2A)
+	case cache.BHit:
+		m.stats.L2B++
+		return ls.After(t, l2A+l2B)
+	default:
+		m.stats.L2Miss++
+		// Miss-under-probe: the B-partition probe overlaps the memory
+		// request, so a full miss pays only the A latency here.
+		miss := ls.After(t, l2A)
+		// Bounded number of outstanding misses.
+		miss = maxFS(miss, m.mshr.floor(MSHREntries))
+		memClk := m.clocks[clock.Memory]
+		ms := clock.Sync(ls, memClk, miss)
+		mdone := m.memc.Access(ms, L2LineBytes)
+		m.stats.MemAccesses++
+		done := clock.Sync(memClk, ls, memClk.EdgeAtOrAfter(mdone))
+		m.mshr.push(done)
+		return done
+	}
+}
+
+// step advances the machine by one dynamic instruction.
+func (m *Machine) step(in *isa.Inst) {
+	fe := m.clocks[clock.FrontEnd]
+	m.applyPending()
+
+	// ------------------------------------------------------------------
+	// Fetch. Each basic block occupies one I-cache line; a new line (or
+	// exhausting the group's decode slots) starts a new fetch group.
+	line := in.PC >> 6
+	if line != m.curLine || m.lineLeft == 0 {
+		start := maxFS(m.nextLineAt, m.minFetch)
+		start = maxFS(start, m.fetchQ.floor(FetchQueueEntries))
+		start = fe.EdgeAtOrAfter(start)
+		if line != m.curLine {
+			aLat, bLat := m.icacheLatencies()
+			switch m.icache.Access(in.PC, false) {
+			case cache.AHit:
+				m.stats.ICacheA++
+				m.groupReady = fe.After(start, aLat)
+				m.nextLineAt = fe.NextEdge(start) // pipelined hit path
+			case cache.BHit:
+				m.stats.ICacheB++
+				m.groupReady = fe.After(start, aLat+bLat)
+				m.nextLineAt = m.groupReady // cache busy during B access
+			default:
+				m.stats.ICacheMiss++
+				// Miss-under-probe: B probe overlaps the L2 request.
+				ls := m.clocks[clock.LoadStore]
+				req := clock.Sync(fe, ls, fe.After(start, aLat))
+				done := m.l2Access(in.PC&^uint64(L2LineBytes-1), req, false)
+				m.groupReady = fe.EdgeAtOrAfter(clock.Sync(ls, fe, done))
+				m.nextLineAt = m.groupReady
+			}
+		} else {
+			// Same line, next decode group: line buffer hit.
+			m.groupReady = fe.After(start, 1)
+			m.nextLineAt = fe.NextEdge(start)
+		}
+		m.curLine = line
+		m.lineLeft = DecodeWidth
+	}
+	m.lineLeft--
+	fetch := maxFS(m.groupReady, m.fetchQ.floor(FetchQueueEntries))
+
+	// ------------------------------------------------------------------
+	// Rename / dispatch (front-end domain, in order).
+	rn := fe.After(fetch, frontDepth)
+	rn = maxFS(rn, m.lastRename)
+	rn = maxFS(rn, fe.NextEdge(m.renameBW.floor(DecodeWidth)))
+	rn = maxFS(rn, m.rob.floor(ROBEntries))
+	if in.Dest.Valid() {
+		if in.Dest.IsFP() {
+			rn = maxFS(rn, m.fpRegs.floor(PhysFPRegs-isa.NumFPRegs))
+		} else {
+			rn = maxFS(rn, m.intRegs.floor(PhysIntRegs-isa.NumIntRegs))
+		}
+	}
+	// Issue-queue and LSQ backpressure propagates to rename.
+	if in.Class.IsFP() {
+		rn = maxFS(rn, clock.Align(m.clocks[clock.FloatingPoint], fe, m.fpQ.floor(int(m.fpIQ))))
+	} else if in.Class != isa.Jump {
+		rn = maxFS(rn, clock.Align(m.clocks[clock.Integer], fe, m.intQ.floor(int(m.intIQ))))
+	}
+	if in.Class.IsMem() {
+		rn = maxFS(rn, m.lsq.floor(LSQEntries))
+	}
+	rn = fe.EdgeAtOrAfter(rn)
+	m.lastRename = rn
+	m.renameBW.push(rn)
+	m.fetchQ.push(rn)
+
+	// ILP tracking happens at rename (Section 3.2).
+	if m.tracker != nil && !m.cfg.DisableIQAdapt {
+		if m.tracker.Observe(in) {
+			m.iqDecide(rn)
+			m.tracker.Reset()
+		}
+	}
+
+	// ------------------------------------------------------------------
+	// Execute by class.
+	var complete timing.FS
+	var execDomain clock.Domain
+
+	switch {
+	case in.Class == isa.Jump:
+		// Resolved at decode; no queue or execution resources.
+		complete, execDomain = rn, clock.FrontEnd
+
+	case in.Class.IsFP():
+		complete = m.execCompute(in, clock.FloatingPoint)
+		execDomain = clock.FloatingPoint
+		m.stats.FPOps++
+
+	case in.Class == isa.Load:
+		complete = m.execLoad(in)
+		execDomain = clock.LoadStore
+		m.stats.Loads++
+
+	case in.Class == isa.Store:
+		complete = m.execStore(in)
+		execDomain = clock.LoadStore
+		m.stats.Stores++
+
+	default: // integer compute and branches
+		complete = m.execCompute(in, clock.Integer)
+		execDomain = clock.Integer
+		if in.Class == isa.Branch {
+			m.resolveBranch(in, complete)
+		}
+	}
+	m.writeDest(in.Dest, execDomain, complete)
+
+	// ------------------------------------------------------------------
+	// Commit (in order, retire width per front-end cycle).
+	c := maxFS(clock.Align(m.clocks[execDomain], fe, complete), m.lastCommit)
+	c = maxFS(c, fe.NextEdge(m.commitBW.floor(RetireWidth)))
+	c = fe.After(c, 1)
+	m.lastCommit = c
+	m.commitBW.push(c)
+	m.rob.push(c)
+	if in.Class.IsMem() {
+		m.lsq.push(c)
+	}
+	if in.Dest.Valid() {
+		if in.Dest.IsFP() {
+			m.fpRegs.push(c)
+		} else {
+			m.intRegs.push(c)
+		}
+	}
+
+	// ------------------------------------------------------------------
+	// Bookkeeping and phase controllers.
+	m.count++
+	m.stats.Instructions++
+	if m.cfg.Mode != Synchronous {
+		m.stats.ICacheInstrs[m.iCfg]++
+		m.stats.DCacheInstrs[m.dCfg]++
+		m.stats.IntIQInstrs[timing.IQIndex(m.intIQ)]++
+		m.stats.FPIQInstrs[timing.IQIndex(m.fpIQ)]++
+	}
+	if m.cfg.Mode == PhaseAdaptive && !m.cfg.DisableCacheAdapt &&
+		m.count-m.intervalStart >= CacheIntervalInstrs {
+		m.cacheDecide(c)
+		m.intervalStart = m.count
+	}
+}
+
+// execCompute models dispatch, wakeup/select, and execution of a compute
+// operation (or branch) in the given domain.
+func (m *Machine) execCompute(in *isa.Inst, dom clock.Domain) timing.FS {
+	fe := m.clocks[clock.FrontEnd]
+	ck := m.clocks[dom]
+	enter := clock.Align(fe, ck, m.lastRename) // queue write: sync hidden
+
+	ready := ck.After(enter, 1) // wakeup
+	ready = maxFS(ready, m.srcReady(in.Src1, dom))
+	ready = maxFS(ready, m.srcReady(in.Src2, dom))
+
+	var issueBW, qWin *window
+	var alu, mul *fuPool
+	if dom == clock.FloatingPoint {
+		issueBW, qWin, alu, mul = m.fpIssue, m.fpQ, m.fpFU, m.fpMul
+	} else {
+		issueBW, qWin, alu, mul = m.intIssue, m.intQ, m.intFU, m.intMul
+		ready = maxFS(ready, m.minIntIssue)
+	}
+	ready = maxFS(ready, ck.NextEdge(issueBW.floor(IssueWidth)))
+	ready = ck.EdgeAtOrAfter(ready)
+
+	pool := alu
+	switch in.Class {
+	case isa.IntMult, isa.IntDiv, isa.FPMult, isa.FPDiv, isa.FPSqrt:
+		pool = mul
+	}
+	lat := in.Class.Latency()
+	start := pool.acquire(ready, func(s timing.FS) timing.FS {
+		if in.Class.Pipelined() {
+			return ck.After(s, 1)
+		}
+		return ck.After(s, lat)
+	})
+	issueBW.push(start)
+	qWin.push(start)
+	return ck.After(start, lat)
+}
+
+// resolveBranch checks the prediction and charges the mispredict penalty.
+func (m *Machine) resolveBranch(in *isa.Inst, resolve timing.FS) {
+	m.stats.Branches++
+	var pred bool
+	if m.cfg.Mode == Synchronous {
+		pred = m.syncPred.Predict(in.PC)
+		m.syncPred.Update(in.PC, in.Taken)
+	} else {
+		pred = m.bank.Predict(in.PC)
+		m.bank.Update(in.PC, in.Taken)
+	}
+	if pred == in.Taken {
+		return
+	}
+	m.stats.Mispredicts++
+	fe := m.clocks[clock.FrontEnd]
+	ic := m.clocks[clock.Integer]
+	penFE, penInt := m.mispredictPenalties()
+	m.minFetch = maxFS(m.minFetch, fe.After(clock.Sync(ic, fe, resolve), penFE))
+	m.minIntIssue = maxFS(m.minIntIssue, ic.After(resolve, penInt))
+}
+
+// execLoad models address generation in the integer domain followed by the
+// data-cache hierarchy access in the load/store domain, including
+// store-to-load forwarding.
+func (m *Machine) execLoad(in *isa.Inst) timing.FS {
+	agDone := m.addrGen(in)
+	ls := m.clocks[clock.LoadStore]
+	req := clock.Align(m.clocks[clock.Integer], ls, agDone) // LSQ insert: sync hidden
+	req = maxFS(req, ls.NextEdge(m.dports.floor(DCachePorts)))
+	req = ls.EdgeAtOrAfter(req)
+	m.dports.push(req)
+
+	m.memSeq++
+	// Store-to-load forwarding from the youngest older store to the same
+	// dword still in the LSQ window.
+	var fwd timing.FS
+	dword := in.Addr &^ 7
+	if e := &m.stores[storeHash(dword)]; e.addr == dword && e.seq >= m.memSeq-LSQEntries {
+		fwd = ls.After(maxFS(req, e.ready), 1)
+	}
+
+	l1A, l1B, _, _ := m.dcacheLatencies()
+	var done timing.FS
+	switch m.dcache.Access(in.Addr, false) {
+	case cache.AHit:
+		m.stats.DCacheA++
+		done = ls.After(req, l1A)
+	case cache.BHit:
+		m.stats.DCacheB++
+		done = ls.After(req, l1A+l1B)
+	default:
+		m.stats.DCacheMiss++
+		// Miss-under-probe: B probe overlaps the L2 request.
+		done = m.l2Access(in.Addr, ls.After(req, l1A), false)
+	}
+	if fwd != 0 && fwd < done {
+		done = fwd
+	}
+	return done
+}
+
+// execStore models address generation and data delivery to the LSQ; the
+// cache write happens post-commit and is off the critical path, but the
+// functional access keeps contents and accounting statistics exact.
+func (m *Machine) execStore(in *isa.Inst) timing.FS {
+	agDone := m.addrGen(in)
+	ls := m.clocks[clock.LoadStore]
+	addrAt := clock.Align(m.clocks[clock.Integer], ls, agDone) // LSQ insert: sync hidden
+	dataAt := m.srcReady(in.Src1, clock.LoadStore)
+	ready := maxFS(addrAt, dataAt)
+
+	m.memSeq++
+	dword := in.Addr &^ 7
+	m.stores[storeHash(dword)] = storeEntry{addr: dword, seq: m.memSeq, ready: ready}
+
+	// Post-commit write: functional update now (program order), port use
+	// booked at the earliest write time.
+	m.dports.push(ready)
+	if m.dcache.Access(in.Addr, true) == cache.Miss {
+		m.stats.DCacheMiss++
+		// Write-allocate: fetch the line through L2.
+		m.l2Access(in.Addr, ready, true)
+	} else {
+		m.stats.DCacheA++
+	}
+	return ready
+}
+
+// addrGen issues the address computation through the integer scheduler.
+func (m *Machine) addrGen(in *isa.Inst) timing.FS {
+	fe := m.clocks[clock.FrontEnd]
+	ck := m.clocks[clock.Integer]
+	enter := clock.Align(fe, ck, m.lastRename) // queue write: sync hidden
+	ready := ck.After(enter, 1)
+	base := in.Src1
+	if in.Class == isa.Store {
+		base = in.Src2
+	}
+	ready = maxFS(ready, m.srcReady(base, clock.Integer))
+	ready = maxFS(ready, m.minIntIssue)
+	ready = maxFS(ready, ck.NextEdge(m.intIssue.floor(IssueWidth)))
+	ready = ck.EdgeAtOrAfter(ready)
+	start := m.intFU.acquire(ready, func(s timing.FS) timing.FS { return ck.After(s, 1) })
+	m.intIssue.push(start)
+	m.intQ.push(start)
+	return ck.After(start, 1)
+}
+
+func storeHash(dword uint64) int {
+	z := dword * 0x9e3779b97f4a7c15
+	return int((z >> 48) & (storeTableSize - 1))
+}
+
+// Run executes n instructions and returns the result.
+func (m *Machine) Run(n int64) *Result {
+	var in isa.Inst
+	for i := int64(0); i < n; i++ {
+		m.trace.Next(&in)
+		m.step(&in)
+	}
+	return &Result{
+		Workload: m.trace.Spec().Name,
+		Config:   m.cfg,
+		TimeFS:   m.lastCommit,
+		Stats:    m.stats,
+	}
+}

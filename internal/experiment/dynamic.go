@@ -1,0 +1,213 @@
+// Dynamic experiments: the headline performance comparison (Figure 6), the
+// Program-Adaptive configuration distribution (Table 9), and the
+// reconfiguration traces (Figure 7). These run the simulator through the
+// design-space sweeps of paper Section 4.
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"gals/internal/core"
+	"gals/internal/sweep"
+	"gals/internal/timing"
+	"gals/internal/workload"
+)
+
+// SuiteResult holds everything the Figure 6 / Table 9 pipeline produces:
+// the best fully synchronous machine, the per-application Program-Adaptive
+// selections, and the Phase-Adaptive runs.
+type SuiteResult struct {
+	// Specs are the benchmark runs, in Figure 6 order.
+	Specs []workload.Spec
+	// BestSync is the best-overall fully synchronous configuration.
+	BestSync core.Config
+	// SyncTimes are each benchmark's run times on BestSync.
+	SyncTimes []timing.FS
+	// ProgConfigs and ProgTimes are the per-application best adaptive
+	// configurations and their run times (Program-Adaptive).
+	ProgConfigs []core.Config
+	ProgTimes   []timing.FS
+	// PhaseResults are the Phase-Adaptive runs (controllers on).
+	PhaseResults []*core.Result
+	// MeanProg and MeanPhase are the suite-mean percent improvements.
+	MeanProg, MeanPhase float64
+}
+
+// ProgImprovement returns benchmark i's Program-Adaptive improvement in
+// percent over the best synchronous machine.
+func (r *SuiteResult) ProgImprovement(i int) float64 {
+	return sweep.Improvement(r.SyncTimes[i], r.ProgTimes[i])
+}
+
+// PhaseImprovement returns benchmark i's Phase-Adaptive improvement.
+func (r *SuiteResult) PhaseImprovement(i int) float64 {
+	return sweep.Improvement(r.SyncTimes[i], r.PhaseResults[i].TimeFS)
+}
+
+var (
+	suiteMu    sync.Mutex
+	suiteCache = map[Options]*SuiteResult{}
+)
+
+// RunSuite executes the full evaluation pipeline (cached per Options within
+// the process: Figure 6, Table 9, and callers like the benchmark harness
+// share one sweep).
+func RunSuite(o Options) (*SuiteResult, error) {
+	suiteMu.Lock()
+	defer suiteMu.Unlock()
+	if r, ok := suiteCache[o]; ok {
+		return r, nil
+	}
+	if o.Window <= 0 {
+		o.Window = DefaultOptions().Window
+	}
+	specs := workload.Suite()
+	so := o.sweepOptions()
+
+	syncCfgs := sweep.SyncSpace()
+	if !o.FullSyncSpace {
+		var pruned []core.Config
+		for _, c := range syncCfgs {
+			if timing.SyncICacheSpecs()[c.SyncICache].Assoc == 1 {
+				pruned = append(pruned, c)
+			}
+		}
+		syncCfgs = pruned
+	}
+	syncTimes := sweep.Measure(specs, syncCfgs, so)
+	best := sweep.BestOverall(syncTimes)
+
+	adCfgs := sweep.AdaptiveSpace()
+	adTimes := sweep.Measure(specs, adCfgs, so)
+	bestPer := sweep.BestPerApp(adTimes)
+
+	phase := sweep.PhaseResults(specs, so)
+
+	r := &SuiteResult{
+		Specs:        specs,
+		BestSync:     syncCfgs[best],
+		SyncTimes:    syncTimes[best],
+		PhaseResults: phase,
+	}
+	for si := range specs {
+		r.ProgConfigs = append(r.ProgConfigs, adCfgs[bestPer[si]])
+		r.ProgTimes = append(r.ProgTimes, adTimes[bestPer[si]][si])
+	}
+	for i := range specs {
+		r.MeanProg += r.ProgImprovement(i)
+		r.MeanPhase += r.PhaseImprovement(i)
+	}
+	r.MeanProg /= float64(len(specs))
+	r.MeanPhase /= float64(len(specs))
+	suiteCache[o] = r
+	return r, nil
+}
+
+// Figure6 regenerates paper Figure 6: per-application percent run-time
+// improvement of Program-Adaptive and Phase-Adaptive over the best fully
+// synchronous design.
+func Figure6(o Options) (*Table, error) {
+	r, err := RunSuite(o)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "figure6",
+		Title:  "Performance improvement of Program- and Phase-Adaptive MCD over fully synchronous",
+		Header: []string{"benchmark", "program-adaptive %", "phase-adaptive %", "program config"},
+	}
+	for i, s := range r.Specs {
+		t.AddRow(s.Name,
+			fmt.Sprintf("%+.1f", r.ProgImprovement(i)),
+			fmt.Sprintf("%+.1f", r.PhaseImprovement(i)),
+			r.ProgConfigs[i].Label())
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("best synchronous: %s (global clock %.2f GHz)",
+			r.BestSync.Label(), timing.FreqMHz(r.BestSync.GlobalPeriod())/1000),
+		fmt.Sprintf("mean improvement: program-adaptive %+.1f%%, phase-adaptive %+.1f%% (paper: +17.6%% / +20.4%%)",
+			r.MeanProg, r.MeanPhase),
+	)
+	return t, nil
+}
+
+// Table9 regenerates paper Table 9: the distribution of Program-Adaptive
+// configuration choices across the suite, per structure.
+func Table9(o Options) (*Table, error) {
+	r, err := RunSuite(o)
+	if err != nil {
+		return nil, err
+	}
+	n := float64(len(r.Specs))
+	var iq, fq [4]int
+	var dc [timing.NumDCacheConfigs]int
+	var ic [timing.NumICacheConfigs]int
+	for _, cfg := range r.ProgConfigs {
+		iq[timing.IQIndex(cfg.IntIQ)]++
+		fq[timing.IQIndex(cfg.FPIQ)]++
+		dc[cfg.DCache]++
+		ic[cfg.ICache]++
+	}
+	t := &Table{
+		ID:     "table9",
+		Title:  "Distribution of adaptive architecture choices for Program-Adaptive",
+		Header: []string{"structure", "config 0", "config 1", "config 2", "config 3"},
+	}
+	pct := func(c int) string { return fmt.Sprintf("%.0f%%", 100*float64(c)/n) }
+	t.AddRow("Integer IQ (16/32/48/64)", pct(iq[0]), pct(iq[1]), pct(iq[2]), pct(iq[3]))
+	t.AddRow("FP IQ (16/32/48/64)", pct(fq[0]), pct(fq[1]), pct(fq[2]), pct(fq[3]))
+	t.AddRow("D-cache (32k1W/64k2W/128k4W/256k8W)", pct(dc[0]), pct(dc[1]), pct(dc[2]), pct(dc[3]))
+	t.AddRow("I-cache (16k1W/32k2W/48k3W/64k4W)", pct(ic[0]), pct(ic[1]), pct(ic[2]), pct(ic[3]))
+	t.Notes = append(t.Notes,
+		"paper: IQ 85/5/5/5, FP IQ 73/15/8/5, D 50/18/23/10, I 55/18/8/20 (percent)")
+	return t, nil
+}
+
+// Figure7 regenerates paper Figure 7: sample reconfiguration traces for
+// the Phase-Adaptive machine — apsi's D/L2 pair and art's integer issue
+// queue, both of which cycle with the applications' phases.
+func Figure7(o Options) (*Table, error) {
+	if o.Window <= 0 {
+		o.Window = DefaultOptions().Window
+	}
+	t := &Table{
+		ID:     "figure7",
+		Title:  "Sample reconfiguration traces (Phase-Adaptive)",
+		Header: []string{"benchmark", "structure", "instr (K)", "new configuration"},
+	}
+	traces := []struct {
+		bench string
+		kind  string
+	}{
+		{"apsi", "dcache"},
+		{"art", "int-iq"},
+	}
+	for _, tr := range traces {
+		spec, ok := workload.ByName(tr.bench)
+		if !ok {
+			return nil, fmt.Errorf("experiment: missing benchmark %q", tr.bench)
+		}
+		cfg := core.DefaultAdaptive(core.PhaseAdaptive)
+		cfg.Seed = o.Seed
+		cfg.PLLScale = o.PLLScale
+		cfg.JitterFrac = o.JitterFrac
+		cfg.RecordTrace = true
+		res := core.RunWorkload(spec, cfg, o.Window)
+		events := 0
+		for _, e := range res.Stats.ReconfigEvents {
+			if e.Kind != tr.kind {
+				continue
+			}
+			t.AddRow(tr.bench, e.Kind, fmt.Sprintf("%.1f", float64(e.Instr)/1000), e.Config)
+			events++
+		}
+		if events == 0 {
+			t.AddRow(tr.bench, tr.kind, "-", "no reconfigurations in window")
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper Figure 7(a): apsi's D/L2 pair oscillates 32k1W <-> 128k4W with its working-set phases",
+		"paper Figure 7(b): art's integer queue cycles through its sizes with its ILP phases")
+	return t, nil
+}

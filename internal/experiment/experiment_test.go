@@ -1,0 +1,155 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "figure2", "table2", "table3", "figure3", "figure4",
+		"table4", "table5", "table6", "table7", "table8",
+		"figure6", "table9", "figure7",
+	}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("IDs()[%d] = %q, want %q", i, ids[i], id)
+		}
+	}
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Error("unknown experiment did not error")
+	}
+}
+
+func TestStaticTablesRender(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "table3", "table4", "table5",
+		"table6", "table7", "table8", "figure2", "figure3", "figure4"} {
+		tab, err := Run(id, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: no rows", id)
+		}
+		out := tab.Render()
+		if !strings.Contains(out, tab.Title) {
+			t.Errorf("%s: render missing title", id)
+		}
+	}
+}
+
+func TestTable3Has16Rows(t *testing.T) {
+	tab := Table3()
+	if len(tab.Rows) != 16 {
+		t.Errorf("Table 3 has %d rows, want 16", len(tab.Rows))
+	}
+}
+
+func TestTable4MatchesPaperTotal(t *testing.T) {
+	tab := Table4()
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "Total" || last[2] != "4647" {
+		t.Errorf("Table 4 total row = %v, want Total/4647 (paper)", last)
+	}
+}
+
+func TestBenchmarkTablesPartitionSuite(t *testing.T) {
+	n := len(Benchmarks("MediaBench").Rows) + len(Benchmarks("Olden").Rows) + len(Benchmarks("SPEC2000").Rows)
+	if n != 40 {
+		t.Errorf("benchmark tables cover %d runs, want 40", n)
+	}
+}
+
+func TestFigure7SmallWindow(t *testing.T) {
+	o := Options{Window: 40_000, PLLScale: 0.1, Seed: 42}
+	tab, err := Figure7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Error("Figure 7 produced no trace rows")
+	}
+}
+
+// TestSuitePipelineSmall runs the full Figure-6 pipeline at a tiny window:
+// it validates plumbing (and Table 9 derivation), not calibration.
+func TestSuitePipelineSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep pipeline in -short mode")
+	}
+	o := Options{Window: 2_000, PLLScale: 0.1, Seed: 42}
+	r, err := RunSuite(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Specs) != 40 || len(r.ProgTimes) != 40 || len(r.PhaseResults) != 40 {
+		t.Fatalf("pipeline shapes wrong: %d/%d/%d", len(r.Specs), len(r.ProgTimes), len(r.PhaseResults))
+	}
+	for i := range r.Specs {
+		if r.SyncTimes[i] <= 0 || r.ProgTimes[i] <= 0 {
+			t.Fatalf("%s: non-positive times", r.Specs[i].Name)
+		}
+		// Program-Adaptive picked the per-app best: it can never lose to
+		// the base adaptive configuration by definition of the search.
+		if r.ProgConfigs[i].Mode.String() != "program-adaptive" {
+			t.Fatalf("%s: wrong mode in program config", r.Specs[i].Name)
+		}
+	}
+
+	// The cached pipeline feeds both figure6 and table9.
+	f6, err := Figure6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f6.Rows) != 40 {
+		t.Errorf("figure6 has %d rows, want 40", len(f6.Rows))
+	}
+	t9, err := Table9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t9.Rows) != 4 {
+		t.Errorf("table9 has %d rows, want 4", len(t9.Rows))
+	}
+	// Distribution rows sum to ~100%.
+	for _, row := range t9.Rows {
+		sum := 0
+		for _, cell := range row[1:] {
+			var v int
+			if _, err := fmtSscanf(cell, &v); err != nil {
+				t.Fatalf("bad percentage cell %q", cell)
+			}
+			sum += v
+		}
+		if sum < 98 || sum > 102 {
+			t.Errorf("%s: distribution sums to %d%%", row[0], sum)
+		}
+	}
+}
+
+// fmtSscanf parses "NN%" cells.
+func fmtSscanf(cell string, v *int) (int, error) {
+	cell = strings.TrimSuffix(cell, "%")
+	n, err := parseInt(cell)
+	*v = n
+	return n, err
+}
+
+func parseInt(s string) (int, error) {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, &parseErr{s}
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, nil
+}
+
+type parseErr struct{ s string }
+
+func (e *parseErr) Error() string { return "bad int " + e.s }

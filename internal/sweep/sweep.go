@@ -1,0 +1,210 @@
+// Package sweep implements the paper's design-space explorations
+// (Section 4): the exhaustive search for the best-overall fully
+// synchronous processor (1,024 configurations: 16 I-cache/branch-predictor
+// organizations x 4 D/L2 x 4 integer IQ x 4 FP IQ) and the per-application
+// exhaustive search defining Program-Adaptive mode (256 adaptive MCD
+// configurations: 4 x 4 x 4 x 4).
+//
+// Every run replays the same deterministic trace per benchmark, so
+// configuration comparisons are exact. Runs fan out over a worker pool;
+// the paper burned 300 CPU-months on this, we burn a few CPU-minutes at
+// scaled-down windows.
+package sweep
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"gals/internal/core"
+	"gals/internal/timing"
+	"gals/internal/workload"
+)
+
+// Options control a sweep.
+type Options struct {
+	// Window is the instruction window per run.
+	Window int64
+	// Workers is the parallelism (default: GOMAXPROCS).
+	Workers int
+	// Seed feeds PLL/jitter (shared across runs for comparability).
+	Seed int64
+	// JitterFrac enables clock jitter.
+	JitterFrac float64
+	// PLLScale scales PLL lock times (see core.Config).
+	PLLScale float64
+}
+
+// Defaults fills in zero fields.
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = 30_000
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.PLLScale == 0 {
+		o.PLLScale = 0.1
+	}
+	return o
+}
+
+func (o Options) apply(cfg core.Config) core.Config {
+	cfg.Seed = o.Seed
+	cfg.JitterFrac = o.JitterFrac
+	cfg.PLLScale = o.PLLScale
+	return cfg
+}
+
+// SyncSpace enumerates all 1,024 fully synchronous configurations.
+func SyncSpace() []core.Config {
+	var out []core.Config
+	for ic := range timing.SyncICacheSpecs() {
+		for _, dc := range timing.DCacheConfigs() {
+			for _, iq := range timing.IQSizes() {
+				for _, fq := range timing.IQSizes() {
+					out = append(out, core.Config{
+						Mode: core.Synchronous, SyncICache: ic, DCache: dc,
+						IntIQ: iq, FPIQ: fq,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AdaptiveSpace enumerates all 256 Program-Adaptive configurations.
+func AdaptiveSpace() []core.Config {
+	var out []core.Config
+	for _, ic := range timing.ICacheConfigs() {
+		for _, dc := range timing.DCacheConfigs() {
+			for _, iq := range timing.IQSizes() {
+				for _, fq := range timing.IQSizes() {
+					out = append(out, core.Config{
+						Mode: core.ProgramAdaptive, ICache: ic, DCache: dc,
+						IntIQ: iq, FPIQ: fq,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Measure runs every configuration on every benchmark and returns the run
+// times in femtoseconds, indexed [config][benchmark].
+func Measure(specs []workload.Spec, cfgs []core.Config, o Options) [][]timing.FS {
+	o = o.withDefaults()
+	times := make([][]timing.FS, len(cfgs))
+	for i := range times {
+		times[i] = make([]timing.FS, len(specs))
+	}
+
+	type job struct{ ci, si int }
+	jobs := make(chan job, o.Workers*2)
+	var wg sync.WaitGroup
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				res := core.RunWorkload(specs[j.si], o.apply(cfgs[j.ci]), o.Window)
+				times[j.ci][j.si] = res.TimeFS
+			}
+		}()
+	}
+	for ci := range cfgs {
+		for si := range specs {
+			jobs <- job{ci, si}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return times
+}
+
+// BestOverall picks the configuration with the best (lowest) geometric-mean
+// run time across all benchmarks — the paper's "best overall" machine.
+func BestOverall(times [][]timing.FS) int {
+	best, bestScore := 0, 0.0
+	for ci, row := range times {
+		score := 0.0
+		for _, t := range row {
+			score += logFS(t)
+		}
+		if ci == 0 || score < bestScore {
+			best, bestScore = ci, score
+		}
+	}
+	return best
+}
+
+// BestPerApp picks, for each benchmark, the configuration with the lowest
+// run time (the Program-Adaptive selection).
+func BestPerApp(times [][]timing.FS) []int {
+	if len(times) == 0 {
+		return nil
+	}
+	n := len(times[0])
+	best := make([]int, n)
+	for si := 0; si < n; si++ {
+		for ci := range times {
+			if times[ci][si] < times[best[si]][si] {
+				best[si] = ci
+			}
+		}
+	}
+	return best
+}
+
+// logFS is a natural log over femtosecond times, used for geometric means.
+func logFS(t timing.FS) float64 {
+	return math.Log(float64(t))
+}
+
+// PhaseResults runs the Phase-Adaptive machine (base configuration,
+// controllers on) on every benchmark.
+func PhaseResults(specs []workload.Spec, o Options) []*core.Result {
+	o = o.withDefaults()
+	out := make([]*core.Result, len(specs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, o.Workers)
+	for i := range specs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			cfg := o.apply(core.DefaultAdaptive(core.PhaseAdaptive))
+			out[i] = core.RunWorkload(specs[i], cfg, o.Window)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Improvement returns the percent run-time improvement of adapted over
+// baseline: (Tbase/Tadapt - 1) * 100.
+func Improvement(baseline, adapted timing.FS) float64 {
+	if adapted == 0 {
+		return 0
+	}
+	return (float64(baseline)/float64(adapted) - 1) * 100
+}
+
+// SetsAdaptiveSpace enumerates the Program-Adaptive configurations with
+// the sets-resized (direct-mapped) front end of the paper's Section 7
+// future work, in place of the ways-based Table 2 design.
+func SetsAdaptiveSpace() []core.Config {
+	cfgs := AdaptiveSpace()
+	out := make([]core.Config, len(cfgs))
+	for i, c := range cfgs {
+		c.ICacheBySets = true
+		out[i] = c
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package sweep
+
+import (
+	"testing"
+
+	"gals/internal/core"
+	"gals/internal/timing"
+	"gals/internal/workload"
+)
+
+func TestSpaceSizes(t *testing.T) {
+	// Paper Section 4: 1,024 synchronous points (16 x 4 x 4 x 4) and 256
+	// adaptive points (4 x 4 x 4 x 4).
+	if got := len(SyncSpace()); got != 1024 {
+		t.Errorf("sync space has %d configs, want 1024", got)
+	}
+	if got := len(AdaptiveSpace()); got != 256 {
+		t.Errorf("adaptive space has %d configs, want 256", got)
+	}
+	for _, c := range SyncSpace() {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("invalid sync config: %v", err)
+		}
+	}
+	for _, c := range AdaptiveSpace() {
+		if c.Mode != core.ProgramAdaptive {
+			t.Fatal("adaptive space config not program-adaptive")
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("invalid adaptive config: %v", err)
+		}
+	}
+}
+
+func TestBestOverallAndPerApp(t *testing.T) {
+	// Synthetic matrix: config 1 is best overall; config 0 best on app 0.
+	times := [][]timing.FS{
+		{100, 900, 900},
+		{300, 300, 300},
+		{500, 400, 800},
+	}
+	if got := BestOverall(times); got != 1 {
+		t.Errorf("BestOverall = %d, want 1", got)
+	}
+	per := BestPerApp(times)
+	want := []int{0, 1, 1}
+	for i := range want {
+		if per[i] != want[i] {
+			t.Errorf("BestPerApp[%d] = %d, want %d", i, per[i], want[i])
+		}
+	}
+	if BestPerApp(nil) != nil {
+		t.Error("BestPerApp(nil) != nil")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(200, 100); got != 100 {
+		t.Errorf("Improvement(200,100) = %v, want +100%%", got)
+	}
+	if got := Improvement(100, 200); got != -50 {
+		t.Errorf("Improvement(100,200) = %v, want -50%%", got)
+	}
+	if got := Improvement(100, 0); got != 0 {
+		t.Errorf("Improvement by zero = %v, want 0", got)
+	}
+}
+
+func TestMeasureMatchesDirectRuns(t *testing.T) {
+	specs := workload.Suite()[:2]
+	cfgs := []core.Config{core.DefaultSync(), core.DefaultAdaptive(core.ProgramAdaptive)}
+	o := Options{Window: 5000, Workers: 4}
+	times := Measure(specs, cfgs, o)
+	for ci, cfg := range cfgs {
+		for si, spec := range specs {
+			want := core.RunWorkload(spec, o.withDefaults().apply(cfg), 5000).TimeFS
+			if times[ci][si] != want {
+				t.Errorf("Measure[%d][%d] = %d, direct run %d", ci, si, times[ci][si], want)
+			}
+		}
+	}
+}
+
+func TestMeasureDeterministicAcrossRuns(t *testing.T) {
+	specs := workload.Suite()[:3]
+	cfgs := AdaptiveSpace()[:4]
+	o := Options{Window: 3000}
+	a := Measure(specs, cfgs, o)
+	b := Measure(specs, cfgs, o)
+	for ci := range cfgs {
+		for si := range specs {
+			if a[ci][si] != b[ci][si] {
+				t.Fatalf("parallel sweep nondeterministic at [%d][%d]", ci, si)
+			}
+		}
+	}
+}
+
+func TestPhaseResultsShape(t *testing.T) {
+	specs := workload.Suite()[:3]
+	res := PhaseResults(specs, Options{Window: 3000})
+	if len(res) != 3 {
+		t.Fatalf("got %d results, want 3", len(res))
+	}
+	for i, r := range res {
+		if r == nil || r.Stats.Instructions != 3000 {
+			t.Errorf("result %d malformed", i)
+		}
+		if r.Config.Mode != core.PhaseAdaptive {
+			t.Errorf("result %d mode %v", i, r.Config.Mode)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package timing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPeriodFreqRoundTrip(t *testing.T) {
+	f := func(mhz uint16) bool {
+		m := float64(mhz%4000) + 100 // 100..4099 MHz
+		p := PeriodFS(m)
+		back := FreqMHz(p)
+		return math.Abs(back-m)/m < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeriodFSPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive frequency")
+		}
+	}()
+	PeriodFS(0)
+}
+
+func TestFreqMHzPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive period")
+		}
+	}()
+	FreqMHz(0)
+}
+
+func TestDCacheTable1Shape(t *testing.T) {
+	cfgs := DCacheConfigs()
+	if len(cfgs) != NumDCacheConfigs {
+		t.Fatalf("got %d configs, want %d", len(cfgs), NumDCacheConfigs)
+	}
+	wantL1 := []int{32, 64, 128, 256}
+	wantL2 := []int{256, 512, 1024, 2048}
+	wantAssoc := []int{1, 2, 4, 8}
+	for i, c := range cfgs {
+		s := c.Spec()
+		if s.L1SizeKB != wantL1[i] || s.L2SizeKB != wantL2[i] || s.Assoc != wantAssoc[i] {
+			t.Errorf("config %d: got %d/%d/%d-way, want %d/%d/%d-way",
+				i, s.L1SizeKB, s.L2SizeKB, s.Assoc, wantL1[i], wantL2[i], wantAssoc[i])
+		}
+		// Adaptive sub-banking replicates the base way (Table 1).
+		if s.L1SubBanksAdapt != 32 || s.L2SubBanksAdapt != 8 {
+			t.Errorf("config %d: adaptive sub-banks %d/%d, want 32/8", i, s.L1SubBanksAdapt, s.L2SubBanksAdapt)
+		}
+	}
+}
+
+func TestDCacheFrequenciesMonotone(t *testing.T) {
+	prevA, prevO := math.Inf(1), math.Inf(1)
+	for _, c := range DCacheConfigs() {
+		s := c.Spec()
+		if s.AdaptMHz >= prevA && c != DCache32K1W {
+			t.Errorf("%v: adaptive frequency %v not below previous %v", c, s.AdaptMHz, prevA)
+		}
+		if s.OptimalMHz >= prevO && c != DCache32K1W {
+			t.Errorf("%v: optimal frequency %v not below previous %v", c, s.OptimalMHz, prevO)
+		}
+		if s.OptimalMHz < s.AdaptMHz {
+			t.Errorf("%v: optimal %v slower than adaptive %v", c, s.OptimalMHz, s.AdaptMHz)
+		}
+		prevA, prevO = s.AdaptMHz, s.OptimalMHz
+	}
+}
+
+func TestDCacheLatenciesFollowTable5(t *testing.T) {
+	wantL1B := []int{8, 5, 2, 0}
+	wantL2B := []int{43, 27, 12, 0}
+	for i, c := range DCacheConfigs() {
+		s := c.Spec()
+		if s.L1ALat != 2 || s.L2ALat != 12 {
+			t.Errorf("%v: A latencies %d/%d, want 2/12", c, s.L1ALat, s.L2ALat)
+		}
+		if s.L1BLat != wantL1B[i] || s.L2BLat != wantL2B[i] {
+			t.Errorf("%v: B latencies %d/%d, want %d/%d", c, s.L1BLat, s.L2BLat, wantL1B[i], wantL2B[i])
+		}
+	}
+}
+
+func TestICacheDMto2WayDrop(t *testing.T) {
+	// Paper Section 2.2: ~31% frequency loss from direct-mapped to 2-way.
+	a := ICache16K1W.Spec().AdaptMHz
+	b := ICache32K2W.Spec().AdaptMHz
+	drop := 1 - b/a
+	if drop < 0.28 || drop > 0.34 {
+		t.Errorf("DM->2-way drop %.1f%%, want ~31%%", drop*100)
+	}
+}
+
+func TestOptimal64KBDMGap(t *testing.T) {
+	// Paper Section 4: the optimized 64KB DM cache is 27% faster than the
+	// adaptive 64KB 4-way configuration.
+	idx, ok := SyncICacheIndexByName("64k1W")
+	if !ok {
+		t.Fatal("missing 64k1W in Table 3")
+	}
+	gap := SyncICacheSpecs()[idx].MHz/ICache64K4W.Spec().AdaptMHz - 1
+	if gap < 0.24 || gap > 0.30 {
+		t.Errorf("optimal 64KB DM gap %.1f%%, want ~27%%", gap*100)
+	}
+}
+
+func TestSyncICacheTable3Complete(t *testing.T) {
+	specs := SyncICacheSpecs()
+	if len(specs) != 16 {
+		t.Fatalf("Table 3 has %d rows, want 16", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Errorf("duplicate Table 3 entry %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.MHz <= 0 || s.SizeKB <= 0 || s.Assoc < 1 || s.Assoc > 4 {
+			t.Errorf("implausible Table 3 row %+v", s)
+		}
+		if s.BPred.GShareEntries != 1<<uint(s.BPred.GShareBits) {
+			t.Errorf("%s: gshare entries %d != 2^%d", s.Name, s.BPred.GShareEntries, s.BPred.GShareBits)
+		}
+	}
+	if _, ok := SyncICacheIndexByName("no-such"); ok {
+		t.Error("lookup of bogus name succeeded")
+	}
+}
+
+func TestICacheTable2PredictorGeometry(t *testing.T) {
+	for _, c := range ICacheConfigs() {
+		bp := c.Spec().BPred
+		if bp.GShareEntries != 1<<uint(bp.GShareBits) {
+			t.Errorf("%v: gshare entries %d != 2^%d", c, bp.GShareEntries, bp.GShareBits)
+		}
+		if bp.LocalBHTEntries != 1<<uint(bp.LocalBits) {
+			t.Errorf("%v: local BHT %d != 2^%d", c, bp.LocalBHTEntries, bp.LocalBits)
+		}
+	}
+}
+
+func TestIQFrequencyCliff(t *testing.T) {
+	// Paper Figure 4: a 16-entry queue has 2 levels of selection logic and
+	// is much faster than any larger queue (3 levels), with a gentle
+	// decline from 20 to 64 entries.
+	f16 := IQFreqMHz(16)
+	f20 := IQFreqMHz(20)
+	f64 := IQFreqMHz(64)
+	if cliff := 1 - f20/f16; cliff < 0.15 {
+		t.Errorf("16->20 entry cliff only %.1f%%, want a pronounced drop", cliff*100)
+	}
+	if tail := 1 - f64/f20; tail > 0.15 {
+		t.Errorf("20->64 decline %.1f%%, want gentle", tail*100)
+	}
+	prev := math.Inf(1)
+	for n := 16; n <= 64; n += 4 {
+		f := IQFreqMHz(n)
+		if f >= prev && n != 16 {
+			t.Errorf("IQ frequency not monotone at %d entries", n)
+		}
+		prev = f
+	}
+}
+
+func TestIQFreqPanicsOutOfRange(t *testing.T) {
+	for _, n := range []int{0, 15, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("IQFreqMHz(%d) did not panic", n)
+				}
+			}()
+			IQFreqMHz(n)
+		}()
+	}
+}
+
+func TestIQIndex(t *testing.T) {
+	for i, s := range IQSizes() {
+		if IQIndex(s) != i {
+			t.Errorf("IQIndex(%d) = %d, want %d", s, IQIndex(s), i)
+		}
+	}
+}
+
+func TestMemLatency(t *testing.T) {
+	if got := MemLatency(0); got != 0 {
+		t.Errorf("MemLatency(0) = %d, want 0", got)
+	}
+	// One chunk: just the first-access latency.
+	if got := MemLatency(16); got != MemFirstAccess {
+		t.Errorf("MemLatency(16) = %d, want %d", got, MemFirstAccess)
+	}
+	// A 128-byte L2 line: 8 chunks.
+	want := MemFirstAccess + 7*MemNextAccess
+	if got := MemLatency(128); got != want {
+		t.Errorf("MemLatency(128) = %d, want %d", got, want)
+	}
+	// Partial chunks round up.
+	if got := MemLatency(17); got != MemFirstAccess+MemNextAccess {
+		t.Errorf("MemLatency(17) = %d, want %d", got, MemFirstAccess+MemNextAccess)
+	}
+}
+
+func TestMemLatencyMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := int(a%4096), int(b%4096)
+		if x > y {
+			x, y = y, x
+		}
+		return MemLatency(x) <= MemLatency(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,398 @@
+// Benchmark suite registry: one Spec per benchmark run of the paper's
+// Tables 6-8 (16 MediaBench runs, 9 Olden runs, 15 SPEC2000 runs). Each
+// parameterization encodes the workload properties the paper reports or
+// that its results imply (Section 5): instruction/data footprints, ILP
+// structure, branch behaviour, and phase schedules.
+//
+// The archetypes below drive the calibration:
+//
+//   - kernel: tiny hot loops, small data; wins on the adaptive machine's
+//     higher base clocks (adpcm, g721, mpeg2 encode, gzip, art, ...).
+//   - bigcode: instruction working sets of 40-100KB with little line
+//     reuse; these force the fully synchronous sweep toward the large
+//     direct-mapped I-cache and are the adaptive design's hard cases
+//     (gsm, ghostscript, vpr, vortex, gcc, crafty, ...).
+//   - membound: multi-hundred-KB low-locality data working sets that only
+//     the upsized cache hierarchy holds (em3d, mst, equake, health, ...).
+package workload
+
+// with applies a mutation to a copy of p.
+func with(p Params, f func(*Params)) Params {
+	f(&p)
+	return p
+}
+
+// phase builds one schedule step.
+func phase(n int64, p Params) Phase { return Phase{Len: n, P: p} }
+
+// kernel is the small-hot-loop archetype: high code locality, loopy,
+// modest data with good locality.
+func kernel(codeKB, hotKB, dataKB int) Params {
+	return with(Defaults(), func(p *Params) {
+		p.CodeKB, p.HotKB = codeKB, hotKB
+		p.DataKB = dataKB
+		p.LoopFrac, p.LoopMeanTrips = 0.3, 20
+		p.StrideFrac, p.StackFrac = 0.6, 0.2
+		p.HotDataFrac, p.HotDataKB = 0.7, 8
+	})
+}
+
+// bigcode is the large-instruction-footprint archetype: long basic blocks
+// with little loop-level line reuse (the code streams through its hot
+// working set, as gcc/gsm/ghostscript-class programs do), so I-cache
+// capacity below the hot set thrashes hard while 64KB captures it. Data
+// pressure is kept light so these runs are front-end bound.
+func bigcode(codeKB, hotKB, dataKB int) Params {
+	return with(Defaults(), func(p *Params) {
+		p.CodeKB, p.HotKB = codeKB, hotKB
+		p.DataKB = dataKB
+		p.AvgBlock = 13
+		p.FnBlocks = 12
+		p.LoopFrac, p.LoopMeanTrips = 0.02, 2
+		p.ExcursionP = 0.012
+		p.StrideFrac, p.StackFrac = 0.45, 0.3
+		p.HotDataFrac, p.HotDataKB = 0.7, 16
+	})
+}
+
+// membound is the pointer-chasing archetype: small code, large
+// low-locality data working sets.
+func membound(dataKB int) Params {
+	return with(Defaults(), func(p *Params) {
+		p.CodeKB, p.HotKB = 8, 5
+		p.DataKB = dataKB
+		p.LoadFrac, p.StoreFrac = 0.3, 0.1
+		p.StrideFrac, p.StackFrac = 0.15, 0.1
+		p.HotDataFrac, p.HotDataKB = 0.15, 32
+	})
+}
+
+// fpstream is the scientific-loop archetype: FP-heavy, streaming.
+func fpstream(codeKB, hotKB, dataKB int) Params {
+	return with(Defaults(), func(p *Params) {
+		p.CodeKB, p.HotKB = codeKB, hotKB
+		p.DataKB = dataKB
+		p.FPFrac = 0.42
+		p.LoadFrac, p.StoreFrac = 0.3, 0.1
+		p.StrideFrac, p.StackFrac = 0.6, 0.1
+		p.HotDataFrac, p.HotDataKB = 0.5, 16
+		p.LoopFrac, p.LoopMeanTrips = 0.3, 32
+		p.NoiseFrac = 0.04
+	})
+}
+
+// Suite returns the full benchmark suite in the paper's Figure 6 order.
+func Suite() []Spec {
+	var specs []Spec
+	add := func(s Spec) { specs = append(specs, s) }
+
+	// -----------------------------------------------------------------
+	// MediaBench (Table 6).
+
+	// adpcm: tiny kernel, tiny data, very high ILP; the best adaptive
+	// configuration is the smallest/fastest everything.
+	add(Spec{Name: "adpcm encode", Suite: "MediaBench", Window: "6.6M", Seed: 1001,
+		Base: with(kernel(4, 3, 8), func(p *Params) {
+			p.SerialFrac, p.MaxDepDist = 0.16, 44
+			p.NoiseFrac = 0.05
+		})})
+	// adpcm decode: the adpcm_decoder() kernel's data-dependent branch
+	// series (paper Section 5.1) makes branches near-random.
+	add(Spec{Name: "adpcm decode", Suite: "MediaBench", Window: "5.5M", Seed: 1002,
+		Base: with(kernel(4, 3, 8), func(p *Params) {
+			p.SerialFrac, p.MaxDepDist = 0.2, 40
+			p.NoiseFrac = 0.42
+		})})
+	add(Spec{Name: "epic encode", Suite: "MediaBench", Window: "53M", Seed: 1003,
+		Base: with(kernel(24, 14, 320), func(p *Params) {
+			p.FPFrac = 0.25
+			p.StrideFrac = 0.7
+			p.SerialFrac, p.MaxDepDist = 0.3, 32
+		})})
+	add(Spec{Name: "epic decode", Suite: "MediaBench", Window: "6.7M", Seed: 1004,
+		Base: with(kernel(16, 9, 160), func(p *Params) {
+			p.FPFrac = 0.2
+			p.SerialFrac = 0.28
+		})})
+	add(Spec{Name: "jpeg compress", Suite: "MediaBench", Window: "15.5M", Seed: 1005,
+		Base: with(bigcode(48, 46, 112), func(p *Params) {
+			p.FPFrac = 0.1
+			p.SerialFrac, p.MaxDepDist = 0.3, 36
+		})})
+	// jpeg decompress: instruction footprint wants 64KB of capacity with
+	// little associativity need; one of the paper's Program-Adaptive
+	// losses (-2.7%).
+	add(Spec{Name: "jpeg decompress", Suite: "MediaBench", Window: "4.6M", Seed: 1006,
+		Base: with(bigcode(62, 58, 64), func(p *Params) {
+			p.FPFrac = 0.08
+		})})
+	add(Spec{Name: "g721 encode", Suite: "MediaBench", Window: "0-200M", Seed: 1007,
+		Base: with(kernel(6, 4, 16), func(p *Params) {
+			p.SerialFrac, p.MaxDepDist = 0.42, 24
+		})})
+	add(Spec{Name: "g721 decode", Suite: "MediaBench", Window: "0-200M", Seed: 1008,
+		Base: with(kernel(6, 4, 16), func(p *Params) {
+			p.SerialFrac, p.MaxDepDist = 0.44, 24
+		})})
+	// gsm: needs the full 64KB 4-way instruction cache (paper Section 5:
+	// "similar performance for all configurations with a 64KB 4-Way
+	// instruction cache"); encode is a wash vs the synchronous design.
+	add(Spec{Name: "gsm encode", Suite: "MediaBench", Window: "0-200M", Seed: 1009,
+		Base: with(bigcode(76, 62, 32), func(p *Params) {
+			p.SerialFrac = 0.4
+		})})
+	add(Spec{Name: "gsm decode", Suite: "MediaBench", Window: "0-74M", Seed: 1010,
+		Base: with(bigcode(66, 58, 24), func(p *Params) {
+			p.SerialFrac = 0.36
+		})})
+	// ghostscript: performs well whenever the I-cache exceeds 32KB; a
+	// slight Program-Adaptive loss in the paper (-1.8%).
+	add(Spec{Name: "ghostscript", Suite: "MediaBench", Window: "0-200M", Seed: 1011,
+		Base: with(bigcode(96, 56, 256), func(p *Params) {
+			p.ExcursionP = 0.08
+			p.HotDataFrac = 0.5
+		})})
+	// mesa mipmap: the paper's largest Program-Adaptive loss among
+	// MediaBench (-4.9%): big, conflict-light instruction footprint.
+	add(Spec{Name: "mesa mipmap", Suite: "MediaBench", Window: "44.7M", Seed: 1012,
+		Base: with(bigcode(62, 58, 128), func(p *Params) {
+			p.FPFrac = 0.3
+		})})
+	add(Spec{Name: "mesa osdemo", Suite: "MediaBench", Window: "7.6M", Seed: 1013,
+		Base: with(bigcode(48, 46, 144), func(p *Params) {
+			p.FPFrac = 0.35
+			p.SerialFrac, p.MaxDepDist = 0.3, 32
+		})})
+	add(Spec{Name: "mesa texgen", Suite: "MediaBench", Window: "75.8M", Seed: 1014,
+		Base: with(bigcode(50, 48, 208), func(p *Params) {
+			p.FPFrac = 0.35
+			p.SerialFrac, p.MaxDepDist = 0.26, 36
+		})})
+	// mpeg2 encode: small kernel, streaming, very high ILP -> smallest
+	// configuration at the highest clock (paper Section 5).
+	add(Spec{Name: "mpeg2 encode", Suite: "MediaBench", Window: "0-171M", Seed: 1015,
+		Base: with(kernel(12, 6, 96), func(p *Params) {
+			p.SerialFrac, p.MaxDepDist = 0.18, 48
+			p.StrideFrac = 0.75
+		})})
+	add(Spec{Name: "mpeg2 decode", Suite: "MediaBench", Window: "0-200M", Seed: 1016,
+		Base: with(kernel(20, 11, 160), func(p *Params) {
+			p.SerialFrac, p.MaxDepDist = 0.24, 40
+			p.StrideFrac = 0.7
+		})})
+
+	// -----------------------------------------------------------------
+	// Olden (Table 7): pointer-intensive kernels; the memory-bound ones
+	// are the adaptive design's biggest wins.
+
+	add(Spec{Name: "bh", Suite: "Olden", Window: "0-200M", Seed: 2001,
+		Base: with(membound(384), func(p *Params) {
+			p.FPFrac = 0.22
+			p.HotDataFrac = 0.4
+		})})
+	add(Spec{Name: "bisort", Suite: "Olden", Window: "entire (127M)", Seed: 2002,
+		Base: with(membound(256), func(p *Params) {
+			p.SerialFrac = 0.4
+			p.HotDataFrac = 0.4
+		})})
+	// em3d: the paper's single largest win (+45/49%): irregular working
+	// set that only the upsized hierarchy can hold.
+	add(Spec{Name: "em3d", Suite: "Olden", Window: "70M-178M", Seed: 2003,
+		Base: with(membound(768), func(p *Params) {
+			p.SerialFrac, p.MaxDepDist = 0.5, 16
+			p.LoadFrac = 0.34
+		})})
+	add(Spec{Name: "health", Suite: "Olden", Window: "80M-127M", Seed: 2004,
+		Base: with(membound(400), func(p *Params) {
+			p.SerialFrac = 0.45
+		})})
+	// mst: periodic short bursts of cache conflicts; the phase controller
+	// flips configurations one interval too late (paper Section 5.1), so
+	// Phase-Adaptive trails Program-Adaptive here.
+	add(Spec{Name: "mst", Suite: "Olden", Window: "70M-170M", Seed: 2005,
+		Base: membound(448),
+		Phases: []Phase{
+			phase(24000, membound(448)),
+			phase(4000, with(membound(48), func(p *Params) {
+				p.StrideFrac, p.StackFrac = 0.05, 0
+				p.HotDataFrac = 0
+			})),
+		}})
+	add(Spec{Name: "perimeter", Suite: "Olden", Window: "0-200M", Seed: 2006,
+		Base: with(membound(384), func(p *Params) {
+			p.SerialFrac = 0.42
+			p.HotDataFrac = 0.35
+		})})
+	add(Spec{Name: "power", Suite: "Olden", Window: "0-200M", Seed: 2007,
+		Base: with(kernel(8, 5, 96), func(p *Params) {
+			p.FPFrac = 0.4
+			p.SerialFrac, p.MaxDepDist = 0.3, 32
+		})})
+	add(Spec{Name: "treeadd", Suite: "Olden", Window: "entire (189M)", Seed: 2008,
+		Base: with(membound(416), func(p *Params) {
+			p.CodeKB, p.HotKB = 4, 3
+			p.SerialFrac, p.MaxDepDist = 0.55, 12
+			p.HotDataFrac = 0.3
+		})})
+	add(Spec{Name: "tsp", Suite: "Olden", Window: "0-200M", Seed: 2009,
+		Base: with(membound(256), func(p *Params) {
+			p.FPFrac = 0.18
+			p.HotDataFrac = 0.45
+		})})
+
+	// -----------------------------------------------------------------
+	// SPEC2000 integer (Table 8).
+
+	// bzip2: moderate instruction appetite and high ILP at small queues;
+	// the synchronous design's free large I-cache makes this one of the
+	// paper's Program-Adaptive losses (-4.8%).
+	add(Spec{Name: "bzip2", Suite: "SPEC2000-Int", Window: "1000M-1100M", Seed: 3001,
+		Base: with(bigcode(28, 22, 192), func(p *Params) {
+			p.NoiseFrac = 0.22
+			p.SerialFrac, p.MaxDepDist = 0.25, 40
+			p.StrideFrac = 0.55
+		})})
+	add(Spec{Name: "crafty", Suite: "SPEC2000-Int", Window: "1000M-1100M", Seed: 3002,
+		Base: with(bigcode(64, 58, 128), func(p *Params) {
+			p.NoiseFrac = 0.16
+		})})
+	add(Spec{Name: "eon", Suite: "SPEC2000-Int", Window: "1000M-1100M", Seed: 3003,
+		Base: with(bigcode(60, 56, 64), func(p *Params) {
+			p.FPFrac = 0.25
+		})})
+	// gcc: one of the paper's biggest wins (+41/45%): both instruction
+	// and data working sets want the upsized configurations.
+	add(Spec{Name: "gcc", Suite: "SPEC2000-Int", Window: "2000M-2100M", Seed: 3004,
+		Base: with(bigcode(112, 54, 896), func(p *Params) {
+			p.ExcursionP = 0.1
+			p.StrideFrac, p.StackFrac = 0.3, 0.2
+			p.HotDataFrac = 0.35
+			p.SerialFrac = 0.4
+		})})
+	add(Spec{Name: "gzip", Suite: "SPEC2000-Int", Window: "1000M-1100M", Seed: 3005,
+		Base: with(kernel(10, 6, 160), func(p *Params) {
+			p.StrideFrac = 0.6
+			p.SerialFrac, p.MaxDepDist = 0.3, 32
+		})})
+	// parser: alternating dictionary-lookup and parse phases; the phase
+	// controller beats any single configuration.
+	add(Spec{Name: "parser", Suite: "SPEC2000-Int", Window: "1000M-1100M", Seed: 3006,
+		Base: bigcode(56, 50, 256),
+		Phases: []Phase{
+			phase(30000, with(bigcode(56, 50, 288), func(p *Params) {
+				p.StrideFrac = 0.25
+				p.HotDataFrac = 0.3
+				p.SerialFrac = 0.45
+			})),
+			phase(30000, with(bigcode(56, 44, 24), func(p *Params) {
+				p.StrideFrac = 0.5
+				p.SerialFrac, p.MaxDepDist = 0.22, 40
+			})),
+		}})
+	add(Spec{Name: "twolf", Suite: "SPEC2000-Int", Window: "1000M-1100M", Seed: 3007,
+		Base: bigcode(56, 52, 224),
+		Phases: []Phase{
+			phase(40000, with(bigcode(56, 52, 224), func(p *Params) {
+				p.StrideFrac = 0.25
+				p.HotDataFrac = 0.35
+				p.NoiseFrac = 0.14
+			})),
+			phase(25000, with(bigcode(56, 46, 32), func(p *Params) {
+				p.StrideFrac = 0.45
+				p.SerialFrac, p.MaxDepDist = 0.25, 36
+			})),
+		}})
+	// vortex: large instruction AND data footprints: a big adaptive win
+	// (+33%) from upsizing both hierarchies.
+	add(Spec{Name: "vortex", Suite: "SPEC2000-Int", Window: "1000M-1100M", Seed: 3008,
+		Base: with(bigcode(96, 56, 1088), func(p *Params) {
+			p.StrideFrac = 0.3
+			p.HotDataFrac = 0.3
+		})})
+	// vpr: the paper's worst Program-Adaptive loss (-6.6%): needs 64KB of
+	// I-cache capacity but not associativity, which the adaptive front
+	// end cannot offer without the 2-way/4-way frequency penalty.
+	add(Spec{Name: "vpr", Suite: "SPEC2000-Int", Window: "1000M-1100M", Seed: 3009,
+		Base: with(bigcode(68, 58, 96), func(p *Params) {
+			p.NoiseFrac = 0.12
+		})})
+
+	// -----------------------------------------------------------------
+	// SPEC2000 floating point (Table 8).
+
+	// apsi: strongly periodic data working-set phases (paper Figure 7a):
+	// the D/L2 pair oscillates between 32KB/256KB 1-way and 128KB/1MB
+	// 4-way; Program-Adaptive is slightly negative (-1.9%).
+	add(Spec{Name: "apsi", Suite: "SPEC2000-FP", Window: "1000M-1100M", Seed: 4001,
+		Base: fpstream(24, 12, 96),
+		Phases: []Phase{
+			phase(30000, with(fpstream(24, 12, 20), func(p *Params) {
+				p.StrideFrac = 0.7
+			})),
+			phase(30000, with(fpstream(24, 12, 112), func(p *Params) {
+				p.StrideFrac = 0.2
+				p.HotDataFrac = 0.2
+				p.SerialFrac = 0.42
+			})),
+		}})
+	// art: regular ILP phases cycling the integer issue queue through all
+	// four sizes (paper Figure 7b).
+	add(Spec{Name: "art", Suite: "SPEC2000-FP", Window: "300M-400M", Seed: 4002,
+		Base: fpstream(10, 6, 448),
+		Phases: []Phase{
+			phase(25000, with(fpstream(10, 6, 448), func(p *Params) {
+				p.StrideFrac = 0.35
+				p.HotDataFrac = 0.2
+				p.SerialFrac, p.MaxDepDist = 0.1, 56
+			})),
+			phase(25000, with(fpstream(10, 6, 448), func(p *Params) {
+				p.StrideFrac = 0.45
+				p.HotDataFrac = 0.2
+				p.SerialFrac, p.MaxDepDist = 0.55, 10
+			})),
+		}})
+	add(Spec{Name: "equake", Suite: "SPEC2000-FP", Window: "1000M-1100M", Seed: 4003,
+		Base: with(fpstream(16, 8, 416), func(p *Params) {
+			p.StrideFrac = 0.3
+			p.HotDataFrac = 0.25
+			p.SerialFrac = 0.45
+		})})
+	add(Spec{Name: "galgel", Suite: "SPEC2000-FP", Window: "1000M-1100M", Seed: 4004,
+		Base: with(fpstream(18, 9, 256), func(p *Params) {
+			p.FPFrac = 0.5
+			p.SerialFrac, p.MaxDepDist = 0.2, 48
+		})})
+	add(Spec{Name: "mesa", Suite: "SPEC2000-FP", Window: "1000M-1100M", Seed: 4005,
+		Base: with(bigcode(56, 52, 96), func(p *Params) {
+			p.FPFrac = 0.3
+			p.NoiseFrac = 0.06
+		})})
+	add(Spec{Name: "wupwise", Suite: "SPEC2000-FP", Window: "1000M-1100M", Seed: 4006,
+		Base: with(fpstream(14, 7, 384), func(p *Params) {
+			p.FPFrac = 0.5
+			p.StrideFrac = 0.5
+			p.SerialFrac, p.MaxDepDist = 0.3, 40
+		})})
+
+	return specs
+}
+
+// ByName finds a benchmark run in the suite.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names lists the suite's run names in order.
+func Names() []string {
+	suite := Suite()
+	out := make([]string, len(suite))
+	for i, s := range suite {
+		out[i] = s.Name
+	}
+	return out
+}
