@@ -1,0 +1,37 @@
+# Build/test/bench targets for the GALS reproduction. `make bench` emits
+# machine-readable results (go test -bench ... -benchmem | tee) so each PR
+# can track the perf trajectory against the committed PERFORMANCE.md table.
+
+GO       ?= go
+BENCH    ?= BenchmarkSimulator|BenchmarkTrace|BenchmarkAccountingCache|BenchmarkBranchPredictor
+COUNT    ?= 5
+BENCHOUT ?= BENCH_latest.txt
+
+.PHONY: all build test test-short vet bench bench-suite ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# Micro-benchmarks of the simulator's hot paths: fast enough to run on
+# every PR. Results land in $(BENCHOUT) for before/after comparison
+# (benchstat-compatible: COUNT=5 repetitions by default).
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) . | tee $(BENCHOUT)
+
+# The full Figure-6 pipeline benchmark (minutes of wall time): the headline
+# end-to-end number recorded in PERFORMANCE.md.
+bench-suite:
+	$(GO) test -run '^$$' -bench 'BenchmarkFigure6$$' -benchtime 1x . | tee BENCH_suite.txt
+
+ci: build vet test

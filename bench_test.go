@@ -209,6 +209,34 @@ func BenchmarkTraceGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceReplay measures the recorded-trace path the sweeps now run
+// on: one immutable recording per benchmark, replayed per configuration.
+func BenchmarkTraceReplay(b *testing.B) {
+	spec, _ := workload.ByName("gcc")
+	rec := spec.Record(1 << 16)
+	rp := rec.Replay()
+	var in isa.Inst
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rp.Count() == rec.Len() {
+			rp = rec.Replay() // stay inside the slab
+		}
+		rp.Next(&in)
+	}
+}
+
+// BenchmarkSimulatorPhaseAdaptiveRecorded is BenchmarkSimulatorPhaseAdaptive
+// on a recorded trace: the simulator cost with generation amortized away.
+func BenchmarkSimulatorPhaseAdaptiveRecorded(b *testing.B) {
+	spec, _ := workload.ByName("gcc")
+	rec := spec.Record(int64(b.N))
+	cfg := core.DefaultAdaptive(core.PhaseAdaptive)
+	cfg.PLLScale = 0.1
+	m := core.NewMachineSource(rec.Replay(), cfg)
+	b.ResetTimer()
+	m.Run(int64(b.N))
+}
+
 // BenchmarkAblationICacheSets probes the paper's Section 7 future-work
 // hypothesis: on vpr (64KB of I-capacity wanted, no associativity need —
 // the paper's worst Program-Adaptive loss), a sets-resized direct-mapped

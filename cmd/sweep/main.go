@@ -35,7 +35,12 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := sweep.Options{Window: *window, Workers: *workers, PLLScale: *pll}
+	opts := sweep.Options{Window: *window, Workers: *workers, PLLScale: *pll}.WithDefaults()
+	*window = opts.Window
+	// One shared recorded-trace pool: each benchmark's deterministic stream
+	// is generated once and replayed by every configuration run of all
+	// three sweep stages.
+	opts.Traces = workload.NewPool(opts.Window)
 	specs := workload.Suite()
 	if *only != "" {
 		s, ok := workload.ByName(*only)
@@ -61,6 +66,10 @@ func main() {
 	fmt.Printf("sync sweep: %d configs x %d benchmarks, window %d\n", len(syncCfgs), len(specs), *window)
 	syncTimes := sweep.Measure(specs, syncCfgs, opts)
 	bestSync := sweep.BestOverall(syncTimes)
+	if bestSync < 0 {
+		fmt.Fprintln(os.Stderr, "sweep: synchronous sweep produced no finite run times")
+		os.Exit(1)
+	}
 	fmt.Printf("best overall synchronous: %s  (%.1fs)\n", syncCfgs[bestSync].Label(), time.Since(start).Seconds())
 
 	// Show the ranking of the synchronous space (geomean run time relative
@@ -73,6 +82,10 @@ func main() {
 	for ci := range syncCfgs {
 		s := 0.0
 		for _, t := range syncTimes[ci] {
+			if t <= 0 { // no valid measurement: disqualify, as BestOverall does
+				s = math.Inf(1)
+				break
+			}
 			s += math.Log(float64(t))
 		}
 		rank = append(rank, ranked{ci, s})

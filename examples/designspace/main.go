@@ -22,8 +22,18 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Record the benchmark's deterministic stream once; every configuration
+	// below replays the same slab (bit-identical to live generation).
+	rec, err := gals.RecordWorkload(spec, *window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := func(cfg gals.Config) (*gals.Result, error) {
+		return gals.RunRecorded(rec, cfg, *window)
+	}
+
 	// Baseline: the best-overall fully synchronous machine.
-	syncRes, err := gals.Run(spec, gals.DefaultSynchronous(), *window)
+	syncRes, err := run(gals.DefaultSynchronous())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,7 +45,7 @@ func main() {
 	for dc := gals.DCacheConfig(0); dc < 4; dc++ {
 		cfg := gals.DefaultProgramAdaptive()
 		cfg.DCache = dc
-		r, err := gals.Run(spec, cfg, *window)
+		r, err := run(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -47,7 +57,7 @@ func main() {
 	for ic := gals.ICacheConfig(0); ic < 4; ic++ {
 		cfg := gals.DefaultProgramAdaptive()
 		cfg.ICache = ic
-		r, err := gals.Run(spec, cfg, *window)
+		r, err := run(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -59,7 +69,7 @@ func main() {
 	for _, iq := range []gals.IQSize{16, 32, 48, 64} {
 		cfg := gals.DefaultProgramAdaptive()
 		cfg.IntIQ = iq
-		r, err := gals.Run(spec, cfg, *window)
+		r, err := run(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -60,6 +60,48 @@ func TestExperimentRegistry(t *testing.T) {
 	}
 }
 
+// TestRecordedFacade exercises the recorded-trace facade: validation,
+// bit-identical replay, and pool sharing through SweepOptions.
+func TestRecordedFacade(t *testing.T) {
+	spec, _ := Workload("gzip")
+	if _, err := RecordWorkload(spec, 0); err == nil {
+		t.Error("zero-length recording accepted")
+	}
+	if _, err := NewTracePool(0); err == nil {
+		t.Error("zero-window pool accepted")
+	}
+	rec, err := RecordWorkload(spec, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunRecorded(rec, DefaultSynchronous(), 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	live, err := Run(spec, DefaultPhaseAdaptive(), 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := RunRecorded(rec, DefaultPhaseAdaptive(), 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.TimeFS != replay.TimeFS {
+		t.Errorf("replayed TimeFS %d != live %d", replay.TimeFS, live.TimeFS)
+	}
+	pool, err := NewTracePool(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, tt := ProgramAdaptiveSearch(spec, SweepOptions{Window: 2000, Traces: pool})
+	cfg2, tt2 := ProgramAdaptiveSearch(spec, SweepOptions{Window: 2000})
+	if tt != tt2 || cfg != cfg2 {
+		t.Errorf("pooled search (%v, %d) != pool-less search (%v, %d)", cfg, tt, cfg2, tt2)
+	}
+	if pool.Size() != 1 {
+		t.Errorf("pool holds %d recordings, want 1", pool.Size())
+	}
+}
+
 func TestImprovementMetric(t *testing.T) {
 	if got := Improvement(150, 100); got != 50 {
 		t.Errorf("Improvement = %v, want 50", got)

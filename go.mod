@@ -1,0 +1,3 @@
+module gals
+
+go 1.24

@@ -51,6 +51,10 @@ func (d Domain) String() string {
 // synchronization delay (Sjogren & Myers, as modeled by the MCD simulator).
 const SyncThreshold = 0.3
 
+// neverFast is a fastStart sentinel beyond any simulated time: assigning
+// it disables the jitter-free inline fast paths (used when jitter is on).
+const neverFast = timing.FS(1) << 62
+
 // epoch is a run of uniform clock periods starting at a known edge.
 type epoch struct {
 	start  timing.FS // time of edge 0 of this epoch
@@ -62,6 +66,21 @@ type epoch struct {
 type Clock struct {
 	domain Domain
 	epochs []epoch
+	// finalStart/finalPeriod/finalBase cache the final epoch (the one
+	// governing all future edges) so the hot query paths never rescan the
+	// epoch slice: every call at or after the last reconfiguration — the
+	// overwhelmingly common case — is answered from these scalars.
+	// fastStart equals finalStart when jitter is disabled and neverFast
+	// otherwise, folding the jitter test and the epoch test into one
+	// comparison so the fast paths stay within the inlining budget.
+	fastStart   timing.FS
+	finalStart  timing.FS
+	finalPeriod timing.FS
+	finalBase   uint64
+	// finalInv is 1/finalPeriod: the fast paths turn their period modulo
+	// into a float multiply plus an exact integer correction (finalRem),
+	// several times cheaper than a 64-bit divide on current hardware.
+	finalInv float64
 	// jitterFrac is the peak-to-peak jitter as a fraction of the period
 	// (0 disables jitter).
 	jitterFrac float64
@@ -78,28 +97,60 @@ func New(d Domain, period timing.FS, seed uint64, jitterFrac float64) *Clock {
 	if jitterFrac < 0 || jitterFrac > 0.05 {
 		panic(fmt.Sprintf("clock: jitter fraction %v out of range [0, 0.05]", jitterFrac))
 	}
-	return &Clock{
-		domain:     d,
-		epochs:     []epoch{{start: 0, period: period, base: 0}},
-		jitterFrac: jitterFrac,
-		seed:       seed ^ (uint64(d) * 0x9e3779b97f4a7c15),
+	c := &Clock{
+		domain:      d,
+		epochs:      []epoch{{start: 0, period: period, base: 0}},
+		finalStart:  0,
+		finalPeriod: period,
+		finalBase:   0,
+		jitterFrac:  jitterFrac,
+		seed:        seed ^ (uint64(d) * 0x9e3779b97f4a7c15),
 	}
+	if jitterFrac != 0 {
+		c.fastStart = neverFast
+	}
+	c.finalInv = 1 / float64(period)
+	return c
+}
+
+// finalRem returns d mod finalPeriod (for d >= 0) via the precomputed
+// reciprocal. The float quotient can be off by a few ulps, so the result is
+// corrected back into [0, period) with cheap, well-predicted loops.
+func (c *Clock) finalRem(d timing.FS) timing.FS {
+	q := timing.FS(float64(d) * c.finalInv)
+	r := d - q*c.finalPeriod
+	for r < 0 {
+		r += c.finalPeriod
+	}
+	for r >= c.finalPeriod {
+		r -= c.finalPeriod
+	}
+	return r
 }
 
 // Domain returns the domain this clock drives.
 func (c *Clock) Domain() Domain { return c.domain }
 
 // Period returns the clock period in effect at time t.
-func (c *Clock) Period(t timing.FS) timing.FS { return c.epochAt(t).period }
+func (c *Clock) Period(t timing.FS) timing.FS {
+	if t >= c.finalStart {
+		return c.finalPeriod
+	}
+	return c.epochAt(t).period
+}
 
 // CurrentPeriod returns the period of the most recent epoch (the one that
 // governs all future edges).
-func (c *Clock) CurrentPeriod() timing.FS { return c.epochs[len(c.epochs)-1].period }
+func (c *Clock) CurrentPeriod() timing.FS { return c.finalPeriod }
 
 // epochAt returns the epoch governing time t.
 func (c *Clock) epochAt(t timing.FS) epoch {
-	// Epochs are few (one per reconfiguration); scan from the back.
-	for i := len(c.epochs) - 1; i > 0; i-- {
+	if t >= c.finalStart {
+		return epoch{start: c.finalStart, period: c.finalPeriod, base: c.finalBase}
+	}
+	// Historical epochs are few (one per reconfiguration); scan from the
+	// back. Index len-1 is the final epoch, already excluded above.
+	for i := len(c.epochs) - 2; i > 0; i-- {
 		if c.epochs[i].start <= t {
 			return c.epochs[i]
 		}
@@ -129,7 +180,39 @@ func (c *Clock) edgeTime(e epoch, n uint64) timing.FS {
 }
 
 // EdgeAtOrAfter returns the time of the first clock edge at or after t.
+// With jitter disabled (the default) this is pure integer arithmetic: no
+// hash, no probe loop, and — in the common case of t at or after the last
+// reconfiguration — no epoch scan either. The common case is kept small
+// enough to inline into the pipeline's hot loops.
 func (c *Clock) EdgeAtOrAfter(t timing.FS) timing.FS {
+	if t >= c.fastStart {
+		if r := c.finalRem(t - c.fastStart); r != 0 {
+			return t + c.finalPeriod - r
+		}
+		return t
+	}
+	return c.edgeAtOrAfterRare(t)
+}
+
+// edgeAtOrAfterRare handles jittered clocks and jitter-free queries into
+// historical epochs (between a reconfiguration decision and its PLL lock).
+func (c *Clock) edgeAtOrAfterRare(t timing.FS) timing.FS {
+	if c.jitterFrac != 0 {
+		return c.edgeAtOrAfterSlow(t)
+	}
+	e := c.epochAt(t)
+	if t <= e.start {
+		return e.start
+	}
+	if r := (t - e.start) % e.period; r != 0 {
+		return t + e.period - r
+	}
+	return t
+}
+
+// edgeAtOrAfterSlow is the jittered path: locate the governing epoch, then
+// probe around the nominal edge index for the first jittered edge >= t.
+func (c *Clock) edgeAtOrAfterSlow(t timing.FS) timing.FS {
 	e := c.epochAt(t)
 	if t <= e.start {
 		return c.edgeTime(e, 0)
@@ -149,24 +232,88 @@ func (c *Clock) EdgeAtOrAfter(t timing.FS) timing.FS {
 }
 
 // NextEdge returns the time of the first clock edge strictly after t.
-func (c *Clock) NextEdge(t timing.FS) timing.FS { return c.EdgeAtOrAfter(t + 1) }
+func (c *Clock) NextEdge(t timing.FS) timing.FS {
+	if t >= c.fastStart {
+		return t + c.finalPeriod - c.finalRem(t-c.fastStart)
+	}
+	return c.edgeAtOrAfterRare(t + 1)
+}
 
 // After returns the time of the edge n cycles after the first edge at or
 // after t. After(t, 0) == EdgeAtOrAfter(t). It is the primary primitive for
-// charging an n-cycle latency that begins at time t.
+// charging an n-cycle latency that begins at time t. Negative n panics.
 func (c *Clock) After(t timing.FS, n int) timing.FS {
+	if t >= c.fastStart && n >= 0 {
+		r := c.finalRem(t - c.fastStart)
+		if r != 0 {
+			r = c.finalPeriod - r
+		}
+		return t + r + timing.FS(n)*c.finalPeriod
+	}
+	return c.afterRare(t, n)
+}
+
+// afterRare handles negative n (panics), jittered clocks, and jitter-free
+// starts inside historical epochs.
+func (c *Clock) afterRare(t timing.FS, n int) timing.FS {
 	if n < 0 {
 		panic("clock: negative cycle count")
 	}
+	if c.jitterFrac != 0 {
+		return c.afterSlow(t, n)
+	}
+	return c.afterHistorical(t, n)
+}
+
+// afterHistorical charges n jitter-free cycles starting inside a historical
+// epoch (between a reconfiguration decision and its PLL lock completion),
+// walking epoch boundaries analytically. Each epoch's start lies on its
+// predecessor's edge grid (SetPeriodAt places it with EdgeAtOrAfter), so
+// the per-epoch cycle count is an exact division.
+func (c *Clock) afterHistorical(t timing.FS, n int) timing.FS {
+	i := c.epochIndexAt(t)
+	e := c.epochs[i]
+	tt := e.start
+	if t > e.start {
+		tt = t
+		if r := (t - e.start) % e.period; r != 0 {
+			tt += e.period - r
+		}
+	}
+	for n > 0 && i < len(c.epochs)-1 {
+		next := c.epochs[i+1].start
+		k := int((next - tt) / c.epochs[i].period)
+		if n <= k {
+			return tt + timing.FS(n)*c.epochs[i].period
+		}
+		n -= k
+		tt = next
+		i++
+	}
+	return tt + timing.FS(n)*c.epochs[i].period
+}
+
+// epochIndexAt returns the index of the epoch governing time t.
+func (c *Clock) epochIndexAt(t timing.FS) int {
+	for i := len(c.epochs) - 1; i > 0; i-- {
+		if c.epochs[i].start <= t {
+			return i
+		}
+	}
+	return 0
+}
+
+// afterSlow is the jittered path of After.
+func (c *Clock) afterSlow(t timing.FS, n int) timing.FS {
 	tt := c.EdgeAtOrAfter(t)
 	for n > 0 {
-		last := c.epochs[len(c.epochs)-1]
-		if tt >= last.start {
+		if tt >= c.finalStart {
 			// Entirely inside the final epoch: jump analytically. The
 			// index of tt within the epoch is recovered by rounding
 			// (jitter is a small fraction of the period).
-			k := uint64((tt - last.start + last.period/2) / last.period)
-			return c.edgeTime(last, k+uint64(n))
+			k := uint64((tt - c.finalStart + c.finalPeriod/2) / c.finalPeriod)
+			e := epoch{start: c.finalStart, period: c.finalPeriod, base: c.finalBase}
+			return c.edgeTime(e, k+uint64(n))
 		}
 		// Near a historical epoch boundary (rare: only right around a
 		// reconfiguration): step edge by edge.
@@ -196,6 +343,13 @@ func (c *Clock) SetPeriodAt(t timing.FS, period timing.FS) {
 		elapsed = uint64((start - last.start + last.period - 1) / last.period)
 	}
 	c.epochs = append(c.epochs, epoch{start: start, period: period, base: last.base + elapsed})
+	c.finalStart = start
+	c.finalPeriod = period
+	c.finalBase = last.base + elapsed
+	c.finalInv = 1 / float64(period)
+	if c.jitterFrac == 0 {
+		c.fastStart = start
+	}
 }
 
 // Align returns the first consumer edge at which a value produced at tp in

@@ -168,6 +168,97 @@ func TestPLLLockDistribution(t *testing.T) {
 	}
 }
 
+// multiEpoch builds a jitter-free clock with several reconfigurations, so
+// queries exercise both the cached-final-epoch fast path and the historical
+// scan.
+func multiEpoch(jitterFrac float64) *Clock {
+	c := New(LoadStore, timing.PeriodFS(1790), 11, jitterFrac)
+	c.SetPeriodAt(40_000_000, timing.PeriodFS(1024))
+	c.SetPeriodAt(90_000_000, timing.PeriodFS(1560))
+	c.SetPeriodAt(200_000_000, timing.PeriodFS(890))
+	return c
+}
+
+// TestFastSlowPathEquivalence proves the jitter-free integer fast paths of
+// EdgeAtOrAfter/NextEdge/After agree with the generic probe-loop slow path
+// on every query, across epochs.
+func TestFastSlowPathEquivalence(t *testing.T) {
+	c := multiEpoch(0)
+	check := func(tt timing.FS, n int) bool {
+		if c.EdgeAtOrAfter(tt) != c.edgeAtOrAfterSlow(tt) {
+			t.Logf("EdgeAtOrAfter(%d): fast %d, slow %d", tt, c.EdgeAtOrAfter(tt), c.edgeAtOrAfterSlow(tt))
+			return false
+		}
+		if c.NextEdge(tt) != c.edgeAtOrAfterSlow(tt+1) {
+			return false
+		}
+		if c.After(tt, n) != c.afterSlow(tt, n) {
+			t.Logf("After(%d, %d): fast %d, slow %d", tt, n, c.After(tt, n), c.afterSlow(tt, n))
+			return false
+		}
+		return true
+	}
+	f := func(raw uint32, cycles uint16) bool {
+		n := int(cycles % 600) // enough cycles to cross several epochs
+		// Concentrate on the historical epochs and their boundaries
+		// (0..250M fs) and also sample deep into the final epoch.
+		return check(timing.FS(raw%250_000_000), n) && check(timing.FS(raw)*3, n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Pin down the boundaries themselves.
+	for _, b := range []timing.FS{0, 39_999_999, 40_000_000, 40_000_001, 89_999_999, 90_000_000, 200_000_000, 200_000_001} {
+		for _, n := range []int{0, 1, 2, 1000, 1_000_000} {
+			if !check(b, n) {
+				t.Fatalf("fast/slow divergence at boundary t=%d n=%d", b, n)
+			}
+		}
+	}
+}
+
+// TestVanishingJitterEquivalence drives the jittered path with a jitter
+// fraction small enough that every offset truncates to zero femtoseconds:
+// the jittered edges must coincide with the jitter-free fast path's
+// (fast path vs. jittered path at jitterFrac -> 0).
+func TestVanishingJitterEquivalence(t *testing.T) {
+	fast := multiEpoch(0)
+	slow := multiEpoch(1e-12) // jitter < 1 fs at any modeled period
+	f := func(raw uint32, cycles uint8) bool {
+		n := int(cycles % 40)
+		for _, tt := range []timing.FS{timing.FS(raw % 250_000_000), timing.FS(raw) * 3} {
+			if fast.EdgeAtOrAfter(tt) != slow.EdgeAtOrAfter(tt) ||
+				fast.NextEdge(tt) != slow.NextEdge(tt) ||
+				fast.After(tt, n) != slow.After(tt, n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFinalEpochCacheCoherent checks the cached final epoch tracks
+// SetPeriodAt and never diverges from the epoch slice.
+func TestFinalEpochCacheCoherent(t *testing.T) {
+	c := multiEpoch(0)
+	last := c.epochs[len(c.epochs)-1]
+	if c.finalStart != last.start || c.finalPeriod != last.period || c.finalBase != last.base {
+		t.Fatalf("final-epoch cache (%d,%d,%d) != last epoch (%d,%d,%d)",
+			c.finalStart, c.finalPeriod, c.finalBase, last.start, last.period, last.base)
+	}
+	if got := c.CurrentPeriod(); got != last.period {
+		t.Errorf("CurrentPeriod = %d, want %d", got, last.period)
+	}
+	// A no-op period change must not disturb the cache.
+	c.SetPeriodAt(300_000_000, last.period)
+	if c.finalPeriod != last.period || c.finalStart != last.start {
+		t.Error("no-op SetPeriodAt disturbed the final-epoch cache")
+	}
+}
+
 func TestDomainString(t *testing.T) {
 	names := map[Domain]string{
 		FrontEnd: "front-end", Integer: "integer", FloatingPoint: "floating-point",

@@ -213,7 +213,15 @@ func (m *Machine) iqDecide(now timing.FS) {
 }
 
 // RunWorkload builds a machine for spec and cfg and runs a window of n
-// instructions.
+// instructions on a live trace.
 func RunWorkload(spec workload.Spec, cfg Config, n int64) *Result {
 	return NewMachine(spec, cfg).Run(n)
+}
+
+// RunSource builds a machine for cfg over an existing instruction source (a
+// live trace or a recorded replay) and runs a window of n instructions.
+// Replaying a recording produces a Result bit-identical to RunWorkload on
+// the same spec and configuration.
+func RunSource(src InstSource, cfg Config, n int64) *Result {
+	return NewMachineSource(src, cfg).Run(n)
 }

@@ -4,6 +4,7 @@ import (
 	"gals/internal/bpred"
 	"gals/internal/cache"
 	"gals/internal/clock"
+	"gals/internal/isa"
 	"gals/internal/mem"
 	"gals/internal/queue"
 	"gals/internal/timing"
@@ -14,9 +15,16 @@ import (
 // may claim a slot only after the instruction n slots earlier released its
 // slot. push records a release time; floor(n) returns the release time of
 // the n-th most recent push (or 0 when fewer than n pushes have happened).
+//
+// The ring position is maintained with a compare-and-wrap instead of a
+// modulo: push/floor run tens of times per simulated instruction and the
+// int64 divisions dominated the simulator's profile. Unpushed slots hold
+// the zero value, which floor naturally reports as "no constraint", so no
+// separate fill counter is needed. floor requires 0 < n <= capacity (every
+// call site passes a structure capacity bounded by the window's).
 type window struct {
-	buf []timing.FS
-	seq int64
+	buf  []timing.FS
+	head int // next write position
 }
 
 func newWindow(capacity int) *window {
@@ -24,15 +32,21 @@ func newWindow(capacity int) *window {
 }
 
 func (w *window) push(t timing.FS) {
-	w.buf[w.seq%int64(len(w.buf))] = t
-	w.seq++
+	h := w.head
+	w.buf[h] = t
+	h++
+	if h == len(w.buf) {
+		h = 0
+	}
+	w.head = h
 }
 
 func (w *window) floor(n int) timing.FS {
-	if n <= 0 || w.seq < int64(n) {
-		return 0
+	i := w.head - n
+	if i < 0 {
+		i += len(w.buf)
 	}
-	return w.buf[(w.seq-int64(n))%int64(len(w.buf))]
+	return w.buf[i]
 }
 
 // fuPool models a set of identical functional units.
@@ -91,11 +105,24 @@ type ReconfigEvent struct {
 	Index int
 }
 
-// Machine is one configured processor instance bound to one workload trace.
-// Create with NewMachine, drive with Run.
+// InstSource is a stream of dynamic instructions: either a live generator
+// (*workload.Trace) or a recorded replay (*workload.Replay). The simulator
+// is source-agnostic — a recording replays bit-identically to live
+// generation, so sweeps share one immutable recording per benchmark across
+// all configuration runs.
+type InstSource interface {
+	// Next fills in with the next dynamic instruction.
+	Next(in *isa.Inst)
+	// Spec returns the benchmark description.
+	Spec() workload.Spec
+}
+
+// Machine is one configured processor instance bound to one workload
+// instruction source. Create with NewMachine or NewMachineSource, drive
+// with Run.
 type Machine struct {
 	cfg   Config
-	trace *workload.Trace
+	trace InstSource
 
 	clocks [clock.NumDomains]*clock.Clock
 	pll    *clock.PLL
@@ -228,14 +255,22 @@ func (r *Result) IPnsec() float64 {
 	return float64(r.Stats.Instructions) / (float64(r.TimeFS) / float64(timing.FemtosPerNano))
 }
 
-// NewMachine builds a machine for cfg bound to a fresh trace of spec.
+// NewMachine builds a machine for cfg bound to a fresh live trace of spec.
 func NewMachine(spec workload.Spec, cfg Config) *Machine {
+	return NewMachineSource(spec.NewTrace(), cfg)
+}
+
+// NewMachineSource builds a machine for cfg bound to an existing
+// instruction source (a live trace or a recorded replay). The source must
+// be positioned at the start of the stream and must not be shared with
+// another machine.
+func NewMachineSource(src InstSource, cfg Config) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	m := &Machine{
 		cfg:   cfg,
-		trace: spec.NewTrace(),
+		trace: src,
 		memc:  mem.New(),
 		pll:   clock.NewPLL(cfg.Seed ^ 0x9e37),
 		iCfg:  cfg.ICache,
@@ -338,8 +373,8 @@ func NewMachine(spec workload.Spec, cfg Config) *Machine {
 // ways in the physically 8-way adaptive caches.
 func dcacheWaysA(c timing.DCacheConfig) int { return c.Spec().Assoc }
 
-// Trace returns the bound workload trace.
-func (m *Machine) Trace() *workload.Trace { return m.trace }
+// Source returns the bound instruction source.
+func (m *Machine) Source() InstSource { return m.trace }
 
 // Clock returns a domain clock (for tests).
 func (m *Machine) Clock(d clock.Domain) *clock.Clock { return m.clocks[d] }

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"gals/internal/workload"
+)
+
+// TestRecordedRunsBitIdentical verifies that replaying a recorded trace
+// produces a Result bit-identical to running the live generator, across
+// three workloads and all three machine modes (the sweeps rely on this to
+// share one recording per benchmark).
+func TestRecordedRunsBitIdentical(t *testing.T) {
+	const window = 6000
+	configs := map[string]Config{
+		"synchronous":      DefaultSync(),
+		"program-adaptive": DefaultAdaptive(ProgramAdaptive),
+		"phase-adaptive": func() Config {
+			c := DefaultAdaptive(PhaseAdaptive)
+			c.PLLScale = 0.1
+			return c
+		}(),
+	}
+	for _, name := range []string{"gcc", "em3d", "apsi"} {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("missing benchmark %q", name)
+		}
+		rec := spec.Record(window)
+		for mode, cfg := range configs {
+			live := RunWorkload(spec, cfg, window)
+			replay := RunSource(rec.Replay(), cfg, window)
+			if live.TimeFS != replay.TimeFS {
+				t.Errorf("%s/%s: TimeFS live %d != replay %d", name, mode, live.TimeFS, replay.TimeFS)
+			}
+			if !reflect.DeepEqual(live, replay) {
+				t.Errorf("%s/%s: results differ beyond TimeFS", name, mode)
+			}
+		}
+	}
+}
+
+// TestRunSourceSharedRecordingConcurrent replays one recording from many
+// goroutines at once; every run must agree (the recording is immutable).
+func TestRunSourceSharedRecordingConcurrent(t *testing.T) {
+	const window = 3000
+	spec, _ := workload.ByName("gcc")
+	rec := spec.Record(window)
+	cfg := DefaultAdaptive(ProgramAdaptive)
+	want := RunSource(rec.Replay(), cfg, window).TimeFS
+	const workers = 8
+	got := make(chan int64, workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			got <- int64(RunSource(rec.Replay(), cfg, window).TimeFS)
+		}()
+	}
+	for i := 0; i < workers; i++ {
+		if g := <-got; g != int64(want) {
+			t.Fatalf("concurrent replay run %d: TimeFS %d, want %d", i, g, want)
+		}
+	}
+}

@@ -75,6 +75,69 @@ func TestFigure7SmallWindow(t *testing.T) {
 	}
 }
 
+// TestSuiteMemoization verifies the evaluation pipeline is memoized per
+// normalized Options: after figure6 runs the sweep once, table9 and
+// figure7 with identical Options are served from the memo without
+// re-running the synchronous sweep or the Program-Adaptive searches.
+func TestSuiteMemoization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep pipeline in -short mode")
+	}
+	o := Options{Window: 1_500, PLLScale: 0.1, Seed: 42}
+	before := SuiteComputations()
+	f6, err := Run("figure6", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after6 := SuiteComputations()
+	if after6 != before+1 {
+		t.Fatalf("figure6 ran the pipeline %d times, want 1", after6-before)
+	}
+	t9, err := Run("table9", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7, err := Run("figure7", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSuite(o); err != nil {
+		t.Fatal(err)
+	}
+	// Workers-only and zero-field variants hit the same memo entry.
+	alt := o
+	alt.Workers = 2
+	if _, err := RunSuite(alt); err != nil {
+		t.Fatal(err)
+	}
+	if got := SuiteComputations(); got != after6 {
+		t.Fatalf("table9/figure7/RunSuite re-ran the pipeline (%d extra computations)", got-after6)
+	}
+	if len(f6.Rows) != 40 || len(t9.Rows) != 4 || len(f7.Rows) == 0 {
+		t.Errorf("memoized tables malformed: %d/%d/%d rows", len(f6.Rows), len(t9.Rows), len(f7.Rows))
+	}
+}
+
+// TestMemoKeyNormalization: zero-valued fields resolve to the defaults, and
+// parallelism never splits the memo.
+func TestMemoKeyNormalization(t *testing.T) {
+	def := DefaultOptions()
+	zero := Options{}
+	if zero.memoKey() != def.memoKey() {
+		t.Errorf("zero Options normalize to %+v, want %+v", zero.memoKey(), def.memoKey())
+	}
+	w := def
+	w.Workers = 7
+	if w.memoKey() != def.memoKey() {
+		t.Error("Workers should not affect the memo key")
+	}
+	j := def
+	j.JitterFrac = 0.01
+	if j.memoKey() == def.memoKey() {
+		t.Error("JitterFrac must affect the memo key")
+	}
+}
+
 // TestSuitePipelineSmall runs the full Figure-6 pipeline at a tiny window:
 // it validates plumbing (and Table 9 derivation), not calibration.
 func TestSuitePipelineSmall(t *testing.T) {

@@ -33,10 +33,19 @@ type Options struct {
 	JitterFrac float64
 	// PLLScale scales PLL lock times (see core.Config).
 	PLLScale float64
+	// Traces optionally shares recorded instruction streams across sweeps:
+	// each benchmark is generated once into an immutable slab and replayed
+	// by every configuration run. When nil (or when the pool's window is
+	// shorter than Window), Measure and PhaseResults build a private pool,
+	// so per-run trace regeneration is avoided either way; pass a pool to
+	// also share recordings between separate sweep calls.
+	Traces *workload.Pool
 }
 
-// Defaults fills in zero fields.
-func (o Options) withDefaults() Options {
+// WithDefaults fills in zero fields: Window 30,000, Workers GOMAXPROCS,
+// Seed 42, PLLScale 0.1. It is the single source of truth for sweep
+// defaults; experiment's memo key derives from it.
+func (o Options) WithDefaults() Options {
 	if o.Window <= 0 {
 		o.Window = 30_000
 	}
@@ -50,6 +59,15 @@ func (o Options) withDefaults() Options {
 		o.PLLScale = 0.1
 	}
 	return o
+}
+
+// pool returns the recorded-trace pool to run from: the caller-provided one
+// when it covers the window, otherwise a private pool sized to the window.
+func (o Options) pool() *workload.Pool {
+	if o.Traces.Window() >= o.Window {
+		return o.Traces
+	}
+	return workload.NewPool(o.Window)
 }
 
 func (o Options) apply(cfg core.Config) core.Config {
@@ -96,9 +114,12 @@ func AdaptiveSpace() []core.Config {
 }
 
 // Measure runs every configuration on every benchmark and returns the run
-// times in femtoseconds, indexed [config][benchmark].
+// times in femtoseconds, indexed [config][benchmark]. Each benchmark's
+// deterministic trace is recorded once (in Options.Traces when provided)
+// and replayed by all configuration runs concurrently.
 func Measure(specs []workload.Spec, cfgs []core.Config, o Options) [][]timing.FS {
-	o = o.withDefaults()
+	o = o.WithDefaults()
+	pool := o.pool()
 	times := make([][]timing.FS, len(cfgs))
 	for i := range times {
 		times[i] = make([]timing.FS, len(specs))
@@ -112,7 +133,8 @@ func Measure(specs []workload.Spec, cfgs []core.Config, o Options) [][]timing.FS
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				res := core.RunWorkload(specs[j.si], o.apply(cfgs[j.ci]), o.Window)
+				src := pool.Get(specs[j.si]).Replay()
+				res := core.RunSource(src, o.apply(cfgs[j.ci]), o.Window)
 				times[j.ci][j.si] = res.TimeFS
 			}
 		}()
@@ -129,14 +151,17 @@ func Measure(specs []workload.Spec, cfgs []core.Config, o Options) [][]timing.FS
 
 // BestOverall picks the configuration with the best (lowest) geometric-mean
 // run time across all benchmarks — the paper's "best overall" machine.
+// Configurations with any zero or negative run time (a failed or empty run)
+// score +Inf and can never win; it returns -1 when times is empty or no
+// configuration has a finite score.
 func BestOverall(times [][]timing.FS) int {
-	best, bestScore := 0, 0.0
+	best, bestScore := -1, math.Inf(1)
 	for ci, row := range times {
 		score := 0.0
 		for _, t := range row {
 			score += logFS(t)
 		}
-		if ci == 0 || score < bestScore {
+		if score < bestScore {
 			best, bestScore = ci, score
 		}
 	}
@@ -162,14 +187,22 @@ func BestPerApp(times [][]timing.FS) []int {
 }
 
 // logFS is a natural log over femtosecond times, used for geometric means.
+// Zero or negative times (no valid measurement) map to +Inf so that
+// math.Log(0) = -Inf can never silently win a lowest-geomean comparison.
 func logFS(t timing.FS) float64 {
+	if t <= 0 {
+		return math.Inf(1)
+	}
 	return math.Log(float64(t))
 }
 
 // PhaseResults runs the Phase-Adaptive machine (base configuration,
-// controllers on) on every benchmark.
+// controllers on) on every benchmark, replaying shared recorded traces.
+// Reconfiguration events are always recorded so downstream consumers
+// (Figure 7 traces) can reuse these results instead of re-running.
 func PhaseResults(specs []workload.Spec, o Options) []*core.Result {
-	o = o.withDefaults()
+	o = o.WithDefaults()
+	pool := o.pool()
 	out := make([]*core.Result, len(specs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, o.Workers)
@@ -180,7 +213,8 @@ func PhaseResults(specs []workload.Spec, o Options) []*core.Result {
 			defer wg.Done()
 			defer func() { <-sem }()
 			cfg := o.apply(core.DefaultAdaptive(core.PhaseAdaptive))
-			out[i] = core.RunWorkload(specs[i], cfg, o.Window)
+			cfg.RecordTrace = true
+			out[i] = core.RunSource(pool.Get(specs[i]).Replay(), cfg, o.Window)
 		}(i)
 	}
 	wg.Wait()

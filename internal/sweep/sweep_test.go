@@ -54,6 +54,89 @@ func TestBestOverallAndPerApp(t *testing.T) {
 	}
 }
 
+// TestBestOverallZeroTimeGuard: a zero (or negative) run time means "no
+// valid measurement" and must never win the geometric-mean comparison —
+// math.Log(0) = -Inf would otherwise make the broken config look infinitely
+// fast.
+func TestBestOverallZeroTimeGuard(t *testing.T) {
+	times := [][]timing.FS{
+		{100, 0, 900}, // one failed run: whole config disqualified
+		{300, 300, 300},
+		{500, -7, 800}, // negative time likewise
+	}
+	if got := BestOverall(times); got != 1 {
+		t.Errorf("BestOverall with zero/negative times = %d, want 1", got)
+	}
+	// Empty input and all-invalid input return -1, not a bogus winner.
+	if got := BestOverall(nil); got != -1 {
+		t.Errorf("BestOverall(nil) = %d, want -1", got)
+	}
+	if got := BestOverall([][]timing.FS{}); got != -1 {
+		t.Errorf("BestOverall(empty) = %d, want -1", got)
+	}
+	if got := BestOverall([][]timing.FS{{0}, {0, 0}}); got != -1 {
+		t.Errorf("BestOverall(all-invalid) = %d, want -1", got)
+	}
+	// Sanity: a single valid config wins.
+	if got := BestOverall([][]timing.FS{{5}}); got != 0 {
+		t.Errorf("BestOverall(single) = %d, want 0", got)
+	}
+}
+
+// TestMeasureSharedPool threads one recorded-trace pool through two sweeps
+// and checks results match pool-less sweeps exactly.
+func TestMeasureSharedPool(t *testing.T) {
+	specs := workload.Suite()[:3]
+	cfgs := AdaptiveSpace()[:3]
+	pool := workload.NewPool(3000)
+	withPool := Options{Window: 3000, Traces: pool}
+	noPool := Options{Window: 3000}
+	a := Measure(specs, cfgs, withPool)
+	b := Measure(specs, cfgs, noPool)
+	for ci := range cfgs {
+		for si := range specs {
+			if a[ci][si] != b[ci][si] {
+				t.Fatalf("pooled sweep diverges at [%d][%d]: %d vs %d", ci, si, a[ci][si], b[ci][si])
+			}
+		}
+	}
+	if pool.Size() != len(specs) {
+		t.Errorf("pool recorded %d benchmarks, want %d", pool.Size(), len(specs))
+	}
+	// PhaseResults shares the same pool and matches its pool-less twin.
+	pa := PhaseResults(specs, withPool)
+	pb := PhaseResults(specs, noPool)
+	for i := range pa {
+		if pa[i].TimeFS != pb[i].TimeFS {
+			t.Fatalf("pooled PhaseResults diverges at %d", i)
+		}
+	}
+	// An undersized pool must not be used (replays would overrun); Measure
+	// falls back to a private pool of the right window.
+	small := workload.NewPool(10)
+	c := Measure(specs, cfgs, Options{Window: 3000, Traces: small})
+	for ci := range cfgs {
+		for si := range specs {
+			if c[ci][si] != b[ci][si] {
+				t.Fatalf("undersized-pool sweep diverges at [%d][%d]", ci, si)
+			}
+		}
+	}
+	if small.Size() != 0 {
+		t.Errorf("undersized pool was populated (%d entries)", small.Size())
+	}
+}
+
+// TestPhaseResultsRecordEvents: PhaseResults always records
+// reconfiguration events so Figure 7 can reuse suite runs.
+func TestPhaseResultsRecordEvents(t *testing.T) {
+	spec, _ := workload.ByName("apsi")
+	res := PhaseResults([]workload.Spec{spec}, Options{Window: 40_000})
+	if len(res[0].Stats.ReconfigEvents) == 0 {
+		t.Error("PhaseResults recorded no reconfiguration events on apsi")
+	}
+}
+
 func TestImprovement(t *testing.T) {
 	if got := Improvement(200, 100); got != 100 {
 		t.Errorf("Improvement(200,100) = %v, want +100%%", got)
@@ -73,7 +156,7 @@ func TestMeasureMatchesDirectRuns(t *testing.T) {
 	times := Measure(specs, cfgs, o)
 	for ci, cfg := range cfgs {
 		for si, spec := range specs {
-			want := core.RunWorkload(spec, o.withDefaults().apply(cfg), 5000).TimeFS
+			want := core.RunWorkload(spec, o.WithDefaults().apply(cfg), 5000).TimeFS
 			if times[ci][si] != want {
 				t.Errorf("Measure[%d][%d] = %d, direct run %d", ci, si, times[ci][si], want)
 			}

@@ -1,0 +1,143 @@
+// Recorded traces: a benchmark's deterministic instruction stream captured
+// once into an immutable slab and replayed by any number of concurrent
+// simulation runs. The design-space sweeps of paper Section 4 run every
+// configuration on the same dynamic instruction window, so regenerating the
+// stream per run (12,800-40,960 times per sweep) is pure waste; a Recording
+// amortizes the generation cost to once per benchmark.
+package workload
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"gals/internal/isa"
+)
+
+// Recording is an immutable recorded prefix of a benchmark's trace. It is
+// safe for concurrent use: every Replay carries its own cursor and only
+// reads the shared slab.
+type Recording struct {
+	spec  Spec
+	insts []isa.Inst
+}
+
+// Record captures the first n instructions of the benchmark's deterministic
+// stream. The result replays bit-identically to a live Trace.
+func (s Spec) Record(n int64) *Recording {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: non-positive recording length %d", n))
+	}
+	tr := s.NewTrace()
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		tr.Next(&insts[i])
+	}
+	return &Recording{spec: s, insts: insts}
+}
+
+// Spec returns the benchmark description.
+func (r *Recording) Spec() Spec { return r.spec }
+
+// Len returns the number of recorded instructions.
+func (r *Recording) Len() int64 { return int64(len(r.insts)) }
+
+// Replay returns a fresh cursor over the recording. Replays are cheap;
+// create one per simulation run.
+func (r *Recording) Replay() *Replay { return &Replay{rec: r} }
+
+// Replay streams a Recording from the beginning. Reading past the recorded
+// window falls back to live generation (the generator is deterministic, so
+// the continuation is exactly what a live Trace would have produced); the
+// fallback regenerates and discards the recorded prefix once, so size
+// recordings to the simulation window when that matters.
+type Replay struct {
+	rec  *Recording
+	pos  int64
+	tail *Trace
+}
+
+// Spec returns the benchmark description.
+func (p *Replay) Spec() Spec { return p.rec.spec }
+
+// Count returns the number of instructions replayed so far.
+func (p *Replay) Count() int64 { return p.pos }
+
+// Next fills in with the next dynamic instruction.
+func (p *Replay) Next(in *isa.Inst) {
+	if p.pos < int64(len(p.rec.insts)) {
+		*in = p.rec.insts[p.pos]
+		p.pos++
+		return
+	}
+	if p.tail == nil {
+		p.tail = p.rec.spec.NewTrace()
+		var skip isa.Inst
+		for i := int64(0); i < int64(len(p.rec.insts)); i++ {
+			p.tail.Next(&skip)
+		}
+	}
+	p.pos++
+	p.tail.Next(in)
+}
+
+// Pool shares recordings across concurrent simulation runs: each benchmark
+// is recorded at most once per pool, on first request. A nil *Pool reports
+// Window 0 and Size 0, so callers can treat "no pool" uniformly.
+type Pool struct {
+	window int64
+	mu     sync.Mutex
+	recs   map[string]*poolEntry
+}
+
+type poolEntry struct {
+	once sync.Once
+	rec  *Recording
+}
+
+// NewPool creates a pool whose recordings cover window instructions.
+func NewPool(window int64) *Pool {
+	if window <= 0 {
+		panic(fmt.Sprintf("workload: non-positive pool window %d", window))
+	}
+	return &Pool{window: window, recs: make(map[string]*poolEntry)}
+}
+
+// Window returns the recording length the pool was created with.
+func (p *Pool) Window() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.window
+}
+
+// Get returns the benchmark's shared recording, capturing it on first use.
+// Distinct benchmarks record concurrently; a benchmark already being
+// recorded blocks only its own requesters. Entries are keyed by Spec.Name;
+// if a different Spec arrives under a cached name (caller-constructed specs
+// colliding with the registry), Get falls back to a private, unshared
+// recording so results stay correct — at full recording cost per call.
+func (p *Pool) Get(s Spec) *Recording {
+	p.mu.Lock()
+	e := p.recs[s.Name]
+	if e == nil {
+		e = &poolEntry{}
+		p.recs[s.Name] = e
+	}
+	p.mu.Unlock()
+	e.once.Do(func() { e.rec = s.Record(p.window) })
+	if !reflect.DeepEqual(e.rec.spec, s) {
+		return s.Record(p.window)
+	}
+	return e.rec
+}
+
+// Size returns the number of benchmarks recorded so far.
+func (p *Pool) Size() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.recs)
+}

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+
+	"gals/internal/isa"
+)
+
+// TestRecordingMatchesLiveStream verifies a recording is instruction-for-
+// instruction identical to the live generator.
+func TestRecordingMatchesLiveStream(t *testing.T) {
+	for _, name := range []string{"gcc", "em3d", "apsi"} {
+		spec, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing benchmark %q", name)
+		}
+		const n = 5000
+		rec := spec.Record(n)
+		if rec.Len() != n {
+			t.Fatalf("%s: recorded %d instructions, want %d", name, rec.Len(), n)
+		}
+		live := spec.NewTrace()
+		rp := rec.Replay()
+		var a, b isa.Inst
+		for i := 0; i < n; i++ {
+			live.Next(&a)
+			rp.Next(&b)
+			if a != b {
+				t.Fatalf("%s: instruction %d differs: live %v, replay %v", name, i, a, b)
+			}
+		}
+	}
+}
+
+// TestReplayOverrunFallsBackToLive checks that reading past the recorded
+// window continues with exactly the instructions a live trace would have
+// produced.
+func TestReplayOverrunFallsBackToLive(t *testing.T) {
+	spec, _ := ByName("gcc")
+	const recorded, total = 1000, 2500
+	rp := spec.Record(recorded).Replay()
+	live := spec.NewTrace()
+	var a, b isa.Inst
+	for i := 0; i < total; i++ {
+		live.Next(&a)
+		rp.Next(&b)
+		if a != b {
+			t.Fatalf("instruction %d differs past recording end: live %v, replay %v", i, a, b)
+		}
+	}
+	if rp.Count() != total {
+		t.Errorf("Count = %d, want %d", rp.Count(), total)
+	}
+}
+
+// TestReplaysAreIndependent runs two replays of one recording interleaved.
+func TestReplaysAreIndependent(t *testing.T) {
+	spec, _ := ByName("art")
+	rec := spec.Record(100)
+	p1, p2 := rec.Replay(), rec.Replay()
+	var a, b isa.Inst
+	p1.Next(&a)
+	p1.Next(&a)
+	p2.Next(&b)
+	first := rec.insts[0]
+	if b != first {
+		t.Errorf("second replay did not start at instruction 0")
+	}
+	if p1.Count() != 2 || p2.Count() != 1 {
+		t.Errorf("cursor counts %d/%d, want 2/1", p1.Count(), p2.Count())
+	}
+}
+
+// TestPoolSharesOneRecording checks the pool records each benchmark once
+// and hands every requester the same slab, including under concurrency.
+func TestPoolSharesOneRecording(t *testing.T) {
+	spec, _ := ByName("gcc")
+	pool := NewPool(500)
+	if pool.Window() != 500 {
+		t.Fatalf("Window = %d, want 500", pool.Window())
+	}
+	first := pool.Get(spec)
+	const workers = 16
+	got := make([]*Recording, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = pool.Get(spec)
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range got {
+		if r != first {
+			t.Fatalf("requester %d got a different recording", i)
+		}
+	}
+	if pool.Size() != 1 {
+		t.Errorf("pool recorded %d benchmarks, want 1", pool.Size())
+	}
+}
+
+// TestPoolNameCollisionFallsBack: a caller-constructed Spec that reuses a
+// cached name but differs otherwise must not be served the cached slab.
+func TestPoolNameCollisionFallsBack(t *testing.T) {
+	orig, _ := ByName("gcc")
+	pool := NewPool(200)
+	shared := pool.Get(orig)
+	variant := orig
+	variant.Seed = orig.Seed + 999
+	private := pool.Get(variant)
+	if private == shared {
+		t.Fatal("colliding spec was served the cached recording")
+	}
+	// The fallback recording is the variant's own stream.
+	live := variant.NewTrace()
+	rp := private.Replay()
+	var a, b isa.Inst
+	for i := 0; i < 200; i++ {
+		live.Next(&a)
+		rp.Next(&b)
+		if a != b {
+			t.Fatalf("fallback recording differs from variant's live trace at %d", i)
+		}
+	}
+	// The original keeps hitting the shared slab.
+	if pool.Get(orig) != shared {
+		t.Error("original spec no longer shares its recording")
+	}
+}
+
+// TestNilPoolAccessors ensures the nil-pool conveniences hold.
+func TestNilPoolAccessors(t *testing.T) {
+	var p *Pool
+	if p.Window() != 0 || p.Size() != 0 {
+		t.Error("nil pool should report zero window and size")
+	}
+}
