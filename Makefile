@@ -7,7 +7,7 @@ BENCH    ?= BenchmarkSimulator|BenchmarkTrace|BenchmarkAccountingCache|Benchmark
 COUNT    ?= 5
 BENCHOUT ?= BENCH_latest.txt
 
-.PHONY: all build test test-short vet bench bench-suite ci
+.PHONY: all build test test-short race vet bench bench-suite ci
 
 all: build
 
@@ -19,6 +19,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-enabled run of the full test suite: the service, sweep and pool
+# layers are concurrent by design, so this is the gate CI enforces.
+race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -34,4 +39,4 @@ bench:
 bench-suite:
 	$(GO) test -run '^$$' -bench 'BenchmarkFigure6$$' -benchtime 1x . | tee BENCH_suite.txt
 
-ci: build vet test
+ci: build vet race

@@ -33,8 +33,28 @@ func main() {
 		workers = flag.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
 		full    = flag.Bool("full", false, "sweep all 1,024 synchronous configurations (paper scale)")
 		pll     = flag.Float64("pllscale", 0.1, "PLL lock-time scale")
+		cache   = flag.String("cache", "", "persistent result cache directory (repeated invocations become incremental)")
 	)
 	flag.Parse()
+
+	if *window <= 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -window must be positive, got %d\n", *window)
+		os.Exit(2)
+	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -workers must be >= 0, got %d\n", *workers)
+		os.Exit(2)
+	}
+	if !(*pll >= 0) { // negated form rejects NaN too
+		fmt.Fprintf(os.Stderr, "experiments: -pllscale must be >= 0, got %g\n", *pll)
+		os.Exit(2)
+	}
+	if *cache != "" {
+		if err := gals.UsePersistentCache(*cache); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
 
 	opts := gals.DefaultExperimentOptions()
 	opts.Window = *window

@@ -1,0 +1,93 @@
+// Command galsd serves the GALS simulator over HTTP/JSON: single runs,
+// batched runs, design-space sweeps and experiment regeneration, backed by
+// a bounded priority worker pool, singleflight deduplication of identical
+// concurrent requests, and a persistent on-disk result cache shared with
+// cmd/experiments and cmd/sweep.
+//
+// Usage:
+//
+//	galsd -addr :8347 -cache ~/.cache/gals
+//
+// Endpoints (see README.md for request bodies):
+//
+//	GET  /healthz
+//	GET  /v1/stats
+//	GET  /v1/workloads
+//	POST /v1/run
+//	POST /v1/batch
+//	POST /v1/sweep
+//	POST /v1/suite
+//	POST /v1/experiment
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"gals/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8347", "listen address")
+		cache   = flag.String("cache", defaultCacheDir(), "persistent result cache directory (empty disables)")
+		workers = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "pending-job queue bound (0 = 1024)")
+	)
+	flag.Parse()
+
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "galsd: -workers must be >= 0, got %d\n", *workers)
+		os.Exit(2)
+	}
+	if *queue < 0 {
+		fmt.Fprintf(os.Stderr, "galsd: -queue must be >= 0, got %d\n", *queue)
+		os.Exit(2)
+	}
+
+	svc, err := service.New(service.Config{CacheDir: *cache, Workers: *workers, QueueDepth: *queue})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galsd:", err)
+		os.Exit(1)
+	}
+	defer svc.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("galsd: listening on %s (cache %q)\n", *addr, *cache)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "galsd:", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Printf("galsd: %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+}
+
+// defaultCacheDir resolves the user cache directory, falling back to a
+// local directory when the environment doesn't define one.
+func defaultCacheDir() string {
+	if dir, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(dir, "gals")
+	}
+	return ".gals-cache"
+}

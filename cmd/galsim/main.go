@@ -47,6 +47,19 @@ func main() {
 		return
 	}
 
+	if *n <= 0 {
+		fmt.Fprintf(os.Stderr, "galsim: -n must be a positive instruction window, got %d\n", *n)
+		os.Exit(2)
+	}
+	if !(*jitter >= 0 && *jitter <= 0.05) { // negated forms reject NaN too
+		fmt.Fprintf(os.Stderr, "galsim: -jitter must be in [0, 0.05], got %g\n", *jitter)
+		os.Exit(2)
+	}
+	if !(*pll >= 0) {
+		fmt.Fprintf(os.Stderr, "galsim: -pllscale must be >= 0, got %g\n", *pll)
+		os.Exit(2)
+	}
+
 	spec, ok := workload.ByName(*bench)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "galsim: unknown benchmark %q (try -list)\n", *bench)

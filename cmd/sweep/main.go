@@ -19,7 +19,7 @@ import (
 	"sort"
 	"time"
 
-	"gals/internal/core"
+	"gals/internal/resultcache"
 	"gals/internal/sweep"
 	"gals/internal/timing"
 	"gals/internal/workload"
@@ -32,8 +32,30 @@ func main() {
 		pll     = flag.Float64("pllscale", 0.1, "PLL lock-time scale")
 		quick   = flag.Bool("quick", false, "prune the synchronous space to direct-mapped I-caches (5x faster)")
 		only    = flag.String("bench", "", "restrict to one benchmark (adaptive stages only)")
+		cache   = flag.String("cache", "", "persistent result cache directory (repeated sweeps become incremental)")
 	)
 	flag.Parse()
+
+	if *window <= 0 {
+		fmt.Fprintf(os.Stderr, "sweep: -window must be positive, got %d\n", *window)
+		os.Exit(2)
+	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "sweep: -workers must be >= 0, got %d\n", *workers)
+		os.Exit(2)
+	}
+	if !(*pll >= 0) { // negated form rejects NaN too
+		fmt.Fprintf(os.Stderr, "sweep: -pllscale must be >= 0, got %g\n", *pll)
+		os.Exit(2)
+	}
+	if *cache != "" {
+		c, err := resultcache.Open(*cache)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		sweep.SetPersist(c)
+	}
 
 	opts := sweep.Options{Window: *window, Workers: *workers, PLLScale: *pll}.WithDefaults()
 	*window = opts.Window
@@ -53,13 +75,7 @@ func main() {
 
 	syncCfgs := sweep.SyncSpace()
 	if *quick {
-		var pruned []core.Config
-		for _, c := range syncCfgs {
-			if c.SyncICache < 5 { // Table 3 rows 0-4 are the direct-mapped ones
-				pruned = append(pruned, c)
-			}
-		}
-		syncCfgs = pruned
+		syncCfgs = sweep.QuickSyncSpace()
 	}
 
 	start := time.Now()

@@ -38,6 +38,10 @@
 //   - Clock-edge arithmetic takes a pure-integer fast path whenever
 //     Config.JitterFrac is 0 (the default); enable jitter only when the
 //     run needs it.
+//   - UsePersistentCache() adds an on-disk result cache under all of the
+//     above, making repeated evaluations incremental across processes;
+//     cmd/galsd serves the same cache over HTTP with request
+//     deduplication and a priority-scheduled worker pool.
 package gals
 
 import (
@@ -45,6 +49,7 @@ import (
 
 	"gals/internal/core"
 	"gals/internal/experiment"
+	"gals/internal/resultcache"
 	"gals/internal/sweep"
 	"gals/internal/timing"
 	"gals/internal/workload"
@@ -190,6 +195,31 @@ func EvaluateSuite(o ExperimentOptions) (*SuiteResult, error) {
 // actually executed (rather than being served from the memo). Useful for
 // verifying that a sequence of experiments shared one sweep.
 func SuiteComputations() int64 { return experiment.SuiteComputations() }
+
+// UsePersistentCache installs an on-disk result cache at dir behind the
+// suite memo and the sweep measurement layer: EvaluateSuite, RunExperiment,
+// BestSynchronous and ProgramAdaptiveSearch then reload identical prior
+// work from disk instead of re-simulating, across processes. Entries are
+// keyed by the normalized request plus a schema version, so results can
+// never go stale — a version bump simply orphans old entries (see
+// README.md for the directory layout and invalidation rules). cmd/galsd
+// serves the same cache over HTTP.
+func UsePersistentCache(dir string) error {
+	c, err := resultcache.Open(dir)
+	if err != nil {
+		return err
+	}
+	experiment.SetSuitePersist(c)
+	sweep.SetPersist(c)
+	return nil
+}
+
+// DisablePersistentCache detaches any installed persistent result cache;
+// the process-local memo keeps working.
+func DisablePersistentCache() {
+	experiment.SetSuitePersist(nil)
+	sweep.SetPersist(nil)
+}
 
 // BestSynchronous sweeps the fully synchronous design space over the whole
 // suite and returns the best-overall configuration (paper Section 4). It

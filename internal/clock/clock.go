@@ -85,6 +85,9 @@ type Clock struct {
 	// (0 disables jitter).
 	jitterFrac float64
 	seed       uint64
+	// gen counts accepted reconfigurations; SyncPath uses it to detect
+	// that its cached per-pair threshold went stale.
+	gen uint64
 }
 
 // New creates a clock for domain d with the given initial period. seed
@@ -347,6 +350,7 @@ func (c *Clock) SetPeriodAt(t timing.FS, period timing.FS) {
 	c.finalPeriod = period
 	c.finalBase = last.base + elapsed
 	c.finalInv = 1 / float64(period)
+	c.gen++
 	if c.jitterFrac == 0 {
 		c.fastStart = start
 	}
@@ -383,6 +387,75 @@ func Sync(producer, consumer *Clock, tp timing.FS) timing.FS {
 	}
 	if float64(tc-tp) < SyncThreshold*float64(fast) {
 		tc = consumer.NextEdge(tc)
+	}
+	return tc
+}
+
+// SyncPath is a memoized Sync for one fixed (producer, consumer) pair. The
+// threshold comparison needs both clocks' periods at the transfer time; a
+// plain Sync looks both up on every call, but between reconfigurations the
+// answer never changes — and cross-domain transfers are hot enough
+// (several per simulated instruction) that the paper's sweeps pay for it
+// millions of times. The path caches SyncThreshold * min(period) and
+// revalidates with one generation comparison per call, falling back to the
+// exact Sync for queries into historical epochs (between a reconfiguration
+// decision and its PLL lock).
+//
+// A SyncPath is NOT safe for concurrent use; give each simulation its own
+// (machines already own their clocks).
+type SyncPath struct {
+	producer, consumer *Clock
+	// gen is the sum of both clocks' reconfiguration counts at the last
+	// refresh; both only ever increment, so any change invalidates.
+	gen uint64
+	// validFrom is the earliest time the cached threshold applies to
+	// (the later of the two final-epoch starts).
+	validFrom timing.FS
+	// threshold is SyncThreshold * min(final periods), in femtoseconds.
+	threshold float64
+}
+
+// NewSyncPath creates the memoized path from producer to consumer.
+// Same-clock paths are the identity, as with Sync.
+func NewSyncPath(producer, consumer *Clock) *SyncPath {
+	p := &SyncPath{producer: producer, consumer: consumer}
+	if producer != consumer {
+		p.refresh()
+	}
+	return p
+}
+
+func (p *SyncPath) refresh() {
+	p.gen = p.producer.gen + p.consumer.gen
+	p.validFrom = p.producer.finalStart
+	if p.consumer.finalStart > p.validFrom {
+		p.validFrom = p.consumer.finalStart
+	}
+	fast := p.producer.finalPeriod
+	if cp := p.consumer.finalPeriod; cp < fast {
+		fast = cp
+	}
+	p.threshold = SyncThreshold * float64(fast)
+}
+
+// Sync is equivalent to Sync(producer, consumer, tp) with the period
+// lookups amortized across calls between reconfigurations.
+func (p *SyncPath) Sync(tp timing.FS) timing.FS {
+	if p.producer == p.consumer {
+		return tp
+	}
+	if p.producer.gen+p.consumer.gen != p.gen {
+		p.refresh()
+	}
+	if tp < p.validFrom {
+		// Transfer inside a historical epoch: rare (only in the window
+		// between a reconfiguration decision and its lock), so take the
+		// exact per-call path.
+		return Sync(p.producer, p.consumer, tp)
+	}
+	tc := p.consumer.EdgeAtOrAfter(tp)
+	if float64(tc-tp) < p.threshold {
+		tc = p.consumer.NextEdge(tc)
 	}
 	return tc
 }

@@ -125,7 +125,10 @@ type Machine struct {
 	trace InstSource
 
 	clocks [clock.NumDomains]*clock.Clock
-	pll    *clock.PLL
+	// syncPaths memoize Sync's per-pair period lookups between
+	// reconfigurations (indexed [producer][consumer]).
+	syncPaths [clock.NumDomains][clock.NumDomains]*clock.SyncPath
+	pll       *clock.PLL
 
 	icache *cache.AccountingCache
 	dcache *cache.AccountingCache
@@ -295,6 +298,11 @@ func NewMachineSource(src InstSource, cfg Config) *Machine {
 		m.clocks[clock.FloatingPoint] = clock.New(clock.FloatingPoint, timing.IQPeriod(cfg.FPIQ), uint64(cfg.Seed), cfg.JitterFrac)
 		m.clocks[clock.LoadStore] = clock.New(clock.LoadStore, cfg.DCache.AdaptPeriod(), uint64(cfg.Seed), cfg.JitterFrac)
 		m.clocks[clock.Memory] = clock.New(clock.Memory, timing.PeriodFS(MemFreqMHz), uint64(cfg.Seed), cfg.JitterFrac)
+	}
+	for p := 0; p < clock.NumDomains; p++ {
+		for c := 0; c < clock.NumDomains; c++ {
+			m.syncPaths[p][c] = clock.NewSyncPath(m.clocks[p], m.clocks[c])
+		}
 	}
 	m.fePeriod = m.clocks[clock.FrontEnd].CurrentPeriod()
 	m.lsPeriod = m.clocks[clock.LoadStore].CurrentPeriod()

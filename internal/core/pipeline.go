@@ -28,7 +28,7 @@ func (m *Machine) srcReady(r isa.Reg, consumer clock.Domain) timing.FS {
 	if prod == consumer {
 		return t
 	}
-	return clock.Sync(m.clocks[prod], m.clocks[consumer], t)
+	return m.syncPaths[prod][consumer].Sync(t)
 }
 
 // writeDest records a register result produced in domain d at time t.
@@ -93,10 +93,10 @@ func (m *Machine) l2Access(addr uint64, t timing.FS, write bool) timing.FS {
 		// Bounded number of outstanding misses.
 		miss = maxFS(miss, m.mshr.floor(MSHREntries))
 		memClk := m.clocks[clock.Memory]
-		ms := clock.Sync(ls, memClk, miss)
+		ms := m.syncPaths[clock.LoadStore][clock.Memory].Sync(miss)
 		mdone := m.memc.Access(ms, L2LineBytes)
 		m.stats.MemAccesses++
-		done := clock.Sync(memClk, ls, memClk.EdgeAtOrAfter(mdone))
+		done := m.syncPaths[clock.Memory][clock.LoadStore].Sync(memClk.EdgeAtOrAfter(mdone))
 		m.mshr.push(done)
 		return done
 	}
@@ -129,10 +129,9 @@ func (m *Machine) step(in *isa.Inst) {
 			default:
 				m.stats.ICacheMiss++
 				// Miss-under-probe: B probe overlaps the L2 request.
-				ls := m.clocks[clock.LoadStore]
-				req := clock.Sync(fe, ls, fe.After(start, aLat))
+				req := m.syncPaths[clock.FrontEnd][clock.LoadStore].Sync(fe.After(start, aLat))
 				done := m.l2Access(in.PC&^uint64(L2LineBytes-1), req, false)
-				m.groupReady = fe.EdgeAtOrAfter(clock.Sync(ls, fe, done))
+				m.groupReady = fe.EdgeAtOrAfter(m.syncPaths[clock.LoadStore][clock.FrontEnd].Sync(done))
 				m.nextLineAt = m.groupReady
 			}
 		} else {
@@ -308,7 +307,7 @@ func (m *Machine) resolveBranch(in *isa.Inst, resolve timing.FS) {
 	fe := m.clocks[clock.FrontEnd]
 	ic := m.clocks[clock.Integer]
 	penFE, penInt := m.mispredictPenalties()
-	m.minFetch = maxFS(m.minFetch, fe.After(clock.Sync(ic, fe, resolve), penFE))
+	m.minFetch = maxFS(m.minFetch, fe.After(m.syncPaths[clock.Integer][clock.FrontEnd].Sync(resolve), penFE))
 	m.minIntIssue = maxFS(m.minIntIssue, ic.After(resolve, penInt))
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"gals/internal/core"
+	"gals/internal/resultcache"
 	"gals/internal/sweep"
 	"gals/internal/timing"
 	"gals/internal/workload"
@@ -49,8 +50,36 @@ func (r *SuiteResult) PhaseImprovement(i int) float64 {
 var (
 	suiteMu       sync.Mutex
 	suiteCache    = map[Options]*SuiteResult{}
+	suitePersist  resultcache.Store
 	suiteComputes atomic.Int64
 )
+
+// SetSuitePersist installs a second-level store behind the process-local
+// suite memo: on a memo miss RunSuite consults it before simulating, and
+// every computed suite is written back. Keys derive from the normalized
+// Options plus resultcache.SchemaVersion, so repeated invocations of
+// cmd/experiments (or any EvaluateSuite caller) become incremental across
+// processes. Pass nil to detach. It returns the previously installed
+// store so temporary owners (a service's lifetime, a test) can restore it
+// rather than clobber it. A persistent hit does not count as a suite
+// computation.
+func SetSuitePersist(s resultcache.Store) (prev resultcache.Store) {
+	suiteMu.Lock()
+	defer suiteMu.Unlock()
+	prev = suitePersist
+	suitePersist = s
+	return prev
+}
+
+// ResetSuiteMemo drops the process-local suite memo (the persistent store,
+// if any, is untouched). Intended for tests and cache administration: after
+// a reset, the next RunSuite must come from the persistent layer or be
+// recomputed.
+func ResetSuiteMemo() {
+	suiteMu.Lock()
+	defer suiteMu.Unlock()
+	suiteCache = map[Options]*SuiteResult{}
+}
 
 // memoKey normalizes an Options value into the suite-cache key: defaulted
 // fields are resolved (so Window 0 and the explicit default window share
@@ -87,6 +116,14 @@ func RunSuite(o Options) (*SuiteResult, error) {
 	if r, ok := suiteCache[o]; ok {
 		return r, nil
 	}
+	key := resultcache.Key("suite", o)
+	if suitePersist != nil {
+		var cached SuiteResult
+		if suitePersist.Load(key, &cached) {
+			suiteCache[o] = &cached
+			return &cached, nil
+		}
+	}
 	suiteComputes.Add(1)
 	specs := workload.Suite()
 	so := o.sweepOptions()
@@ -98,13 +135,7 @@ func RunSuite(o Options) (*SuiteResult, error) {
 
 	syncCfgs := sweep.SyncSpace()
 	if !o.FullSyncSpace {
-		var pruned []core.Config
-		for _, c := range syncCfgs {
-			if timing.SyncICacheSpecs()[c.SyncICache].Assoc == 1 {
-				pruned = append(pruned, c)
-			}
-		}
-		syncCfgs = pruned
+		syncCfgs = sweep.QuickSyncSpace()
 	}
 	syncTimes := sweep.Measure(specs, syncCfgs, so)
 	best := sweep.BestOverall(syncTimes)
@@ -135,6 +166,9 @@ func RunSuite(o Options) (*SuiteResult, error) {
 	r.MeanProg /= float64(len(specs))
 	r.MeanPhase /= float64(len(specs))
 	suiteCache[o] = r
+	if suitePersist != nil {
+		suitePersist.Store(key, r)
+	}
 	return r, nil
 }
 

@@ -1,0 +1,190 @@
+// Package resultcache is a persistent, content-addressed store for
+// simulation results. The paper burned ~300 CPU-months sweeping the GALS
+// design space; every layer above the simulator (the suite memo, the sweep
+// matrices, the service's single runs) keys its outputs by a hash of the
+// normalized request plus a schema version, so identical work is computed
+// once per cache directory — across processes, not just within one.
+//
+// Layout: a key has the form "<kind>/<64 hex sha-256 chars>" and is stored
+// at <dir>/<kind>/<hh>/<hash>.json, where <hh> is the first two hash chars
+// (fanout, so directories stay small). Blobs are plain JSON, written via a
+// temp file and an atomic rename, so concurrent writers of the same key are
+// safe and a crash can never leave a truncated entry behind.
+//
+// Invalidation is by construction: Key mixes SchemaVersion into every hash,
+// so bumping it (whenever the simulator's timing semantics change) orphans
+// every old entry rather than serving stale results. Orphans are plain
+// files; `rm -r <dir>` is always safe.
+package resultcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+)
+
+// SchemaVersion is mixed into every cache key. Bump it whenever a change
+// anywhere in the simulator can alter results for an identical request
+// (timing model, workload generation, controller behaviour, ...): old
+// entries then simply stop matching instead of being served stale.
+const SchemaVersion = "gals-results-v1"
+
+// Store is the persistence interface consumed by the compute layers
+// (experiment's suite memo, sweep's measure matrices, the service's runs).
+// Implementations must be safe for concurrent use. Load reports whether the
+// key was found and v filled in; Store is best-effort — persistence is an
+// accelerator, never a correctness dependency, so I/O errors are counted
+// but not propagated.
+type Store interface {
+	Load(key string, v any) bool
+	Store(key string, v any)
+}
+
+// Key builds a cache key for a request of the given kind. The request is
+// canonicalized by its JSON encoding (struct fields in declaration order,
+// map keys sorted), hashed together with SchemaVersion and the kind.
+// Requests must therefore be plain data — normalized option structs, not
+// pointers to live state.
+func Key(kind string, req any) string {
+	blob, err := json.Marshal(req)
+	if err != nil {
+		// Marshal of a plain option struct cannot fail; if a caller passes
+		// something exotic (NaN floats, channels), hash the Go-syntax dump
+		// instead — it still includes every field value, so distinct
+		// requests cannot collide on the shared error string.
+		blob = []byte(fmt.Sprintf("unmarshalable (%v): %#v", err, req))
+	}
+	h := sha256.New()
+	h.Write([]byte(SchemaVersion))
+	h.Write([]byte{0})
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write(blob)
+	return kind + "/" + hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats are a cache's lifetime counters.
+type Stats struct {
+	// Hits and Misses count Load outcomes.
+	Hits, Misses int64
+	// Puts counts successful Store writes.
+	Puts int64
+	// Errors counts I/O or decode failures (treated as misses).
+	Errors int64
+}
+
+// Cache is the on-disk Store implementation. The zero value is not usable;
+// create with Open. A nil *Cache ignores Stores and misses every Load, so
+// callers can hold one unconditionally.
+type Cache struct {
+	dir string
+
+	hits, misses, puts, errs atomic.Int64
+}
+
+// Open creates (if needed) and returns a cache rooted at dir.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resultcache: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// path maps a key to its blob file. Keys are produced by Key, but a
+// malformed one degrades to a flat file under dir rather than escaping it.
+func (c *Cache) path(key string) string {
+	kind, hash, ok := strings.Cut(key, "/")
+	if !ok || len(hash) < 2 || strings.ContainsAny(key, `\.`) {
+		return filepath.Join(c.dir, "misc", hex.EncodeToString([]byte(key))+".json")
+	}
+	return filepath.Join(c.dir, kind, hash[:2], hash+".json")
+}
+
+// Load reads the entry for key into v, reporting whether it was found.
+func (c *Cache) Load(key string, v any) bool {
+	if c == nil {
+		return false
+	}
+	blob, err := os.ReadFile(c.path(key))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.errs.Add(1)
+		}
+		c.misses.Add(1)
+		return false
+	}
+	if err := json.Unmarshal(blob, v); err != nil {
+		// Corrupt or schema-incompatible entry: treat as a miss; the
+		// caller's Store will overwrite it with a fresh blob.
+		c.errs.Add(1)
+		c.misses.Add(1)
+		return false
+	}
+	c.hits.Add(1)
+	return true
+}
+
+// Store writes the entry for key. Best-effort: errors are counted, not
+// returned — a failed write costs a recompute next time, nothing more.
+func (c *Cache) Store(key string, v any) {
+	if c == nil {
+		return
+	}
+	blob, err := json.Marshal(v)
+	if err != nil {
+		c.errs.Add(1)
+		return
+	}
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		c.errs.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "."+filepath.Base(p)+".tmp*")
+	if err != nil {
+		c.errs.Add(1)
+		return
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		c.errs.Add(1)
+		return
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		c.errs.Add(1)
+		return
+	}
+	c.puts.Add(1)
+}
+
+// Stats returns the cache's counters so far.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Puts:   c.puts.Load(),
+		Errors: c.errs.Load(),
+	}
+}

@@ -1,0 +1,161 @@
+package resultcache
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type payload struct {
+	Name  string
+	Times []int64
+}
+
+func TestKeyStableAndDiscriminating(t *testing.T) {
+	a := Key("run", payload{Name: "gcc", Times: []int64{1, 2}})
+	b := Key("run", payload{Name: "gcc", Times: []int64{1, 2}})
+	if a != b {
+		t.Fatalf("identical requests hashed differently: %q vs %q", a, b)
+	}
+	if !strings.HasPrefix(a, "run/") || len(a) != len("run/")+64 {
+		t.Fatalf("unexpected key shape %q", a)
+	}
+	if c := Key("run", payload{Name: "gcc", Times: []int64{1, 3}}); c == a {
+		t.Fatalf("different requests collided on %q", c)
+	}
+	if c := Key("sweep", payload{Name: "gcc", Times: []int64{1, 2}}); c == a {
+		t.Fatalf("different kinds collided on %q", c)
+	}
+}
+
+// TestKeyUnmarshalableRequestsStayDistinct: the marshal-failure fallback
+// must still discriminate between requests (a shared error string must not
+// alias two different NaN-carrying option sets onto one cache entry).
+func TestKeyUnmarshalableRequestsStayDistinct(t *testing.T) {
+	type opts struct {
+		Scale  float64
+		Window int64
+	}
+	nan := math.NaN()
+	a := Key("suite", opts{Scale: nan, Window: 1_000})
+	b := Key("suite", opts{Scale: nan, Window: 50_000})
+	if a == b {
+		t.Fatalf("distinct unmarshalable requests collided on %q", a)
+	}
+	if a != Key("suite", opts{Scale: nan, Window: 1_000}) {
+		t.Fatal("unmarshalable-request keys are not stable")
+	}
+}
+
+func TestRoundTripAndStats(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("run", payload{Name: "art", Times: []int64{7}})
+
+	var got payload
+	if c.Load(key, &got) {
+		t.Fatal("Load hit on empty cache")
+	}
+	c.Store(key, payload{Name: "art", Times: []int64{7}})
+	if !c.Load(key, &got) || got.Name != "art" || len(got.Times) != 1 || got.Times[0] != 7 {
+		t.Fatalf("round trip failed: %+v", got)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Puts != 1 || s.Errors != 0 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 put / 0 errors", s)
+	}
+}
+
+func TestPersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("suite", payload{Name: "warm"})
+	c1.Store(key, payload{Name: "warm", Times: []int64{1, 2, 3}})
+
+	// A second Open models a new process reusing the same directory.
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if !c2.Load(key, &got) || got.Name != "warm" {
+		t.Fatalf("entry did not survive reopen: %+v", got)
+	}
+}
+
+func TestCorruptEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("run", payload{Name: "x"})
+	c.Store(key, payload{Name: "x"})
+
+	// Truncate the blob on disk.
+	var blobPath string
+	filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(p, ".json") {
+			blobPath = p
+		}
+		return nil
+	})
+	if blobPath == "" {
+		t.Fatal("no blob written")
+	}
+	if err := os.WriteFile(blobPath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if c.Load(key, &got) {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if s := c.Stats(); s.Errors == 0 {
+		t.Fatalf("corrupt entry not counted as error: %+v", s)
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *Cache
+	c.Store("run/abc", payload{})
+	var got payload
+	if c.Load("run/abc", &got) {
+		t.Fatal("nil cache reported a hit")
+	}
+	if c.Stats() != (Stats{}) || c.Dir() != "" {
+		t.Fatal("nil cache not inert")
+	}
+}
+
+func TestConcurrentSameKey(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("run", payload{Name: "contended"})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Store(key, payload{Name: "contended", Times: []int64{42}})
+			var got payload
+			if c.Load(key, &got) && got.Name != "contended" {
+				t.Errorf("torn read: %+v", got)
+			}
+		}()
+	}
+	wg.Wait()
+	var got payload
+	if !c.Load(key, &got) || len(got.Times) != 1 || got.Times[0] != 42 {
+		t.Fatalf("final read failed: %+v", got)
+	}
+}

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"gals/internal/workload"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	GET  /healthz        liveness probe
+//	GET  /v1/stats       scheduler, dedup and cache counters
+//	GET  /v1/workloads   the benchmark suite
+//	POST /v1/run         one simulation           (RunRequest -> RunResult)
+//	POST /v1/batch       many simulations         ({"runs": [...]} -> {"results": [...]})
+//	POST /v1/sweep       a design-space sweep     (SweepRequest -> SweepResult)
+//	POST /v1/suite       the Figure-6 pipeline    (SuiteRequest -> SuiteSummary)
+//	POST /v1/experiment  one table or figure      (ExperimentRequest -> experiment.Table)
+//
+// All bodies are JSON. Validation failures return 400, unknown experiment
+// IDs 400, a full job queue 503, all with {"error": "..."} bodies.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+
+	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
+		type wl struct {
+			Name   string `json:"name"`
+			Suite  string `json:"suite"`
+			Window string `json:"window"`
+		}
+		var out []wl
+		for _, spec := range workload.Suite() {
+			out = append(out, wl{Name: spec.Name, Suite: spec.Suite, Window: spec.Window})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		var req RunRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		res, err := s.Run(req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Runs []RunRequest `json:"runs"`
+		}
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if len(req.Runs) == 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "empty batch"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": s.RunBatch(req.Runs)})
+	})
+
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		var req SweepRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		res, err := s.Sweep(req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("POST /v1/suite", func(w http.ResponseWriter, r *http.Request) {
+		var req SuiteRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		res, err := s.Suite(req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("POST /v1/experiment", func(w http.ResponseWriter, r *http.Request) {
+		var req ExperimentRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		res, err := s.Experiment(req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	return mux
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,648 @@
+// Package service is the concurrent simulation service behind cmd/galsd:
+// a bounded, priority-scheduled worker pool over the GALS simulator, with
+// singleflight deduplication of identical concurrent requests and a
+// persistent content-addressed result cache (internal/resultcache) shared
+// with the experiment and sweep layers.
+//
+// The paper's evaluation burned ~300 CPU-months exploring this design
+// space; the service's job is to make sure no configuration point is ever
+// simulated twice per cache directory — whether the repeat comes from a
+// second process (persistent cache), a concurrent identical request
+// (singleflight), or a higher experiment layer (the suite memo, wired
+// through the same store).
+//
+// Request structs double as the JSON wire format of cmd/galsd and as the
+// cache-key payloads: a request is normalized (defaults resolved, result-
+// neutral fields like Priority and Workers zeroed) before hashing, so
+// requests that must produce identical results share one cache entry.
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+
+	"gals/internal/core"
+	"gals/internal/experiment"
+	"gals/internal/resultcache"
+	"gals/internal/sweep"
+	"gals/internal/timing"
+	"gals/internal/workload"
+)
+
+// Config configures a Service.
+type Config struct {
+	// CacheDir is the persistent result cache directory; "" disables
+	// persistence (dedup and scheduling still work).
+	CacheDir string
+	// Workers is the number of simulation workers (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the pending-job queue (0 = 1024); submissions
+	// beyond it fail with ErrQueueFull.
+	QueueDepth int
+}
+
+// Service executes simulation requests. Create with New, stop with Close.
+// All methods are safe for concurrent use.
+type Service struct {
+	cfg    Config
+	cache  *resultcache.Cache
+	sched  *scheduler
+	flight flightGroup
+
+	// prevSuite/prevSweep are the persist stores that were installed
+	// before this service took over; Close restores them.
+	prevSuite resultcache.Store
+	prevSweep resultcache.Store
+
+	sims   atomic.Int64 // simulations actually executed by this service
+	dedups atomic.Int64 // requests served by joining an in-flight twin
+}
+
+// New creates a service and, when cfg.CacheDir is set, opens the persistent
+// cache and installs it behind the experiment suite memo and the sweep
+// measurement layer — so gals.EvaluateSuite, sweep.Measure and every
+// service endpoint share one store.
+func New(cfg Config) (*Service, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	s := &Service{cfg: cfg}
+	if cfg.CacheDir != "" {
+		c, err := resultcache.Open(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = c
+		s.prevSuite = experiment.SetSuitePersist(c)
+		s.prevSweep = sweep.SetPersist(c)
+	}
+	s.sched = newScheduler(cfg.Workers, cfg.QueueDepth)
+	return s, nil
+}
+
+// Close stops the workers (accepted jobs still finish) and restores the
+// persist stores that were installed before this service took over (e.g.
+// one installed by gals.UsePersistentCache).
+func (s *Service) Close() {
+	s.sched.close()
+	if s.cache != nil {
+		experiment.SetSuitePersist(s.prevSuite)
+		sweep.SetPersist(s.prevSweep)
+	}
+}
+
+// Cache returns the persistent cache, or nil when persistence is disabled.
+func (s *Service) Cache() *resultcache.Cache { return s.cache }
+
+// ---------------------------------------------------------------------------
+// Single runs.
+
+// RunRequest asks for one benchmark on one machine configuration. It is
+// both the JSON body of POST /v1/run and, normalized with Priority zeroed,
+// the cache-key payload.
+type RunRequest struct {
+	// Bench is the benchmark run name (e.g. "gcc", "adpcm decode").
+	Bench string `json:"bench"`
+	// Mode is "sync", "program" or "phase" (default "phase").
+	Mode string `json:"mode,omitempty"`
+	// ICache names the I-cache configuration: a Table 3 name in sync mode
+	// (e.g. "64k1W"), a Table 2 name in adaptive modes (e.g. "16k1W").
+	// Empty keeps the mode's default.
+	ICache string `json:"icache,omitempty"`
+	// DCache is the D/L2 configuration index 0..3 (Table 1).
+	DCache int `json:"dcache,omitempty"`
+	// IntIQ and FPIQ are issue-queue sizes (16/32/48/64; default 16).
+	IntIQ int `json:"iq,omitempty"`
+	FPIQ  int `json:"fq,omitempty"`
+	// Window is the instruction window (default 100,000).
+	Window int64 `json:"window,omitempty"`
+	// Seed drives PLL lock times and jitter (default 42).
+	Seed int64 `json:"seed,omitempty"`
+	// JitterFrac enables per-edge clock jitter (0..0.05).
+	JitterFrac float64 `json:"jitter,omitempty"`
+	// PLLScale scales PLL lock times (default 0.1).
+	PLLScale float64 `json:"pllscale,omitempty"`
+	// Priority orders this request against others (higher first). It does
+	// not affect the result and is excluded from the cache key.
+	Priority int `json:"priority,omitempty"`
+}
+
+// normalize resolves defaults and validates; the returned request is
+// canonical (identical results <=> identical normalized requests).
+func (r RunRequest) normalize() (RunRequest, error) {
+	if r.Bench == "" {
+		return r, fmt.Errorf("service: missing bench")
+	}
+	if _, ok := workload.ByName(r.Bench); !ok {
+		return r, fmt.Errorf("service: unknown benchmark %q", r.Bench)
+	}
+	if r.Mode == "" {
+		r.Mode = "phase"
+	}
+	switch r.Mode {
+	case "sync", "program", "phase":
+	default:
+		return r, fmt.Errorf("service: unknown mode %q (want sync, program or phase)", r.Mode)
+	}
+	if r.Window == 0 {
+		r.Window = 100_000
+	}
+	if r.Window < 0 {
+		return r, fmt.Errorf("service: negative window %d", r.Window)
+	}
+	if r.IntIQ == 0 {
+		r.IntIQ = 16
+	}
+	if r.FPIQ == 0 {
+		r.FPIQ = 16
+	}
+	if r.Seed == 0 {
+		r.Seed = 42
+	}
+	if r.PLLScale == 0 {
+		r.PLLScale = 0.1
+	}
+	// Negated-range forms so NaN (possible from Go callers; JSON cannot
+	// encode it) fails validation instead of slipping past `x < 0` checks.
+	if !(r.JitterFrac >= 0 && r.JitterFrac <= 0.05) {
+		return r, fmt.Errorf("service: jitter fraction %v out of range [0, 0.05]", r.JitterFrac)
+	}
+	if !(r.PLLScale > 0) {
+		return r, fmt.Errorf("service: pll scale %v must be positive", r.PLLScale)
+	}
+	if _, _, err := r.machine(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// machine resolves the normalized request into a runnable spec and config.
+func (r RunRequest) machine() (workload.Spec, core.Config, error) {
+	spec, ok := workload.ByName(r.Bench)
+	if !ok {
+		return workload.Spec{}, core.Config{}, fmt.Errorf("service: unknown benchmark %q", r.Bench)
+	}
+	var cfg core.Config
+	switch r.Mode {
+	case "sync":
+		cfg = core.DefaultSync()
+		if r.ICache != "" {
+			idx, ok := timing.SyncICacheIndexByName(r.ICache)
+			if !ok {
+				return spec, cfg, fmt.Errorf("service: unknown sync i-cache %q", r.ICache)
+			}
+			cfg.SyncICache = idx
+		}
+	case "program", "phase":
+		mode := core.ProgramAdaptive
+		if r.Mode == "phase" {
+			mode = core.PhaseAdaptive
+		}
+		cfg = core.DefaultAdaptive(mode)
+		if r.ICache != "" {
+			found := false
+			for _, c := range timing.ICacheConfigs() {
+				if strings.EqualFold(c.String(), r.ICache) {
+					cfg.ICache = c
+					found = true
+					break
+				}
+			}
+			if !found {
+				return spec, cfg, fmt.Errorf("service: unknown adaptive i-cache %q", r.ICache)
+			}
+		}
+	default:
+		return spec, cfg, fmt.Errorf("service: unknown mode %q", r.Mode)
+	}
+	cfg.DCache = timing.DCacheConfig(r.DCache)
+	cfg.IntIQ = timing.IQSize(r.IntIQ)
+	cfg.FPIQ = timing.IQSize(r.FPIQ)
+	cfg.Seed = r.Seed
+	cfg.JitterFrac = r.JitterFrac
+	cfg.PLLScale = r.PLLScale
+	if err := cfg.Validate(); err != nil {
+		return spec, cfg, err
+	}
+	return spec, cfg, nil
+}
+
+// RunResult is the outcome of one run.
+type RunResult struct {
+	Workload     string     `json:"workload"`
+	Config       string     `json:"config"`
+	TimeFS       int64      `json:"time_fs"`
+	IPnsec       float64    `json:"ip_nsec"`
+	Instructions int64      `json:"instructions"`
+	Stats        core.Stats `json:"stats"`
+	// Cached is true when the result came from the persistent cache
+	// without simulating.
+	Cached bool `json:"cached,omitempty"`
+	// Deduped is true when this caller joined an identical in-flight
+	// request instead of starting its own.
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+// Run executes (or serves from cache / an in-flight twin) one simulation.
+func (s *Service) Run(req RunRequest) (RunResult, error) {
+	n, err := req.normalize()
+	if err != nil {
+		return RunResult{}, err
+	}
+	keyReq := n
+	keyReq.Priority = 0
+	key := resultcache.Key("run", keyReq)
+
+	v, err, shared := s.flight.Do(key, func() (any, error) {
+		var out RunResult
+		if s.cache.Load(key, &out) {
+			out.Cached = true
+			return out, nil
+		}
+		spec, cfg, err := n.machine()
+		if err != nil {
+			return RunResult{}, err
+		}
+		if err := s.sched.do(Priority(n.Priority), func() {
+			res := core.RunWorkload(spec, cfg, n.Window)
+			s.sims.Add(1)
+			out = RunResult{
+				Workload:     res.Workload,
+				Config:       res.Config.Label(),
+				TimeFS:       res.TimeFS,
+				IPnsec:       res.IPnsec(),
+				Instructions: res.Stats.Instructions,
+				Stats:        res.Stats,
+			}
+		}); err != nil {
+			return RunResult{}, err
+		}
+		s.cache.Store(key, out)
+		return out, nil
+	})
+	if err != nil {
+		return RunResult{}, err
+	}
+	out := v.(RunResult)
+	if shared {
+		s.dedups.Add(1)
+		out.Deduped = true
+	}
+	return out, nil
+}
+
+// BatchItem is one entry of a batched run response: a result or an error.
+type BatchItem struct {
+	Result *RunResult `json:"result,omitempty"`
+	Error  string     `json:"error,omitempty"`
+}
+
+// RunBatch executes the requests concurrently (bounded by the worker pool)
+// and returns one item per request, in order.
+func (s *Service) RunBatch(reqs []RunRequest) []BatchItem {
+	out := make([]BatchItem, len(reqs))
+	done := make(chan int, len(reqs))
+	for i := range reqs {
+		go func(i int) {
+			defer func() { done <- i }()
+			r, err := s.Run(reqs[i])
+			if err != nil {
+				out[i].Error = err.Error()
+				return
+			}
+			out[i].Result = &r
+		}(i)
+	}
+	for range reqs {
+		<-done
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Design-space sweeps.
+
+// SweepRequest asks for a design-space sweep (paper Section 4).
+type SweepRequest struct {
+	// Space is "sync" (1,024 fully synchronous configurations) or
+	// "adaptive" (256 adaptive MCD configurations).
+	Space string `json:"space"`
+	// Bench optionally restricts the sweep to one benchmark.
+	Bench string `json:"bench,omitempty"`
+	// Quick prunes the sync space to its direct-mapped I-cache points.
+	Quick bool `json:"quick,omitempty"`
+	// Window is the instruction window per run (default 30,000).
+	Window int64 `json:"window,omitempty"`
+	// Workers overrides the sweep's internal parallelism (result-neutral).
+	Workers int `json:"workers,omitempty"`
+	// Seed, JitterFrac and PLLScale are as in RunRequest.
+	Seed       int64   `json:"seed,omitempty"`
+	JitterFrac float64 `json:"jitter,omitempty"`
+	PLLScale   float64 `json:"pllscale,omitempty"`
+	// Priority orders the sweep against other jobs (result-neutral).
+	Priority int `json:"priority,omitempty"`
+}
+
+func (r SweepRequest) normalize() (SweepRequest, error) {
+	switch r.Space {
+	case "sync", "adaptive":
+	default:
+		return r, fmt.Errorf("service: unknown sweep space %q (want sync or adaptive)", r.Space)
+	}
+	if r.Bench != "" {
+		if _, ok := workload.ByName(r.Bench); !ok {
+			return r, fmt.Errorf("service: unknown benchmark %q", r.Bench)
+		}
+	}
+	if r.Window < 0 {
+		return r, fmt.Errorf("service: negative window %d", r.Window)
+	}
+	so := sweep.Options{Window: r.Window, Seed: r.Seed, JitterFrac: r.JitterFrac, PLLScale: r.PLLScale}.WithDefaults()
+	r.Window, r.Seed, r.PLLScale = so.Window, so.Seed, so.PLLScale
+	if !(r.JitterFrac >= 0 && r.JitterFrac <= 0.05) {
+		return r, fmt.Errorf("service: jitter fraction %v out of range [0, 0.05]", r.JitterFrac)
+	}
+	if !(r.PLLScale > 0) {
+		return r, fmt.Errorf("service: pll scale %v must be positive", r.PLLScale)
+	}
+	return r, nil
+}
+
+// AppBest is one benchmark's best configuration in a sweep.
+type AppBest struct {
+	Bench  string `json:"bench"`
+	Config string `json:"config"`
+	TimeFS int64  `json:"time_fs"`
+}
+
+// SweepResult summarizes a sweep.
+type SweepResult struct {
+	Space      string `json:"space"`
+	Configs    int    `json:"configs"`
+	Benchmarks int    `json:"benchmarks"`
+	Window     int64  `json:"window"`
+	// Best is the best-overall configuration (lowest geometric-mean time).
+	Best string `json:"best"`
+	// PerApp is each benchmark's individually best configuration.
+	PerApp  []AppBest `json:"per_app"`
+	Deduped bool      `json:"deduped,omitempty"`
+}
+
+// Sweep measures a whole design space. The underlying times matrix is
+// persisted by the sweep layer, so repeating a sweep (even from another
+// process) reloads it instead of simulating.
+func (s *Service) Sweep(req SweepRequest) (SweepResult, error) {
+	n, err := req.normalize()
+	if err != nil {
+		return SweepResult{}, err
+	}
+	keyReq := n
+	keyReq.Priority = 0
+	keyReq.Workers = 0
+	key := resultcache.Key("sweepreq", keyReq)
+
+	v, err, shared := s.flight.Do(key, func() (any, error) {
+		specs := workload.Suite()
+		if n.Bench != "" {
+			spec, _ := workload.ByName(n.Bench)
+			specs = []workload.Spec{spec}
+		}
+		var cfgs []core.Config
+		if n.Space == "sync" {
+			if n.Quick {
+				cfgs = sweep.QuickSyncSpace()
+			} else {
+				cfgs = sweep.SyncSpace()
+			}
+		} else {
+			cfgs = sweep.AdaptiveSpace()
+		}
+
+		var out SweepResult
+		var runErr error
+		if err := s.sched.do(Priority(n.Priority), func() {
+			so := sweep.Options{
+				Window: n.Window, Workers: n.Workers, Seed: n.Seed,
+				JitterFrac: n.JitterFrac, PLLScale: n.PLLScale,
+				Traces: workload.NewPool(n.Window),
+			}
+			times := sweep.Measure(specs, cfgs, so)
+			best := sweep.BestOverall(times)
+			if best < 0 {
+				runErr = fmt.Errorf("service: sweep produced no finite run times")
+				return
+			}
+			out = SweepResult{
+				Space: n.Space, Configs: len(cfgs), Benchmarks: len(specs),
+				Window: n.Window, Best: cfgs[best].Label(),
+			}
+			for si, bi := range sweep.BestPerApp(times) {
+				out.PerApp = append(out.PerApp, AppBest{
+					Bench:  specs[si].Name,
+					Config: cfgs[bi].Label(),
+					TimeFS: times[bi][si],
+				})
+			}
+		}); err != nil {
+			return SweepResult{}, err
+		}
+		if runErr != nil {
+			return SweepResult{}, runErr
+		}
+		return out, nil
+	})
+	if err != nil {
+		return SweepResult{}, err
+	}
+	out := v.(SweepResult)
+	if shared {
+		s.dedups.Add(1)
+		out.Deduped = true
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Suite evaluation and experiment regeneration.
+
+// SuiteRequest asks for the full Figure-6 evaluation pipeline.
+type SuiteRequest struct {
+	Window        int64   `json:"window,omitempty"`
+	Workers       int     `json:"workers,omitempty"`
+	FullSyncSpace bool    `json:"full_sync_space,omitempty"`
+	PLLScale      float64 `json:"pllscale,omitempty"`
+	Seed          int64   `json:"seed,omitempty"`
+	JitterFrac    float64 `json:"jitter,omitempty"`
+	Priority      int     `json:"priority,omitempty"`
+}
+
+// validate rejects parameter values the simulator would panic on or
+// produce garbage from; the zero value of every field is valid (defaults).
+func (r SuiteRequest) validate() error {
+	if r.Window < 0 {
+		return fmt.Errorf("service: negative window %d", r.Window)
+	}
+	if !(r.JitterFrac >= 0 && r.JitterFrac <= 0.05) {
+		return fmt.Errorf("service: jitter fraction %v out of range [0, 0.05]", r.JitterFrac)
+	}
+	if r.PLLScale != 0 && !(r.PLLScale > 0) {
+		return fmt.Errorf("service: pll scale %v must be positive", r.PLLScale)
+	}
+	return nil
+}
+
+func (r SuiteRequest) options() experiment.Options {
+	o := experiment.DefaultOptions()
+	if r.Window > 0 {
+		o.Window = r.Window
+	}
+	o.Workers = r.Workers
+	o.FullSyncSpace = r.FullSyncSpace
+	if r.PLLScale != 0 {
+		o.PLLScale = r.PLLScale
+	}
+	if r.Seed != 0 {
+		o.Seed = r.Seed
+	}
+	o.JitterFrac = r.JitterFrac
+	return o
+}
+
+// SuiteBench is one benchmark row of a suite summary.
+type SuiteBench struct {
+	Name       string  `json:"name"`
+	ProgPct    float64 `json:"prog_pct"`
+	PhasePct   float64 `json:"phase_pct"`
+	ProgConfig string  `json:"prog_config"`
+}
+
+// SuiteSummary is the JSON-friendly digest of experiment.SuiteResult.
+type SuiteSummary struct {
+	BestSync   string       `json:"best_sync"`
+	MeanProg   float64      `json:"mean_prog_pct"`
+	MeanPhase  float64      `json:"mean_phase_pct"`
+	Benchmarks []SuiteBench `json:"benchmarks"`
+	Deduped    bool         `json:"deduped,omitempty"`
+}
+
+// Suite runs (or serves from the memo / persistent cache) the evaluation
+// pipeline behind Figure 6, Table 9 and Figure 7.
+func (s *Service) Suite(req SuiteRequest) (SuiteSummary, error) {
+	if err := req.validate(); err != nil {
+		return SuiteSummary{}, err
+	}
+	o := req.options()
+	keyReq := o
+	keyReq.Workers = 0
+	key := resultcache.Key("suitereq", keyReq)
+
+	v, err, shared := s.flight.Do(key, func() (any, error) {
+		var r *experiment.SuiteResult
+		var runErr error
+		if err := s.sched.do(Priority(req.Priority), func() {
+			r, runErr = experiment.RunSuite(o)
+		}); err != nil {
+			return SuiteSummary{}, err
+		}
+		if runErr != nil {
+			return SuiteSummary{}, runErr
+		}
+		out := SuiteSummary{
+			BestSync:  r.BestSync.Label(),
+			MeanProg:  r.MeanProg,
+			MeanPhase: r.MeanPhase,
+		}
+		for i, spec := range r.Specs {
+			out.Benchmarks = append(out.Benchmarks, SuiteBench{
+				Name:       spec.Name,
+				ProgPct:    r.ProgImprovement(i),
+				PhasePct:   r.PhaseImprovement(i),
+				ProgConfig: r.ProgConfigs[i].Label(),
+			})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return SuiteSummary{}, err
+	}
+	out := v.(SuiteSummary)
+	if shared {
+		s.dedups.Add(1)
+		out.Deduped = true
+	}
+	return out, nil
+}
+
+// ExperimentRequest asks for one regenerated table or figure by ID.
+type ExperimentRequest struct {
+	ID string `json:"id"`
+	SuiteRequest
+}
+
+// Experiment regenerates one of the paper's tables or figures.
+func (s *Service) Experiment(req ExperimentRequest) (*experiment.Table, error) {
+	if req.ID == "" {
+		return nil, fmt.Errorf("service: missing experiment id")
+	}
+	if err := req.SuiteRequest.validate(); err != nil {
+		return nil, err
+	}
+	o := req.SuiteRequest.options()
+	var t *experiment.Table
+	var runErr error
+	if err := s.sched.do(Priority(req.Priority), func() {
+		t, runErr = experiment.Run(req.ID, o)
+	}); err != nil {
+		return nil, err
+	}
+	return t, runErr
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+
+// Stats is the service's operational snapshot (GET /v1/stats).
+type Stats struct {
+	// Workers is the pool size; Queued and InFlight the scheduler state.
+	Workers  int   `json:"workers"`
+	Queued   int   `json:"queued"`
+	InFlight int64 `json:"in_flight"`
+	// Completed counts finished jobs; Rejected counts queue-full refusals.
+	Completed int64 `json:"completed"`
+	Rejected  int64 `json:"rejected"`
+	// Simulations counts single-run simulations this service executed
+	// (cache hits and deduped joins don't increment it).
+	Simulations int64 `json:"simulations"`
+	// DedupHits counts requests served by joining an in-flight twin.
+	DedupHits int64 `json:"dedup_hits"`
+	// SuiteComputations and SweepComputations are the process-wide
+	// counters of actually-executed pipeline runs and sweep measurements.
+	SuiteComputations int64 `json:"suite_computations"`
+	SweepComputations int64 `json:"sweep_computations"`
+	// Cache reports the persistent cache's counters; CacheDir its root
+	// ("" when persistence is disabled).
+	Cache    resultcache.Stats `json:"cache"`
+	CacheDir string            `json:"cache_dir,omitempty"`
+}
+
+// Stats returns a snapshot of the service's counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Workers:           s.cfg.Workers,
+		Queued:            s.sched.pending(),
+		InFlight:          s.sched.inflight.Load(),
+		Completed:         s.sched.completed.Load(),
+		Rejected:          s.sched.rejected.Load(),
+		Simulations:       s.sims.Load(),
+		DedupHits:         s.dedups.Load(),
+		SuiteComputations: experiment.SuiteComputations(),
+		SweepComputations: sweep.MeasureComputations(),
+		Cache:             s.cache.Stats(),
+		CacheDir:          s.cache.Dir(),
+	}
+}

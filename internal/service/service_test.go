@@ -1,0 +1,469 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"gals/internal/experiment"
+	"gals/internal/resultcache"
+	"gals/internal/sweep"
+)
+
+func newTestService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestRunRequestValidation(t *testing.T) {
+	cases := []RunRequest{
+		{},                              // missing bench
+		{Bench: "no-such-benchmark"},    // unknown bench
+		{Bench: "gcc", Mode: "quantum"}, // unknown mode
+		{Bench: "gcc", Window: -5},      // negative window
+		{Bench: "gcc", JitterFrac: 0.5}, // jitter out of range
+		{Bench: "gcc", Mode: "sync", ICache: "nope"}, // unknown i-cache
+		{Bench: "gcc", IntIQ: 17},                    // invalid queue size
+	}
+	for _, req := range cases {
+		if _, err := req.normalize(); err == nil {
+			t.Errorf("request %+v validated, want error", req)
+		}
+	}
+	if n, err := (RunRequest{Bench: "gcc"}).normalize(); err != nil {
+		t.Fatalf("minimal request rejected: %v", err)
+	} else if n.Mode != "phase" || n.Window != 100_000 || n.Seed != 42 || n.PLLScale != 0.1 {
+		t.Errorf("defaults not resolved: %+v", n)
+	}
+}
+
+func TestRunAndPersistentCacheAcrossServices(t *testing.T) {
+	dir := t.TempDir()
+	req := RunRequest{Bench: "gcc", Mode: "phase", Window: 3_000}
+
+	s1 := newTestService(t, Config{CacheDir: dir, Workers: 2})
+	r1, err := s1.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached || r1.TimeFS <= 0 || r1.Instructions != 3_000 {
+		t.Fatalf("cold run wrong: %+v", r1)
+	}
+	if got := s1.Stats().Simulations; got != 1 {
+		t.Fatalf("cold run executed %d simulations, want 1", got)
+	}
+	// Same request again within the same service: persistent hit, no sim.
+	r1b, err := s1.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1b.Cached || s1.Stats().Simulations != 1 {
+		t.Fatalf("warm same-service run re-simulated: %+v", r1b)
+	}
+	s1.Close()
+
+	// A fresh service on the same directory models a second process.
+	s2 := newTestService(t, Config{CacheDir: dir, Workers: 2})
+	r2, err := s2.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatalf("second process missed the persistent cache: %+v", r2)
+	}
+	if r2.TimeFS != r1.TimeFS || r2.Instructions != r1.Instructions {
+		t.Fatalf("cached result differs: %+v vs %+v", r2, r1)
+	}
+	if got := s2.Stats().Simulations; got != 0 {
+		t.Fatalf("second process ran %d simulations, want 0", got)
+	}
+	// Priority must not split the cache key.
+	r3, err := s2.Run(RunRequest{Bench: "gcc", Mode: "phase", Window: 3_000, Priority: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.Cached || s2.Stats().Simulations != 0 {
+		t.Fatal("priority changed the cache key")
+	}
+}
+
+func TestConcurrentIdenticalRunsDedupeToOneSimulation(t *testing.T) {
+	s := newTestService(t, Config{CacheDir: t.TempDir(), Workers: 4})
+	req := RunRequest{Bench: "art", Mode: "phase", Window: 20_000}
+
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]RunResult, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Run(req)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+	}
+	st := s.Stats()
+	if st.Simulations != 1 {
+		t.Fatalf("%d concurrent identical requests ran %d simulations, want 1", callers, st.Simulations)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i].TimeFS != results[0].TimeFS {
+			t.Fatalf("caller %d saw a different result", i)
+		}
+	}
+	if st.DedupHits == 0 && st.Cache.Hits == 0 {
+		t.Fatalf("no dedup or cache hit recorded: %+v", st)
+	}
+}
+
+// TestSuiteSecondInvocationServedFromDisk is the PR's acceptance check: a
+// second cmd/experiments-equivalent invocation (fresh process-local memo,
+// fresh service, same cache directory) must be served entirely from the
+// persistent cache — zero new pipeline computations, verified through the
+// same counter the stats endpoint reports.
+func TestSuiteSecondInvocationServedFromDisk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite pipeline in -short mode")
+	}
+	dir := t.TempDir()
+	req := SuiteRequest{Window: 1_200}
+
+	s1 := newTestService(t, Config{CacheDir: dir})
+	before := s1.Stats().SuiteComputations
+	sum1, err := s1.Suite(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := s1.Stats().SuiteComputations
+	if after != before+1 {
+		t.Fatalf("cold suite ran %d pipelines, want 1", after-before)
+	}
+	if len(sum1.Benchmarks) != 40 || sum1.BestSync == "" {
+		t.Fatalf("suite summary malformed: %+v", sum1)
+	}
+	s1.Close()
+
+	// "Second process": drop the process-local memo, open a new service on
+	// the same directory.
+	experiment.ResetSuiteMemo()
+	s2 := newTestService(t, Config{CacheDir: dir})
+	sum2, err := s2.Suite(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Stats().SuiteComputations; got != after {
+		t.Fatalf("second invocation recomputed the pipeline (%d -> %d computations)", after, got)
+	}
+	if got := s2.Stats().Simulations; got != 0 {
+		t.Fatalf("second invocation ran %d simulations, want 0", got)
+	}
+	if !reflect.DeepEqual(sum1, sum2) {
+		t.Fatalf("persistent suite differs:\n%+v\nvs\n%+v", sum1, sum2)
+	}
+	// The figure6 experiment derives from the same restored memo entry.
+	tbl, err := s2.Experiment(ExperimentRequest{ID: "figure6", SuiteRequest: req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 40 {
+		t.Fatalf("figure6 from restored memo has %d rows, want 40", len(tbl.Rows))
+	}
+	if got := s2.Stats().SuiteComputations; got != after {
+		t.Fatal("figure6 after restore recomputed the pipeline")
+	}
+}
+
+// TestSuiteRequestValidation: out-of-range suite parameters must come back
+// as errors — before this check existed, a bad jitter reached clock.New on
+// a worker goroutine and panicked the whole server.
+func TestSuiteRequestValidation(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	for _, req := range []SuiteRequest{
+		{JitterFrac: 0.5},
+		{JitterFrac: -0.1},
+		{Window: -100},
+		{PLLScale: -1},
+	} {
+		if _, err := s.Suite(req); err == nil {
+			t.Errorf("Suite(%+v) succeeded, want validation error", req)
+		}
+		if _, err := s.Experiment(ExperimentRequest{ID: "figure6", SuiteRequest: req}); err == nil {
+			t.Errorf("Experiment(%+v) succeeded, want validation error", req)
+		}
+	}
+}
+
+// TestSchedulerSurvivesPanickingJob: a panic inside a job becomes the
+// submitting caller's error; the worker (and later jobs) keep running.
+func TestSchedulerSurvivesPanickingJob(t *testing.T) {
+	s := newScheduler(1, 8)
+	defer s.close()
+
+	err := s.do(PriorityNormal, func() { panic("boom") })
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panicking job returned %v, want wrapped panic", err)
+	}
+	ran := false
+	if err := s.do(PriorityNormal, func() { ran = true }); err != nil || !ran {
+		t.Fatalf("worker dead after panic: err=%v ran=%v", err, ran)
+	}
+}
+
+// TestCloseRestoresPreviousPersistStore: a service taking over the global
+// persist hooks must hand back whatever was installed before it (e.g. by
+// gals.UsePersistentCache), not wipe it.
+func TestCloseRestoresPreviousPersistStore(t *testing.T) {
+	prior, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := experiment.SetSuitePersist(prior); p != nil {
+		defer experiment.SetSuitePersist(p)
+	} else {
+		defer experiment.SetSuitePersist(nil)
+	}
+	sweep.SetPersist(prior)
+	defer sweep.SetPersist(nil)
+
+	s, err := New(Config{CacheDir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	if got := experiment.SetSuitePersist(prior); got != resultcache.Store(prior) {
+		t.Fatalf("suite persist after Close = %v, want the prior store restored", got)
+	}
+	if got := sweep.SetPersist(prior); got != resultcache.Store(prior) {
+		t.Fatalf("sweep persist after Close = %v, want the prior store restored", got)
+	}
+}
+
+func TestSchedulerPriorityAndBackpressure(t *testing.T) {
+	s := newScheduler(1, 4)
+	defer s.close()
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	if err := s.submit(PriorityNormal, func() { close(started); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker is now occupied; everything below queues
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	enqueue := func(name string, pri Priority) {
+		wg.Add(1)
+		if err := s.submit(pri, func() {
+			defer wg.Done()
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enqueue("low", PriorityLow)
+	enqueue("normal-1", PriorityNormal)
+	enqueue("high", PriorityHigh)
+	enqueue("normal-2", PriorityNormal)
+
+	// Queue is at its bound of 4 now.
+	if err := s.submit(PriorityHigh, func() {}); err != ErrQueueFull {
+		t.Fatalf("over-bound submit returned %v, want ErrQueueFull", err)
+	}
+	if s.rejected.Load() != 1 {
+		t.Fatalf("rejected = %d, want 1", s.rejected.Load())
+	}
+
+	close(gate)
+	wg.Wait()
+	want := []string{"high", "normal-1", "normal-2", "low"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("execution order %v, want %v", order, want)
+	}
+}
+
+func TestRunBatchShapesAndErrors(t *testing.T) {
+	s := newTestService(t, Config{CacheDir: t.TempDir(), Workers: 2})
+	items := s.RunBatch([]RunRequest{
+		{Bench: "gcc", Window: 2_000},
+		{Bench: "does-not-exist"},
+		{Bench: "gcc", Window: 2_000}, // identical to the first: shared/cached
+	})
+	if len(items) != 3 {
+		t.Fatalf("got %d items, want 3", len(items))
+	}
+	if items[0].Result == nil || items[0].Error != "" {
+		t.Fatalf("item 0 failed: %+v", items[0])
+	}
+	if items[1].Result != nil || items[1].Error == "" {
+		t.Fatalf("item 1 should have failed: %+v", items[1])
+	}
+	if items[2].Result == nil || items[2].Result.TimeFS != items[0].Result.TimeFS {
+		t.Fatalf("identical batch entries disagree: %+v vs %+v", items[2], items[0])
+	}
+	if got := s.Stats().Simulations; got != 1 {
+		t.Fatalf("batch ran %d simulations, want 1", got)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	s := newTestService(t, Config{CacheDir: t.TempDir(), Workers: 2})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, []byte) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		return resp, buf.Bytes()
+	}
+	post := func(path string, body any) (*http.Response, []byte) {
+		blob, _ := json.Marshal(body)
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		return resp, buf.Bytes()
+	}
+
+	if resp, body := get("/healthz"); resp.StatusCode != 200 || !bytes.Contains(body, []byte("ok")) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+
+	resp, body := get("/v1/workloads")
+	if resp.StatusCode != 200 {
+		t.Fatalf("workloads: %d %s", resp.StatusCode, body)
+	}
+	var wls []map[string]string
+	if err := json.Unmarshal(body, &wls); err != nil || len(wls) != 40 {
+		t.Fatalf("workloads decode: %v (%d entries)", err, len(wls))
+	}
+
+	resp, body = post("/v1/run", RunRequest{Bench: "gcc", Window: 2_000})
+	if resp.StatusCode != 200 {
+		t.Fatalf("run: %d %s", resp.StatusCode, body)
+	}
+	var rr RunResult
+	if err := json.Unmarshal(body, &rr); err != nil || rr.TimeFS <= 0 {
+		t.Fatalf("run decode: %v %+v", err, rr)
+	}
+
+	if resp, body := post("/v1/run", RunRequest{Bench: "gcc", Mode: "quantum"}); resp.StatusCode != 400 || !bytes.Contains(body, []byte("error")) {
+		t.Fatalf("bad mode: %d %s", resp.StatusCode, body)
+	}
+	if resp, _ := post("/v1/batch", map[string]any{"runs": []RunRequest{}}); resp.StatusCode != 400 {
+		t.Fatalf("empty batch accepted: %d", resp.StatusCode)
+	}
+	if resp, body := post("/v1/experiment", map[string]any{"id": "no-such-figure"}); resp.StatusCode != 400 {
+		t.Fatalf("unknown experiment: %d %s", resp.StatusCode, body)
+	}
+
+	resp, body = post("/v1/experiment", map[string]any{"id": "table1"})
+	if resp.StatusCode != 200 || !bytes.Contains(body, []byte("Rows")) {
+		t.Fatalf("table1: %d %s", resp.StatusCode, body)
+	}
+
+	resp, body = get("/v1/stats")
+	if resp.StatusCode != 200 {
+		t.Fatalf("stats: %d %s", resp.StatusCode, body)
+	}
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Simulations != 1 || st.Workers != 2 {
+		t.Fatalf("stats content: %+v", st)
+	}
+}
+
+// TestHTTPConcurrentIdenticalRequests drives the dedup acceptance check
+// through the real HTTP surface: identical concurrent POST /v1/run bodies
+// collapse to one underlying simulation.
+func TestHTTPConcurrentIdenticalRequests(t *testing.T) {
+	s := newTestService(t, Config{CacheDir: t.TempDir(), Workers: 4})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	blob, _ := json.Marshal(RunRequest{Bench: "em3d", Mode: "phase", Window: 15_000})
+	const callers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/v1/run", "application/json", bytes.NewReader(blob))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != 200 {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Simulations; got != 1 {
+		t.Fatalf("%d identical HTTP requests ran %d simulations, want 1", callers, got)
+	}
+}
+
+func TestSweepSmallAdaptiveSpace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	s := newTestService(t, Config{CacheDir: t.TempDir()})
+	res, err := s.Sweep(SweepRequest{Space: "adaptive", Bench: "art", Window: 1_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Configs != 256 || res.Benchmarks != 1 || res.Best == "" || len(res.PerApp) != 1 {
+		t.Fatalf("sweep result malformed: %+v", res)
+	}
+	before := s.Stats().SweepComputations
+
+	// Same sweep again: the measure layer serves the matrix from disk.
+	res2, err := s.Sweep(SweepRequest{Space: "adaptive", Bench: "art", Window: 1_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().SweepComputations; got != before {
+		t.Fatalf("warm sweep recomputed (%d -> %d)", before, got)
+	}
+	if res2.Best != res.Best || res2.PerApp[0].TimeFS != res.PerApp[0].TimeFS {
+		t.Fatalf("warm sweep differs: %+v vs %+v", res2, res)
+	}
+}

@@ -1,0 +1,49 @@
+package service
+
+import "sync"
+
+// flightGroup deduplicates concurrent work by key: while a call for a key
+// is in flight, later callers for the same key wait for — and share — its
+// result instead of starting their own. This is the layer that turns N
+// identical concurrent requests into one simulation; the persistent cache
+// covers the sequential case.
+//
+// (A hand-rolled singleflight: the repo deliberately has no dependencies,
+// and the few lines below are the whole contract we need.)
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// Do runs fn once per key among concurrent callers. shared reports whether
+// this caller joined an existing flight (true for every caller but the one
+// that executed fn).
+func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.val, c.err, false
+}

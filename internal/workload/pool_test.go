@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+
+	"gals/internal/isa"
+)
+
+// TestPoolConcurrentAccess hammers one Pool from many goroutines (run
+// under -race via `make race` / CI): every benchmark must be recorded
+// exactly once, every Get must hand back the same shared recording, and
+// concurrent replays must be bit-identical to live generation.
+func TestPoolConcurrentAccess(t *testing.T) {
+	const window = 2_000
+	specs := Suite()[:6]
+	pool := NewPool(window)
+
+	// Live references, generated up front (the generator itself is
+	// single-threaded; recordings are the concurrent-safe form).
+	want := make(map[string][]isa.Inst, len(specs))
+	for _, s := range specs {
+		tr := s.NewTrace()
+		ref := make([]isa.Inst, window)
+		for i := range ref {
+			tr.Next(&ref[i])
+		}
+		want[s.Name] = ref
+	}
+
+	const workersPerSpec = 8
+	recs := make([][]*Recording, len(specs))
+	for i := range recs {
+		recs[i] = make([]*Recording, workersPerSpec)
+	}
+	var wg sync.WaitGroup
+	for si, s := range specs {
+		for w := 0; w < workersPerSpec; w++ {
+			wg.Add(1)
+			go func(si, w int, s Spec) {
+				defer wg.Done()
+				rec := pool.Get(s)
+				recs[si][w] = rec
+
+				// Replay concurrently with every other goroutine sharing
+				// the recording and compare against live generation.
+				rp := rec.Replay()
+				ref := want[s.Name]
+				var in isa.Inst
+				for i := 0; i < window; i++ {
+					rp.Next(&in)
+					if in != ref[i] {
+						t.Errorf("%s: replay diverges from live stream at %d", s.Name, i)
+						return
+					}
+				}
+			}(si, w, s)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// One recording per benchmark: every goroutine saw the same pointer.
+	for si, s := range specs {
+		for w := 1; w < workersPerSpec; w++ {
+			if recs[si][w] != recs[si][0] {
+				t.Fatalf("%s: goroutines received distinct recordings", s.Name)
+			}
+		}
+	}
+	if pool.Size() != len(specs) {
+		t.Fatalf("pool recorded %d benchmarks, want %d", pool.Size(), len(specs))
+	}
+}
