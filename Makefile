@@ -2,12 +2,14 @@
 # machine-readable results (go test -bench ... -benchmem | tee) so each PR
 # can track the perf trajectory against the committed PERFORMANCE.md table.
 
-GO       ?= go
-BENCH    ?= BenchmarkSimulator|BenchmarkTrace|BenchmarkAccountingCache|BenchmarkBranchPredictor
-COUNT    ?= 5
-BENCHOUT ?= BENCH_latest.txt
+GO        ?= go
+BENCH     ?= BenchmarkSimulator|BenchmarkTrace|BenchmarkAccountingCache|BenchmarkBranchPredictor|BenchmarkFUPool
+COUNT     ?= 5
+BENCHOUT  ?= BENCH_latest.txt
+MEMWINDOW ?= 60000
+MEMCACHE  ?= /tmp/gals-bench-mem-cache
 
-.PHONY: all build test test-short race vet bench bench-suite ci
+.PHONY: all build test test-short race vet bench bench-suite bench-mem bench-smoke ci
 
 all: build
 
@@ -39,4 +41,16 @@ bench:
 bench-suite:
 	$(GO) test -run '^$$' -bench 'BenchmarkFigure6$$' -benchtime 1x . | tee BENCH_suite.txt
 
-ci: build vet race
+# Memory-scaling report for a fixed pruned synchronous sweep: peak Go heap
+# and peak RSS (the delta is the mmap'd recording store's file-backed
+# pages). Fresh cache dir each run so the recording cost is included.
+bench-mem:
+	rm -rf $(MEMCACHE)
+	$(GO) run ./cmd/sweep -quick -window $(MEMWINDOW) -cache $(MEMCACHE) -memstats
+
+# One-iteration pass over every benchmark so they cannot rot (the CI job).
+# The shrunken window keeps the suite-pipeline benchmarks to smoke scale.
+bench-smoke:
+	GALS_BENCH_WINDOW=2000 $(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+ci: build vet race bench-smoke

@@ -36,10 +36,11 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8347", "listen address")
-		cache   = flag.String("cache", defaultCacheDir(), "persistent result cache directory (empty disables)")
-		workers = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 0, "pending-job queue bound (0 = 1024)")
+		addr     = flag.String("addr", ":8347", "listen address")
+		cache    = flag.String("cache", defaultCacheDir(), "persistent result cache directory (empty disables)")
+		workers  = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "pending-cell queue bound (0 = 65536)")
+		maxBytes = flag.Int64("cache-max-bytes", 0, "LRU-prune the cache under this many bytes at startup and after computed sweeps/suites (0 = never)")
 	)
 	flag.Parse()
 
@@ -51,8 +52,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "galsd: -queue must be >= 0, got %d\n", *queue)
 		os.Exit(2)
 	}
+	if *maxBytes < 0 {
+		fmt.Fprintf(os.Stderr, "galsd: -cache-max-bytes must be >= 0, got %d\n", *maxBytes)
+		os.Exit(2)
+	}
 
-	svc, err := service.New(service.Config{CacheDir: *cache, Workers: *workers, QueueDepth: *queue})
+	svc, err := service.New(service.Config{
+		CacheDir: *cache, Workers: *workers, QueueDepth: *queue,
+		CacheMaxBytes: *maxBytes,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "galsd:", err)
 		os.Exit(1)

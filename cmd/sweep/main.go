@@ -9,6 +9,13 @@
 //
 // then report per-application percent improvements over the best
 // synchronous design and the suite means.
+//
+// By default the sweeps stream per-cell results into running accumulators
+// (O(configs + benchmarks) memory); with -cache, each benchmark's trace is
+// recorded once to an mmap-replayed slab under <cache>/recordings, so
+// paper-scale windows (-window 1000000 and up) run in bounded heap.
+// -fullmatrix retains the whole [config][benchmark] matrix instead (the
+// historical path; needed only when every cell must be inspected).
 package main
 
 import (
@@ -16,9 +23,15 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
+	"runtime"
 	"sort"
+	"strings"
+	"sync/atomic"
 	"time"
 
+	"gals/internal/core"
+	"gals/internal/recstore"
 	"gals/internal/resultcache"
 	"gals/internal/sweep"
 	"gals/internal/timing"
@@ -27,12 +40,14 @@ import (
 
 func main() {
 	var (
-		window  = flag.Int64("window", 30_000, "instruction window per run")
-		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		pll     = flag.Float64("pllscale", 0.1, "PLL lock-time scale")
-		quick   = flag.Bool("quick", false, "prune the synchronous space to direct-mapped I-caches (5x faster)")
-		only    = flag.String("bench", "", "restrict to one benchmark (adaptive stages only)")
-		cache   = flag.String("cache", "", "persistent result cache directory (repeated sweeps become incremental)")
+		window   = flag.Int64("window", 30_000, "instruction window per run")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		pll      = flag.Float64("pllscale", 0.1, "PLL lock-time scale")
+		quick    = flag.Bool("quick", false, "prune the synchronous space to direct-mapped I-caches (5x faster)")
+		only     = flag.String("bench", "", "restrict to one benchmark (adaptive stages only)")
+		cache    = flag.String("cache", "", "persistent cache directory: results + mmap-replayed recordings (repeated sweeps become incremental)")
+		fullmat  = flag.Bool("fullmatrix", false, "retain the full [config][benchmark] times matrix instead of streaming accumulators")
+		memstats = flag.Bool("memstats", false, "report peak heap and peak RSS after the sweep")
 	)
 	flag.Parse()
 
@@ -55,14 +70,25 @@ func main() {
 			os.Exit(1)
 		}
 		sweep.SetPersist(c)
+		st, err := recstore.Open(filepath.Join(*cache, recstore.Subdir))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		sweep.SetRecordings(st)
+	}
+
+	stopSampler := (func())(nil)
+	if *memstats {
+		stopSampler = startHeapSampler()
 	}
 
 	opts := sweep.Options{Window: *window, Workers: *workers, PLLScale: *pll}.WithDefaults()
 	*window = opts.Window
 	// One shared recorded-trace pool: each benchmark's deterministic stream
-	// is generated once and replayed by every configuration run of all
-	// three sweep stages.
-	opts.Traces = workload.NewPool(opts.Window)
+	// is captured once (on disk when -cache is set, in memory otherwise)
+	// and replayed by every configuration run of all three sweep stages.
+	opts.Traces = sweep.NewRecordingPool(opts.Window)
 	specs := workload.Suite()
 	if *only != "" {
 		s, ok := workload.ByName(*only)
@@ -78,15 +104,29 @@ func main() {
 		syncCfgs = sweep.QuickSyncSpace()
 	}
 
+	// measure runs one design space through the chosen engine: streaming
+	// summaries by default, the retained full matrix under -fullmatrix.
+	measure := func(cfgs []core.Config) *sweep.Summary {
+		if *fullmat {
+			return sweep.Summarize(sweep.Measure(specs, cfgs, opts))
+		}
+		sum, err := sweep.MeasureSummary(specs, cfgs, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		return sum
+	}
+
 	start := time.Now()
 	fmt.Printf("sync sweep: %d configs x %d benchmarks, window %d\n", len(syncCfgs), len(specs), *window)
-	syncTimes := sweep.Measure(specs, syncCfgs, opts)
-	bestSync := sweep.BestOverall(syncTimes)
-	if bestSync < 0 {
+
+	syncSum := measure(syncCfgs)
+	if syncSum.Best < 0 {
 		fmt.Fprintln(os.Stderr, "sweep: synchronous sweep produced no finite run times")
 		os.Exit(1)
 	}
-	fmt.Printf("best overall synchronous: %s  (%.1fs)\n", syncCfgs[bestSync].Label(), time.Since(start).Seconds())
+	fmt.Printf("best overall synchronous: %s  (%.1fs)\n", syncCfgs[syncSum.Best].Label(), time.Since(start).Seconds())
 
 	// Show the ranking of the synchronous space (geomean run time relative
 	// to the best) for the most informative configurations.
@@ -96,13 +136,9 @@ func main() {
 	}
 	var rank []ranked
 	for ci := range syncCfgs {
-		s := 0.0
-		for _, t := range syncTimes[ci] {
-			if t <= 0 { // no valid measurement: disqualify, as BestOverall does
-				s = math.Inf(1)
-				break
-			}
-			s += math.Log(float64(t))
+		s := syncSum.Scores[ci]
+		if syncSum.Invalid[ci] { // no valid measurement: disqualify
+			s = math.Inf(1)
 		}
 		rank = append(rank, ranked{ci, s})
 	}
@@ -125,27 +161,84 @@ func main() {
 
 	adCfgs := sweep.AdaptiveSpace()
 	fmt.Printf("adaptive sweep: %d configs x %d benchmarks\n", len(adCfgs), len(specs))
-	adTimes := sweep.Measure(specs, adCfgs, opts)
-	bestPer := sweep.BestPerApp(adTimes)
+	adSum := measure(adCfgs)
 
 	phase := sweep.PhaseResults(specs, opts)
 
 	fmt.Printf("\n%-18s %11s %11s %8s %8s   %s\n", "benchmark", "t_sync(us)", "t_prog(us)", "prog%", "phase%", "best adaptive config")
 	var sumProg, sumPhase float64
 	for si, spec := range specs {
-		ts := syncTimes[bestSync][si]
-		tp := adTimes[bestPer[si]][si]
+		ts := syncSum.BestTimes[si]
+		tp := adSum.PerAppTimes[si]
 		tph := phase[si].TimeFS
 		ip := sweep.Improvement(ts, tp)
 		iph := sweep.Improvement(ts, tph)
 		sumProg += ip
 		sumPhase += iph
 		fmt.Printf("%-18s %11.2f %11.2f %+8.1f %+8.1f   %s\n",
-			spec.Name, us(ts), us(tp), ip, iph, adCfgs[bestPer[si]].Label())
+			spec.Name, us(ts), us(tp), ip, iph, adCfgs[adSum.PerApp[si]].Label())
 	}
 	fmt.Printf("\nmean improvement: program-adaptive %+.1f%%  phase-adaptive %+.1f%%  (paper: +17.6%% / +20.4%%)\n",
 		sumProg/n, sumPhase/n)
 	fmt.Printf("total sweep time %.1fs\n", time.Since(start).Seconds())
+
+	if stopSampler != nil {
+		stopSampler()
+	}
 }
 
 func us(fs int64) float64 { return float64(fs) / 1e9 }
+
+// startHeapSampler polls the Go heap every 50 ms and, on stop, reports the
+// peak heap observed alongside the process's peak RSS (VmHWM, which also
+// counts resident mmap'd recording pages — the gap between the two numbers
+// is the file-backed memory the recording store moved out of the heap).
+func startHeapSampler() (stop func()) {
+	var peak atomic.Int64
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if h := int64(ms.HeapInuse); h > peak.Load() {
+			peak.Store(h)
+		}
+	}
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				sample()
+				return
+			case <-t.C:
+				sample()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		fmt.Printf("peak heap in use: %.1f MB\n", float64(peak.Load())/(1<<20))
+		if hwm, ok := vmHWM(); ok {
+			fmt.Printf("peak RSS (incl. mmap'd recordings): %.1f MB\n", float64(hwm)/(1<<20))
+		}
+	}
+}
+
+// vmHWM reads the process's peak resident set size from /proc (Linux).
+func vmHWM() (int64, bool) {
+	blob, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(blob), "\n") {
+		var kb int64
+		if n, _ := fmt.Sscanf(line, "VmHWM: %d kB", &kb); n == 1 {
+			return kb * 1024, true
+		}
+	}
+	return 0, false
+}

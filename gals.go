@@ -46,9 +46,11 @@ package gals
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"gals/internal/core"
 	"gals/internal/experiment"
+	"gals/internal/recstore"
 	"gals/internal/resultcache"
 	"gals/internal/sweep"
 	"gals/internal/timing"
@@ -81,11 +83,16 @@ type (
 	// SweepOptions control design-space sweeps. Set Traces to a shared
 	// TracePool to replay one recording per benchmark across sweeps.
 	SweepOptions = sweep.Options
+	// SweepSummary is a sweep's streaming aggregation: best-overall and
+	// per-application winners in O(configs + benchmarks) memory.
+	SweepSummary = sweep.Summary
 	// Recording is an immutable recorded benchmark trace, replayable
 	// concurrently and bit-identical to live generation.
 	Recording = workload.Recording
 	// TracePool shares one Recording per benchmark across runs and sweeps.
 	TracePool = workload.Pool
+	// RecordingStore persists recordings as mmap-replayed binary slabs.
+	RecordingStore = recstore.Store
 	// ICacheConfig, DCacheConfig and IQSize name structure configurations.
 	ICacheConfig = timing.ICacheConfig
 	DCacheConfig = timing.DCacheConfig
@@ -209,31 +216,57 @@ func UsePersistentCache(dir string) error {
 	if err != nil {
 		return err
 	}
+	// Recordings live under the same root (<dir>/recordings), so sweeps and
+	// suite pipelines replay mmap'd slabs instead of re-generating (or heap-
+	// resident) traces; see UseRecordingStore for the store alone.
+	if err := UseRecordingStore(filepath.Join(dir, recstore.Subdir)); err != nil {
+		return err
+	}
 	experiment.SetSuitePersist(c)
 	sweep.SetPersist(c)
 	return nil
 }
 
-// DisablePersistentCache detaches any installed persistent result cache;
-// the process-local memo keeps working.
+// UseRecordingStore installs an mmap-backed recording store at dir behind
+// every trace pool the sweep and experiment layers create: each benchmark's
+// instruction stream is recorded to disk at most once per directory (across
+// processes) and replayed from file-backed pages, so paper-scale windows
+// cost page cache instead of heap. Recordings are bit-identical to live
+// generation; a corrupt or stale slab is re-recorded, never replayed.
+func UseRecordingStore(dir string) error {
+	st, err := recstore.Open(dir)
+	if err != nil {
+		return err
+	}
+	sweep.SetRecordings(st)
+	return nil
+}
+
+// DisablePersistentCache detaches any installed persistent result cache and
+// recording store; the process-local memo keeps working.
 func DisablePersistentCache() {
 	experiment.SetSuitePersist(nil)
 	sweep.SetPersist(nil)
+	sweep.SetRecordings(nil)
 }
 
 // BestSynchronous sweeps the fully synchronous design space over the whole
-// suite and returns the best-overall configuration (paper Section 4). It
-// errors in the degenerate case where no configuration produced a finite
-// score (some run reported a non-positive time for every configuration).
+// suite and returns the best-overall configuration (paper Section 4). The
+// sweep streams per-cell results into running accumulators (memory is
+// O(configs + benchmarks) at any window). It errors in the degenerate case
+// where no configuration produced a finite score (some run reported a
+// non-positive time for every configuration).
 func BestSynchronous(o SweepOptions) (Config, error) {
 	specs := workload.Suite()
 	cfgs := sweep.SyncSpace()
-	times := sweep.Measure(specs, cfgs, o)
-	best := sweep.BestOverall(times)
-	if best < 0 {
+	sum, err := sweep.MeasureSummary(specs, cfgs, o)
+	if err != nil {
+		return Config{}, err
+	}
+	if sum.Best < 0 {
 		return Config{}, fmt.Errorf("gals: synchronous sweep produced no finite run times")
 	}
-	return cfgs[best], nil
+	return cfgs[sum.Best], nil
 }
 
 // ProgramAdaptiveSearch exhaustively evaluates the 256 adaptive MCD
@@ -241,9 +274,12 @@ func BestSynchronous(o SweepOptions) (Config, error) {
 // time — the paper's Program-Adaptive selection for that application.
 func ProgramAdaptiveSearch(spec WorkloadSpec, o SweepOptions) (Config, timing.FS) {
 	cfgs := sweep.AdaptiveSpace()
-	times := sweep.Measure([]workload.Spec{spec}, cfgs, o)
-	best := sweep.BestPerApp(times)[0]
-	return cfgs[best], times[best][0]
+	sum, err := sweep.MeasureSummary([]workload.Spec{spec}, cfgs, o)
+	if err != nil {
+		// Only a caller-provided bounded Options.Exec can reject the sweep.
+		panic(err)
+	}
+	return cfgs[sum.PerApp[0]], sum.PerAppTimes[0]
 }
 
 // Improvement returns the percent run-time improvement of adapted over

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"gals/internal/timing"
+)
+
+// linearFUPool is the pre-free-list implementation, kept as the benchmark
+// baseline: an unconditional argmin scan over unit availability.
+type linearFUPool struct {
+	avail []timing.FS
+}
+
+func (f *linearFUPool) acquire(t timing.FS, busy func(start timing.FS) timing.FS) timing.FS {
+	best := 0
+	for i := 1; i < len(f.avail); i++ {
+		if f.avail[i] < f.avail[best] {
+			best = i
+		}
+	}
+	start := t
+	if f.avail[best] > start {
+		start = f.avail[best]
+	}
+	f.avail[best] = busy(start)
+	return start
+}
+
+// TestFUPoolFreeListMatchesScan pins the free-list fast path to the linear
+// scan: identical start times and identical unit bookkeeping through the
+// cold (free units remain) and warm (all booked) regimes, including
+// non-monotonic acquire times.
+func TestFUPoolFreeListMatchesScan(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		a := newFUPool(n)
+		b := &linearFUPool{avail: make([]timing.FS, n)}
+		ts := []timing.FS{0, 3, 1, 7, 7, 2, 40, 12, 13, 99, 5, 100, 101, 250, 60}
+		for i, at := range ts {
+			busy := func(s timing.FS) timing.FS { return s + 5 }
+			ga, gb := a.acquire(at, busy), b.acquire(at, busy)
+			if ga != gb {
+				t.Fatalf("n=%d step %d: free-list start %d, scan start %d", n, i, ga, gb)
+			}
+			for u := range a.avail {
+				if a.avail[u] != b.avail[u] {
+					t.Fatalf("n=%d step %d: unit %d avail diverged (%d vs %d)", n, i, u, a.avail[u], b.avail[u])
+				}
+			}
+		}
+	}
+}
+
+var sinkFS timing.FS
+
+// BenchmarkFUPoolAcquire compares the bitmask free-list against the linear
+// scan in both regimes. "cold" re-creates the pool every width acquires, so
+// every call takes the TrailingZeros64 path (the regime of the 1-wide
+// mul/div pools on integer-heavy workloads, and of every pool at run
+// start); "warm" saturates the pool first, so every call falls through to
+// the exact argmin scan (the steady-state ALU-pool regime — the free-list
+// costs one branch there).
+func BenchmarkFUPoolAcquire(b *testing.B) {
+	const width = 4
+	busy := func(s timing.FS) timing.FS { return s + 3 }
+
+	b.Run("freelist/cold", func(b *testing.B) {
+		p := newFUPool(width)
+		for i := 0; i < b.N; i++ {
+			if i%width == 0 {
+				p.free = (1 << width) - 1
+				for u := range p.avail {
+					p.avail[u] = 0
+				}
+			}
+			sinkFS = p.acquire(timing.FS(i), busy)
+		}
+	})
+	b.Run("linear/cold", func(b *testing.B) {
+		p := &linearFUPool{avail: make([]timing.FS, width)}
+		for i := 0; i < b.N; i++ {
+			if i%width == 0 {
+				for u := range p.avail {
+					p.avail[u] = 0
+				}
+			}
+			sinkFS = p.acquire(timing.FS(i), busy)
+		}
+	})
+	b.Run("freelist/warm", func(b *testing.B) {
+		p := newFUPool(width)
+		for u := 0; u < width; u++ {
+			p.acquire(0, busy)
+		}
+		for i := 0; i < b.N; i++ {
+			sinkFS = p.acquire(timing.FS(i), busy)
+		}
+	})
+	b.Run("linear/warm", func(b *testing.B) {
+		p := &linearFUPool{avail: make([]timing.FS, width)}
+		for u := 0; u < width; u++ {
+			p.acquire(0, busy)
+		}
+		for i := 0; i < b.N; i++ {
+			sinkFS = p.acquire(timing.FS(i), busy)
+		}
+	})
+}

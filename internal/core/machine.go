@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"math/bits"
+
 	"gals/internal/bpred"
 	"gals/internal/cache"
 	"gals/internal/clock"
@@ -49,16 +52,37 @@ func (w *window) floor(n int) timing.FS {
 	return w.buf[i]
 }
 
-// fuPool models a set of identical functional units.
+// fuPool models a set of identical functional units. A uint64 free-list
+// tracks units that have never been booked (avail == 0): while any bit is
+// set, acquire takes the lowest free unit via bits.TrailingZeros64 without
+// scanning availability times. The booked units' avail values are strictly
+// positive (busy times are clock edges after time 0), so a free unit is
+// always the global minimum and the lowest-set-bit choice reproduces the
+// linear scan's first-smallest-index selection exactly — the fast path is
+// bit-identical to the scan, it just skips it. Once all units have been
+// booked (a few dozen instructions into a run for the ALU pools; much
+// later, or never, for the 1-wide mul/div pools on workloads light in
+// those classes), the exact argmin scan takes over.
 type fuPool struct {
 	avail []timing.FS
+	free  uint64 // bit i set <=> avail[i] == 0 (unit never booked)
 }
 
-func newFUPool(n int) *fuPool { return &fuPool{avail: make([]timing.FS, n)} }
+func newFUPool(n int) *fuPool {
+	if n < 1 || n > 64 {
+		panic(fmt.Sprintf("core: fuPool size %d out of range [1, 64]", n))
+	}
+	return &fuPool{avail: make([]timing.FS, n), free: (uint64(1) << n) - 1}
+}
 
 // acquire returns the earliest start time >= t on any unit and books the
-// unit until busyUntil(start).
+// unit until busyUntil(start). The free-list take lives in its own
+// function so the saturated path's codegen stays as tight as the plain
+// scan (measured: folding the take inline cost ~5% at simulator level).
 func (f *fuPool) acquire(t timing.FS, busy func(start timing.FS) timing.FS) timing.FS {
+	if f.free != 0 {
+		return f.acquireFree(t, busy)
+	}
 	best := 0
 	for i := 1; i < len(f.avail); i++ {
 		if f.avail[i] < f.avail[best] {
@@ -71,6 +95,19 @@ func (f *fuPool) acquire(t timing.FS, busy func(start timing.FS) timing.FS) timi
 	}
 	f.avail[best] = busy(start)
 	return start
+}
+
+// acquireFree books the lowest never-booked unit: its avail of 0 is the
+// pool-wide minimum (booked units are strictly positive), and the lowest
+// set bit matches the scan's first-smallest-index tie-break, so the result
+// is bit-identical to scanning.
+//
+//go:noinline
+func (f *fuPool) acquireFree(t timing.FS, busy func(start timing.FS) timing.FS) timing.FS {
+	i := bits.TrailingZeros64(f.free)
+	f.free &^= 1 << i
+	f.avail[i] = busy(t)
+	return t
 }
 
 // storeEntry is one slot of the store-forwarding table.

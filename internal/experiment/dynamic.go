@@ -96,6 +96,8 @@ func (o Options) memoKey() Options {
 	o.Seed = so.Seed
 	o.PLLScale = so.PLLScale
 	o.Workers = 0 // parallelism does not change results
+	o.Exec = nil  // nor does the pool the cells run on
+	o.Priority = 0
 	return o
 }
 
@@ -109,7 +111,7 @@ func SuiteComputations() int64 { return suiteComputes.Load() }
 // the benchmark harness share one best-synchronous sweep and one set of
 // Program-Adaptive searches).
 func RunSuite(o Options) (*SuiteResult, error) {
-	workers := o.Workers
+	workers, exec, pri := o.Workers, o.Exec, o.Priority
 	o = o.memoKey()
 	suiteMu.Lock()
 	defer suiteMu.Unlock()
@@ -127,37 +129,48 @@ func RunSuite(o Options) (*SuiteResult, error) {
 	suiteComputes.Add(1)
 	specs := workload.Suite()
 	so := o.sweepOptions()
-	so.Workers = workers
+	so.Workers, so.Exec, so.Priority = workers, exec, pri
 	// One recorded-trace pool shared by the synchronous sweep, the adaptive
-	// sweep and the Phase-Adaptive runs; scoped to this computation so the
-	// raw slabs (~megabytes per benchmark) are released once memoized.
-	so.Traces = workload.NewPool(o.Window)
+	// sweep and the Phase-Adaptive runs; scoped to this computation so
+	// in-memory slabs (~megabytes per benchmark) are released once
+	// memoized. With a recording store installed (gals.UsePersistentCache,
+	// the service), the slabs are mmap'd files instead of heap.
+	so.Traces = sweep.NewRecordingPool(o.Window)
 
 	syncCfgs := sweep.SyncSpace()
 	if !o.FullSyncSpace {
 		syncCfgs = sweep.QuickSyncSpace()
 	}
-	syncTimes := sweep.Measure(specs, syncCfgs, so)
-	best := sweep.BestOverall(syncTimes)
-	if best < 0 {
+	// Streaming summaries instead of full matrices: the pipeline only needs
+	// the winners, so memory stays O(configs + benchmarks) at any window.
+	syncSum, err := sweep.MeasureSummary(specs, syncCfgs, so)
+	if err != nil {
+		return nil, err
+	}
+	if syncSum.Best < 0 {
 		return nil, fmt.Errorf("experiment: synchronous sweep produced no finite run times")
 	}
 
 	adCfgs := sweep.AdaptiveSpace()
-	adTimes := sweep.Measure(specs, adCfgs, so)
-	bestPer := sweep.BestPerApp(adTimes)
+	adSum, err := sweep.MeasureSummary(specs, adCfgs, so)
+	if err != nil {
+		return nil, err
+	}
 
-	phase := sweep.PhaseResults(specs, so)
+	phase, err := sweep.MeasurePhase(specs, so)
+	if err != nil {
+		return nil, err
+	}
 
 	r := &SuiteResult{
 		Specs:        specs,
-		BestSync:     syncCfgs[best],
-		SyncTimes:    syncTimes[best],
+		BestSync:     syncCfgs[syncSum.Best],
+		SyncTimes:    syncSum.BestTimes,
 		PhaseResults: phase,
 	}
 	for si := range specs {
-		r.ProgConfigs = append(r.ProgConfigs, adCfgs[bestPer[si]])
-		r.ProgTimes = append(r.ProgTimes, adTimes[bestPer[si]][si])
+		r.ProgConfigs = append(r.ProgConfigs, adCfgs[adSum.PerApp[si]])
+		r.ProgTimes = append(r.ProgTimes, adSum.PerAppTimes[si])
 	}
 	for i := range specs {
 		r.MeanProg += r.ProgImprovement(i)

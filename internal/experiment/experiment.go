@@ -34,6 +34,13 @@ type Options struct {
 	Seed int64
 	// JitterFrac enables per-edge clock jitter.
 	JitterFrac float64
+	// Exec optionally routes the pipeline's simulation cells to a shared
+	// work-stealing pool (the service installs its own, so suite work and
+	// single runs share one parallelism bound). Result-neutral: excluded
+	// from the memo and every cache key.
+	Exec *sweep.Pool `json:"-"`
+	// Priority orders the pipeline's cells on that pool. Result-neutral.
+	Priority int `json:"-"`
 }
 
 // DefaultOptions match the calibration runs recorded in EXPERIMENTS.md.
@@ -48,6 +55,8 @@ func (o Options) sweepOptions() sweep.Options {
 		Seed:       o.Seed,
 		JitterFrac: o.JitterFrac,
 		PLLScale:   o.PLLScale,
+		Exec:       o.Exec,
+		Priority:   o.Priority,
 	}
 }
 

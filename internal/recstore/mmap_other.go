@@ -1,0 +1,15 @@
+//go:build !unix
+
+package recstore
+
+import (
+	"errors"
+	"os"
+)
+
+// mapPayload reports that mmap is unavailable on this platform; the caller
+// falls back to reading the slab into heap, which is correct but loses the
+// file-backed-pages memory behaviour.
+func mapPayload(f *os.File, size int) ([]byte, error) {
+	return nil, errors.New("recstore: mmap unavailable on this platform")
+}

@@ -1,0 +1,22 @@
+//go:build unix
+
+package recstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapPayload maps the whole slab file read-only and returns the payload
+// view past the header. The mapping lives for the process: recordings are
+// cached per store and shared by every pool, and the pages are file-backed,
+// so the kernel reclaims them under pressure without any heap involvement.
+// Unlinking a mapped file (cache pruning) is safe — established mappings
+// keep their pages.
+func mapPayload(f *os.File, size int) ([]byte, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return data[headerSize:], nil
+}

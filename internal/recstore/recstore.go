@@ -1,0 +1,328 @@
+// Package recstore persists recorded benchmark instruction streams as
+// compact binary slabs and replays them via mmap, so paper-scale simulation
+// windows (millions of instructions x 40 benchmarks) cost file-backed pages
+// instead of heap. It is the disk tier under workload.Pool: a backed pool
+// asks the store for each benchmark's recording, the store serves an
+// existing slab (one mmap per process, shared by every pool and replay) or
+// records it exactly once per directory — a lock file serializes recorders
+// across processes, so concurrent sweeps on one cache directory never
+// duplicate the generation work.
+//
+// Layout: <dir>/<hh>/<hash>.rec, where <hash> is the sha-256 of the format
+// version, the window and the canonical spec JSON, and <hh> its first two
+// hex chars (directory fanout). Each file is a 64-byte header (magic,
+// version, instruction size, count, spec digest) followed by
+// count x workload.EncodedInstSize payload bytes, written via a temp file
+// and an atomic rename. Invalidation is by construction: any change to the
+// encoding or the workload generator bumps formatVersion, orphaning old
+// files rather than replaying stale streams; a corrupt or truncated file is
+// deleted and re-recorded, never served.
+package recstore
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gals/internal/workload"
+)
+
+// formatVersion is baked into file names and headers. Bump it whenever the
+// wire encoding or the deterministic workload generator changes: old slabs
+// then stop matching instead of replaying a stale stream.
+const formatVersion = 1
+
+const (
+	headerSize = 64
+	magic      = "GALSREC\x00"
+
+	// lockPoll is the waiters' check interval for a recording in progress;
+	// lockStale is how old an un-refreshed lock must be before waiters
+	// treat its holder as crashed (holders refresh every lockStale/4).
+	lockPoll  = 50 * time.Millisecond
+	lockStale = 10 * time.Minute
+)
+
+// Subdir is the conventional recording-store location inside a shared
+// cache directory — the single definition behind gals.UsePersistentCache,
+// the service and cmd/sweep, so every entry point shares one slab corpus.
+const Subdir = "recordings"
+
+// Stats are a store's lifetime counters.
+type Stats struct {
+	// Mapped counts recordings served from existing files; Recorded counts
+	// recordings generated and written by this process.
+	Mapped, Recorded int64
+	// Rerecorded counts corrupt or truncated files that were deleted and
+	// regenerated.
+	Rerecorded int64
+}
+
+// Store is an on-disk recording store. Create with Open. It implements
+// workload.Backing; all methods are safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[string]*entry
+
+	mapped, recorded, rerecorded atomic.Int64
+}
+
+type entry struct {
+	once sync.Once
+	rec  *workload.Recording
+	err  error
+}
+
+// Open creates (if needed) and returns a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("recstore: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("recstore: %w", err)
+	}
+	return &Store{dir: dir, entries: make(map[string]*entry)}, nil
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Stats returns the store's counters so far.
+func (st *Store) Stats() Stats {
+	return Stats{
+		Mapped:     st.mapped.Load(),
+		Recorded:   st.recorded.Load(),
+		Rerecorded: st.rerecorded.Load(),
+	}
+}
+
+// specDigest canonicalizes a spec for identity checks. Spec is plain data,
+// so its JSON encoding is stable.
+func specDigest(s workload.Spec) ([32]byte, error) {
+	blob, err := json.Marshal(s)
+	if err != nil {
+		return [32]byte{}, fmt.Errorf("recstore: unmarshalable spec: %w", err)
+	}
+	return sha256.Sum256(blob), nil
+}
+
+// key derives the file-name hash for (spec, window).
+func key(digest [32]byte, window int64) string {
+	h := sha256.New()
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:], formatVersion)
+	binary.LittleEndian.PutUint32(hdr[4:], workload.EncodedInstSize)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(window))
+	h.Write(hdr[:])
+	h.Write(digest[:])
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Recording returns the benchmark's recording of exactly window
+// instructions, mapping an existing slab or recording one (once per
+// directory, across processes). The returned recording is shared: repeated
+// calls for the same (spec, window) return the same mapping. It implements
+// workload.Backing.
+func (st *Store) Recording(s workload.Spec, window int64) (*workload.Recording, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("recstore: non-positive window %d", window)
+	}
+	digest, err := specDigest(s)
+	if err != nil {
+		return nil, err
+	}
+	k := key(digest, window)
+
+	st.mu.Lock()
+	e := st.entries[k]
+	if e == nil {
+		e = &entry{}
+		st.entries[k] = e
+	}
+	st.mu.Unlock()
+
+	e.once.Do(func() { e.rec, e.err = st.acquire(s, window, digest, k) })
+	return e.rec, e.err
+}
+
+// path maps a key hash to its slab file.
+func (st *Store) path(k string) string {
+	return filepath.Join(st.dir, k[:2], k+".rec")
+}
+
+// acquire loads or records one slab.
+func (st *Store) acquire(s workload.Spec, window int64, digest [32]byte, k string) (*workload.Recording, error) {
+	p := st.path(k)
+	if rec, err := st.load(s, window, digest, p); err == nil {
+		st.mapped.Add(1)
+		// Refresh the slab's mtime so a size-capped LRU prune
+		// (resultcache.Prune over the shared cache root) evicts cold slabs
+		// before ones this process is actively replaying.
+		now := time.Now()
+		os.Chtimes(p, now, now)
+		return rec, nil
+	} else if !os.IsNotExist(err) {
+		// Anything on disk that is not a valid slab — truncated write from
+		// a crashed recorder, bit rot, a stale format — is deleted and
+		// regenerated rather than replayed.
+		os.Remove(p)
+		st.rerecorded.Add(1)
+	}
+	if err := st.record(s, window, digest, p); err != nil {
+		return nil, err
+	}
+	st.recorded.Add(1)
+	rec, err := st.load(s, window, digest, p)
+	if err != nil {
+		return nil, fmt.Errorf("recstore: freshly recorded slab unreadable: %w", err)
+	}
+	return rec, nil
+}
+
+// load validates and maps an existing slab file.
+func (st *Store) load(s workload.Spec, window int64, digest [32]byte, p string) (*workload.Recording, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	want := headerSize + window*workload.EncodedInstSize
+	if fi.Size() != want {
+		return nil, fmt.Errorf("recstore: %s is %d bytes, want %d", p, fi.Size(), want)
+	}
+	var hdr [headerSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, err
+	}
+	if string(hdr[0:8]) != magic ||
+		binary.LittleEndian.Uint32(hdr[8:]) != formatVersion ||
+		binary.LittleEndian.Uint32(hdr[12:]) != workload.EncodedInstSize ||
+		int64(binary.LittleEndian.Uint64(hdr[16:])) != window ||
+		[32]byte(hdr[24:56]) != digest {
+		return nil, fmt.Errorf("recstore: %s has a stale or foreign header", p)
+	}
+	raw, err := mapPayload(f, int(fi.Size()))
+	if err != nil {
+		// No mmap on this platform (or the map failed): fall back to a
+		// plain read — correct, just heap-resident.
+		blob, rerr := os.ReadFile(p)
+		if rerr != nil {
+			return nil, rerr
+		}
+		raw = blob[headerSize:]
+	}
+	return workload.RecordingFromEncoded(s, raw)
+}
+
+// record generates the slab under a cross-process lock: the first recorder
+// streams the trace to a temp file and renames it into place; others wait
+// for the rename instead of regenerating. A recorder that crashes leaves
+// the lock behind — waiters treat a lock older than lockStale as abandoned
+// and record themselves (the rename is idempotent: every recorder writes
+// identical bytes).
+func (st *Store) record(s workload.Spec, window int64, digest [32]byte, p string) error {
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("recstore: %w", err)
+	}
+	lock := p + ".lock"
+	lf, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err == nil {
+		lf.Close()
+		defer os.Remove(lock)
+		// Keep the lock fresh while recording: a paper-scale slab can take
+		// longer than lockStale to generate, and waiters must not conclude
+		// the lock is abandoned while the stream is still being written.
+		stop := make(chan struct{})
+		refreshed := make(chan struct{})
+		go func() {
+			defer close(refreshed)
+			t := time.NewTicker(lockStale / 4)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					now := time.Now()
+					os.Chtimes(lock, now, now)
+				}
+			}
+		}()
+		err := st.write(s, window, digest, p)
+		close(stop)
+		<-refreshed
+		return err
+	}
+	if !os.IsExist(err) {
+		return fmt.Errorf("recstore: %w", err)
+	}
+	// Another process is recording: wait for the slab to land.
+	for {
+		if _, err := os.Stat(p); err == nil {
+			return nil
+		}
+		fi, err := os.Stat(lock)
+		if err != nil || time.Since(fi.ModTime()) > lockStale {
+			// Lock released without a slab, or abandoned: record ourselves.
+			return st.write(s, window, digest, p)
+		}
+		time.Sleep(lockPoll)
+	}
+}
+
+// write streams the slab to a temp file and renames it into place.
+func (st *Store) write(s workload.Spec, window int64, digest [32]byte, p string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(p), "."+filepath.Base(p)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("recstore: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	var hdr [headerSize]byte
+	copy(hdr[0:8], magic)
+	binary.LittleEndian.PutUint32(hdr[8:], formatVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], workload.EncodedInstSize)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(window))
+	copy(hdr[24:56], digest[:])
+
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("recstore: %w", err)
+	}
+	if err := s.RecordTo(w, window); err != nil {
+		return fmt.Errorf("recstore: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("recstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		tmp = nil
+		return fmt.Errorf("recstore: %w", err)
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, p); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("recstore: %w", err)
+	}
+	return nil
+}

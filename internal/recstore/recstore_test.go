@@ -1,0 +1,265 @@
+package recstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gals/internal/core"
+	"gals/internal/isa"
+	"gals/internal/workload"
+)
+
+func openStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// slabPath returns the single .rec file under the store (the tests record
+// one benchmark at a time).
+func slabPath(t *testing.T, dir string) string {
+	t.Helper()
+	var found string
+	filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(p) == ".rec" {
+			found = p
+		}
+		return nil
+	})
+	if found == "" {
+		t.Fatal("no .rec slab found")
+	}
+	return found
+}
+
+// TestStoreReplayBitIdentical is the tentpole property test: for a spread
+// of workloads (integer, FP, phase-cycling), the store's mmap'd replay is
+// instruction-for-instruction identical to both live generation and the
+// in-memory Recording.
+func TestStoreReplayBitIdentical(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	const n = 4000
+	for _, name := range []string{"gcc", "apsi", "art", "adpcm decode"} {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("missing benchmark %q", name)
+		}
+		rec, err := st.Recording(spec, n)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rec.Len() != n {
+			t.Fatalf("%s: stored %d instructions, want %d", name, rec.Len(), n)
+		}
+		live := spec.NewTrace()
+		mem := spec.Record(n).Replay()
+		disk := rec.Replay()
+		var a, b, c isa.Inst
+		for i := 0; i < n; i++ {
+			live.Next(&a)
+			mem.Next(&b)
+			disk.Next(&c)
+			if a != c || b != c {
+				t.Fatalf("%s: instruction %d differs: live %v, memory %v, store %v", name, i, a, b, c)
+			}
+		}
+		// Reading past the stored window falls back to live continuation.
+		live.Next(&a)
+		disk.Next(&c)
+		if a != c {
+			t.Fatalf("%s: overrun instruction differs: live %v, store %v", name, a, c)
+		}
+	}
+}
+
+// TestStoreReplayIdenticalResultsAcrossModes runs full simulations from
+// live traces and from store-backed replays on all three machine modes and
+// requires identical run times and stats.
+func TestStoreReplayIdenticalResultsAcrossModes(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	spec, _ := workload.ByName("em3d")
+	const n = 6000
+	rec, err := st.Recording(spec, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []core.Config{
+		core.DefaultSync(),
+		core.DefaultAdaptive(core.ProgramAdaptive),
+		core.DefaultAdaptive(core.PhaseAdaptive),
+	}
+	for _, cfg := range cfgs {
+		cfg.Seed = 42
+		cfg.PLLScale = 0.1
+		want := core.RunWorkload(spec, cfg, n)
+		got := core.RunSource(rec.Replay(), cfg, n)
+		if got.TimeFS != want.TimeFS || got.Stats.Instructions != want.Stats.Instructions ||
+			got.Stats.Mispredicts != want.Stats.Mispredicts || got.Stats.DCacheMiss != want.Stats.DCacheMiss {
+			t.Fatalf("mode %v: store-backed run diverges: %d vs %d fs", cfg.Mode, got.TimeFS, want.TimeFS)
+		}
+	}
+}
+
+// TestStoreServesExistingSlabWithoutRerecording: a second store on the same
+// directory (a second process) maps the existing slab instead of
+// regenerating, and hands back the same instructions.
+func TestStoreServesExistingSlabWithoutRerecording(t *testing.T) {
+	dir := t.TempDir()
+	spec, _ := workload.ByName("gcc")
+	const n = 2000
+
+	st1 := openStore(t, dir)
+	rec1, err := st1.Recording(spec, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := st1.Stats(); s.Recorded != 1 || s.Mapped != 0 {
+		t.Fatalf("first store stats %+v, want 1 recorded", s)
+	}
+	// Same store: one shared mapping, not a second load.
+	again, _ := st1.Recording(spec, n)
+	if again != rec1 {
+		t.Fatal("same store returned a different recording instance")
+	}
+
+	st2 := openStore(t, dir)
+	rec2, err := st2.Recording(spec, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := st2.Stats(); s.Recorded != 0 || s.Mapped != 1 {
+		t.Fatalf("second store stats %+v, want 1 mapped / 0 recorded", s)
+	}
+	r1, r2 := rec1.Replay(), rec2.Replay()
+	var a, b isa.Inst
+	for i := 0; i < n; i++ {
+		r1.Next(&a)
+		r2.Next(&b)
+		if a != b {
+			t.Fatalf("instruction %d differs across processes", i)
+		}
+	}
+}
+
+// TestCorruptSlabIsRerecorded: a truncated or bit-flipped slab must degrade
+// to re-recording with correct results, never to a crash or a stale replay.
+func TestCorruptSlabIsRerecorded(t *testing.T) {
+	spec, _ := workload.ByName("art")
+	const n = 1500
+	want := spec.Record(n)
+
+	corruptions := map[string]func(p string){
+		"truncated": func(p string) {
+			fi, _ := os.Stat(p)
+			os.Truncate(p, fi.Size()/2)
+		},
+		"bad magic": func(p string) {
+			f, _ := os.OpenFile(p, os.O_WRONLY, 0)
+			f.WriteAt([]byte("NOTAREC!"), 0)
+			f.Close()
+		},
+		"wrong spec digest": func(p string) {
+			f, _ := os.OpenFile(p, os.O_WRONLY, 0)
+			f.WriteAt(make([]byte, 32), 24)
+			f.Close()
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			st1 := openStore(t, dir)
+			if _, err := st1.Recording(spec, n); err != nil {
+				t.Fatal(err)
+			}
+			corrupt(slabPath(t, dir))
+
+			st2 := openStore(t, dir)
+			rec, err := st2.Recording(spec, n)
+			if err != nil {
+				t.Fatalf("corrupt slab was not re-recorded: %v", err)
+			}
+			if s := st2.Stats(); s.Rerecorded != 1 {
+				t.Fatalf("stats %+v, want 1 re-recorded", s)
+			}
+			rp, wp := rec.Replay(), want.Replay()
+			var a, b isa.Inst
+			for i := 0; i < n; i++ {
+				rp.Next(&a)
+				wp.Next(&b)
+				if a != b {
+					t.Fatalf("re-recorded slab differs at instruction %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestStaleLockDoesNotWedge: a lock file left behind by a crashed recorder
+// must not block a fresh store forever.
+func TestStaleLockDoesNotWedge(t *testing.T) {
+	dir := t.TempDir()
+	spec, _ := workload.ByName("gcc")
+	const n = 500
+
+	// Pre-create the lock the recorder would take, with an old mtime.
+	st := openStore(t, dir)
+	digest, err := specDigest(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := st.path(key(digest, n))
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	lock := p + ".lock"
+	if err := os.WriteFile(lock, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := os.Chtimes(lock, ancient(), ancient())
+	if old != nil {
+		t.Fatal(old)
+	}
+
+	rec, err := st.Recording(spec, n)
+	if err != nil {
+		t.Fatalf("stale lock wedged the store: %v", err)
+	}
+	if rec.Len() != n {
+		t.Fatalf("recorded %d instructions, want %d", rec.Len(), n)
+	}
+}
+
+func ancient() (t time.Time) { return time.Now().Add(-time.Hour) }
+
+// TestDistinctWindowsDistinctSlabs: the same benchmark at two windows is
+// two slabs; neither replay truncates or pads the other.
+func TestDistinctWindowsDistinctSlabs(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	spec, _ := workload.ByName("gcc")
+	short, err := st.Recording(spec, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := st.Recording(spec, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Len() != 300 || long.Len() != 900 {
+		t.Fatalf("window mix-up: %d / %d", short.Len(), long.Len())
+	}
+	// The short slab is a strict prefix of the long one.
+	sp, lp := short.Replay(), long.Replay()
+	var a, b isa.Inst
+	for i := 0; i < 300; i++ {
+		sp.Next(&a)
+		lp.Next(&b)
+		if a != b {
+			t.Fatalf("prefix property violated at instruction %d", i)
+		}
+	}
+}

@@ -22,10 +22,13 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // SchemaVersion is mixed into every cache key. Bump it whenever a change
@@ -136,6 +139,10 @@ func (c *Cache) Load(key string, v any) bool {
 		c.misses.Add(1)
 		return false
 	}
+	// Mark the entry recently used so Prune's LRU order reflects reads,
+	// not just writes. Best-effort: a failed touch only skews eviction.
+	now := time.Now()
+	os.Chtimes(c.path(key), now, now)
 	c.hits.Add(1)
 	return true
 }
@@ -174,6 +181,89 @@ func (c *Cache) Store(key string, v any) {
 		return
 	}
 	c.puts.Add(1)
+}
+
+// staleTempAge is how old a dot-prefixed temp file or .lock must be before
+// Prune treats it as debris from a crashed writer and deletes it; live
+// writes and recordings finish (or refresh their lock) well inside this.
+const staleTempAge = time.Hour
+
+// PruneStats reports one Prune pass.
+type PruneStats struct {
+	// RemovedFiles and RemovedBytes count what was deleted.
+	RemovedFiles int   `json:"removed_files"`
+	RemovedBytes int64 `json:"removed_bytes"`
+	// RemainingBytes is the cache's size after the pass.
+	RemainingBytes int64 `json:"remaining_bytes"`
+}
+
+// Prune deletes least-recently-used cache files until the directory's total
+// size fits in maxBytes. "Used" is file mtime: Store writes and Load hits
+// both refresh it, so hot sweep matrices and recordings survive while stale
+// schema-orphaned blobs go first. In-flight temp files and lock files are
+// skipped; a pruned entry is simply recomputed (or re-recorded) on next
+// use, and deleting a currently-mmap'd recording is safe — the mapping
+// keeps its pages. Note the disk-space corollary: a slab still mapped by a
+// live process keeps its blocks allocated until that process exits, so
+// RemovedBytes (file sizes unlinked) can lead `df` by the mapped set; the
+// cap is re-enforced on the next pass once those processes are gone.
+// maxBytes <= 0 prunes everything.
+func (c *Cache) Prune(maxBytes int64) (PruneStats, error) {
+	if c == nil {
+		return PruneStats{}, nil
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var files []entry
+	var total int64
+	st := PruneStats{}
+	err := filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil // unreadable subtrees are simply not pruned
+		}
+		name := d.Name()
+		fi, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		if strings.HasPrefix(name, ".") || strings.HasSuffix(name, ".lock") {
+			// In-flight temp files and recorder locks are not LRU
+			// candidates — but ones a crashed writer abandoned are debris
+			// that would otherwise accumulate outside the cap forever.
+			if time.Since(fi.ModTime()) > staleTempAge && os.Remove(path) == nil {
+				st.RemovedFiles++
+				st.RemovedBytes += fi.Size()
+			}
+			return nil
+		}
+		files = append(files, entry{path: path, size: fi.Size(), mtime: fi.ModTime()})
+		total += fi.Size()
+		return nil
+	})
+	st.RemainingBytes = total
+	if err != nil {
+		return st, fmt.Errorf("resultcache: %w", err)
+	}
+	if total <= maxBytes {
+		return st, nil
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	for _, f := range files {
+		if st.RemainingBytes <= maxBytes {
+			break
+		}
+		if err := os.Remove(f.path); err != nil {
+			c.errs.Add(1)
+			continue
+		}
+		st.RemovedFiles++
+		st.RemovedBytes += f.size
+		st.RemainingBytes -= f.size
+	}
+	return st, nil
 }
 
 // Stats returns the cache's counters so far.

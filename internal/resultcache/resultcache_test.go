@@ -1,12 +1,14 @@
 package resultcache
 
 import (
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 type payload struct {
@@ -157,5 +159,73 @@ func TestConcurrentSameKey(t *testing.T) {
 	var got payload
 	if !c.Load(key, &got) || len(got.Times) != 1 || got.Times[0] != 42 {
 		t.Fatalf("final read failed: %+v", got)
+	}
+}
+
+// TestPruneLRU: Prune deletes least-recently-used entries first (mtime,
+// refreshed by Load hits), stops once under the cap, and skips temp files.
+func TestPruneLRU(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 4)
+	for i := range keys {
+		keys[i] = Key("run", payload{Name: fmt.Sprintf("p%d", i)})
+		c.Store(keys[i], payload{Name: fmt.Sprintf("p%d", i), Times: []int64{1, 2, 3}})
+	}
+	var size int64
+	var paths []string
+	filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			fi, _ := d.Info()
+			size += fi.Size()
+			paths = append(paths, p)
+		}
+		return nil
+	})
+	if len(paths) != 4 {
+		t.Fatalf("stored %d files, want 4", len(paths))
+	}
+	per := size / 4
+
+	// Age entries 0..3 oldest-first, then touch entry 0 via a Load hit so
+	// it becomes the most recently used.
+	for i, k := range keys {
+		mt := time.Now().Add(-time.Duration(10-i) * time.Minute)
+		if err := os.Chtimes(c.path(k), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got payload
+	if !c.Load(keys[0], &got) {
+		t.Fatal("load miss")
+	}
+
+	// Cap at ~2 entries: the two oldest non-touched entries (1, 2) go.
+	st, err := c.Prune(2 * per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RemovedFiles != 2 || st.RemainingBytes > 2*per {
+		t.Fatalf("prune stats %+v, want 2 files removed under %d bytes", st, 2*per)
+	}
+	for i, k := range keys {
+		hit := c.Load(k, &got)
+		want := i == 0 || i == 3
+		if hit != want {
+			t.Fatalf("entry %d present=%v, want %v", i, hit, want)
+		}
+	}
+
+	// Prune to zero clears everything; a nil cache is inert.
+	st, err = c.Prune(0)
+	if err != nil || st.RemainingBytes != 0 {
+		t.Fatalf("full prune: %v %+v", err, st)
+	}
+	var nilCache *Cache
+	if _, err := nilCache.Prune(0); err != nil {
+		t.Fatal("nil cache prune errored")
 	}
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 
 	"gals/internal/workload"
@@ -18,9 +19,10 @@ import (
 //	POST /v1/sweep       a design-space sweep     (SweepRequest -> SweepResult)
 //	POST /v1/suite       the Figure-6 pipeline    (SuiteRequest -> SuiteSummary)
 //	POST /v1/experiment  one table or figure      (ExperimentRequest -> experiment.Table)
+//	POST /v1/cache/prune LRU-prune the cache      ({"max_bytes": N} -> resultcache.PruneStats)
 //
 // All bodies are JSON. Validation failures return 400, unknown experiment
-// IDs 400, a full job queue 503, all with {"error": "..."} bodies.
+// IDs 400, a full cell queue 503, all with {"error": "..."} bodies.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 
@@ -96,6 +98,37 @@ func (s *Service) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("POST /v1/cache/prune", func(w http.ResponseWriter, r *http.Request) {
+		// Admin endpoint: max_bytes overrides the server's -cache-max-bytes
+		// for this pass (0 with no configured cap prunes everything).
+		var req struct {
+			MaxBytes *int64 `json:"max_bytes"`
+		}
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil && err != io.EOF { // empty body = use the configured cap
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+			return
+		}
+		max := s.cfg.CacheMaxBytes
+		if req.MaxBytes != nil {
+			max = *req.MaxBytes
+		} else if max <= 0 {
+			// No explicit bound and no configured cap: refuse rather than
+			// letting Prune(0) wipe the whole cache as a "default".
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": "no cache cap configured; pass {\"max_bytes\": N} explicitly (0 clears everything)",
+			})
+			return
+		}
+		st, err := s.Prune(max)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
 	})
 
 	mux.HandleFunc("POST /v1/experiment", func(w http.ResponseWriter, r *http.Request) {

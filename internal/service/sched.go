@@ -1,17 +1,11 @@
 package service
 
-import (
-	"container/heap"
-	"errors"
-	"fmt"
-	"sync"
-	"sync/atomic"
-)
+import "gals/internal/sweep"
 
-// Priority orders competing jobs in the scheduler: higher runs first, ties
-// run in submission order (FIFO). Values outside the named constants are
-// accepted — the scheduler only compares.
-type Priority int
+// Priority orders competing work on the service's shared cell pool: higher
+// runs first, ties run in submission order (FIFO). Values outside the named
+// constants are accepted — the pool only compares.
+type Priority = int
 
 // Named priority levels for requests.
 const (
@@ -20,151 +14,15 @@ const (
 	PriorityHigh   Priority = 10
 )
 
-// ErrQueueFull is returned by submissions when the scheduler's pending
-// queue is at capacity; HTTP maps it to 503 so callers can back off.
-var ErrQueueFull = errors.New("service: job queue full")
-
-// ErrClosed is returned by submissions after Close.
-var ErrClosed = errors.New("service: scheduler closed")
-
-// schedJob is one queued unit of work.
-type schedJob struct {
-	pri Priority
-	seq uint64 // submission order, for FIFO within a priority
-	run func()
-}
-
-// jobQueue is a max-heap by (priority, -seq).
-type jobQueue []*schedJob
-
-func (q jobQueue) Len() int { return len(q) }
-func (q jobQueue) Less(i, j int) bool {
-	if q[i].pri != q[j].pri {
-		return q[i].pri > q[j].pri
-	}
-	return q[i].seq < q[j].seq
-}
-func (q jobQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *jobQueue) Push(x any)   { *q = append(*q, x.(*schedJob)) }
-func (q *jobQueue) Pop() any {
-	old := *q
-	n := len(old)
-	j := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return j
-}
-
-// scheduler is a bounded worker pool draining a priority queue. Jobs beyond
-// the queue bound are rejected (ErrQueueFull) rather than buffered without
-// limit — under overload the server sheds load instead of hoarding memory.
-type scheduler struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   jobQueue
-	seq     uint64
-	depth   int
-	closed  bool
-	workers sync.WaitGroup
-
-	nworkers  int
-	inflight  atomic.Int64
-	completed atomic.Int64
-	rejected  atomic.Int64
-}
-
-// newScheduler starts a pool of `workers` goroutines with a pending-queue
-// bound of `depth`.
-func newScheduler(workers, depth int) *scheduler {
-	s := &scheduler{depth: depth, nworkers: workers}
-	s.cond = sync.NewCond(&s.mu)
-	for i := 0; i < workers; i++ {
-		s.workers.Add(1)
-		go s.work()
-	}
-	return s
-}
-
-func (s *scheduler) work() {
-	defer s.workers.Done()
-	for {
-		s.mu.Lock()
-		for len(s.queue) == 0 && !s.closed {
-			s.cond.Wait()
-		}
-		if len(s.queue) == 0 && s.closed {
-			s.mu.Unlock()
-			return
-		}
-		j := heap.Pop(&s.queue).(*schedJob)
-		s.mu.Unlock()
-
-		s.inflight.Add(1)
-		runJob(j)
-		s.inflight.Add(-1)
-		s.completed.Add(1)
-	}
-}
-
-// runJob isolates a job's panic to the job: a worker goroutine must never
-// take the whole server down. Jobs submitted through do() convert their
-// panics to errors before this backstop is reached.
-func runJob(j *schedJob) {
-	defer func() { recover() }()
-	j.run()
-}
-
-// submit enqueues fn at the given priority.
-func (s *scheduler) submit(pri Priority, fn func()) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return ErrClosed
-	}
-	if len(s.queue) >= s.depth {
-		s.mu.Unlock()
-		s.rejected.Add(1)
-		return ErrQueueFull
-	}
-	s.seq++
-	heap.Push(&s.queue, &schedJob{pri: pri, seq: s.seq, run: fn})
-	s.mu.Unlock()
-	s.cond.Signal()
-	return nil
-}
-
-// do enqueues fn and blocks until it has run. A panic inside fn is
-// returned as this caller's error instead of unwinding a worker.
-func (s *scheduler) do(pri Priority, fn func()) error {
-	done := make(chan struct{})
-	var panicked any
-	if err := s.submit(pri, func() {
-		defer close(done)
-		defer func() { panicked = recover() }()
-		fn()
-	}); err != nil {
-		return err
-	}
-	<-done
-	if panicked != nil {
-		return fmt.Errorf("service: job panicked: %v", panicked)
-	}
-	return nil
-}
-
-// pending returns the current queue length.
-func (s *scheduler) pending() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.queue)
-}
-
-// close drains the queue (already-accepted jobs still run) and stops the
-// workers. Subsequent submissions fail with ErrClosed.
-func (s *scheduler) close() {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	s.cond.Broadcast()
-	s.workers.Wait()
-}
+// Scheduling errors, surfaced from the shared work-stealing pool
+// (internal/sweep): the service schedules every request — single runs,
+// batches, sweeps, suite pipelines — as cells on one bounded pool, so these
+// are the only overload signals. HTTP maps both to 503.
+var (
+	// ErrQueueFull is returned when admitting a request's cells would push
+	// the pending-cell count past Config.QueueDepth; the server sheds load
+	// instead of hoarding memory.
+	ErrQueueFull = sweep.ErrQueueFull
+	// ErrClosed is returned for submissions after Close.
+	ErrClosed = sweep.ErrClosed
+)

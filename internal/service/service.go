@@ -1,15 +1,21 @@
 // Package service is the concurrent simulation service behind cmd/galsd:
-// a bounded, priority-scheduled worker pool over the GALS simulator, with
-// singleflight deduplication of identical concurrent requests and a
-// persistent content-addressed result cache (internal/resultcache) shared
-// with the experiment and sweep layers.
+// every request — single runs, batches, design-space sweeps, whole suite
+// pipelines — is decomposed into simulation cells executed on one shared
+// bounded work-stealing pool (internal/sweep), with singleflight
+// deduplication of identical concurrent requests, a persistent
+// content-addressed result cache (internal/resultcache) and an mmap-backed
+// recording store (internal/recstore) shared with the experiment and sweep
+// layers.
 //
 // The paper's evaluation burned ~300 CPU-months exploring this design
 // space; the service's job is to make sure no configuration point is ever
 // simulated twice per cache directory — whether the repeat comes from a
 // second process (persistent cache), a concurrent identical request
 // (singleflight), or a higher experiment layer (the suite memo, wired
-// through the same store).
+// through the same store) — and that total parallelism stays exactly at the
+// configured worker count no matter how requests mix: a 12,800-cell sweep
+// fans out cell by cell on the same pool a /v1/run cell waits on, instead
+// of spawning its own worker fleet.
 //
 // Request structs double as the JSON wire format of cmd/galsd and as the
 // cache-key payloads: a request is normalized (defaults resolved, result-
@@ -19,12 +25,15 @@ package service
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"gals/internal/core"
 	"gals/internal/experiment"
+	"gals/internal/recstore"
 	"gals/internal/resultcache"
 	"gals/internal/sweep"
 	"gals/internal/timing"
@@ -33,14 +42,23 @@ import (
 
 // Config configures a Service.
 type Config struct {
-	// CacheDir is the persistent result cache directory; "" disables
-	// persistence (dedup and scheduling still work).
+	// CacheDir is the persistent cache directory: result blobs at the root
+	// (internal/resultcache layout) and recorded instruction slabs under
+	// "recordings/" (internal/recstore layout). "" disables persistence
+	// (dedup and scheduling still work) and keeps recordings in heap.
 	CacheDir string
-	// Workers is the number of simulation workers (0 = GOMAXPROCS).
+	// Workers is the number of simulation workers (0 = GOMAXPROCS) — the
+	// exact bound on concurrently executing cells across all requests.
 	Workers int
-	// QueueDepth bounds the pending-job queue (0 = 1024); submissions
-	// beyond it fail with ErrQueueFull.
+	// QueueDepth bounds the pending-cell queue (0 = sweep.DefaultQueueDepth,
+	// 65,536 cells); a request whose cells don't fit behind already-queued
+	// work fails with ErrQueueFull. An idle pool admits a request of any
+	// size — the bound sheds load, it does not cap sweep size.
 	QueueDepth int
+	// CacheMaxBytes, when > 0, prunes the persistent cache back under this
+	// many bytes (least-recently-used files first) at startup and after
+	// each computed sweep or suite.
+	CacheMaxBytes int64
 }
 
 // Service executes simulation requests. Create with New, stop with Close.
@@ -48,56 +66,128 @@ type Config struct {
 type Service struct {
 	cfg    Config
 	cache  *resultcache.Cache
-	sched  *scheduler
+	recs   *recstore.Store
+	pool   *sweep.Pool
 	flight flightGroup
 
-	// prevSuite/prevSweep are the persist stores that were installed
-	// before this service took over; Close restores them.
+	// prevSuite/prevSweep/prevRecs are the persist hooks that were
+	// installed before this service took over; Close restores them.
 	prevSuite resultcache.Store
 	prevSweep resultcache.Store
+	prevRecs  workload.Backing
+
+	// tracePools are per-window thin views over the recording store,
+	// shared by single runs, batches and sweeps at that window.
+	poolMu     sync.Mutex
+	tracePools map[int64]*workload.Pool
+
+	pruneMu sync.Mutex
 
 	sims   atomic.Int64 // simulations actually executed by this service
 	dedups atomic.Int64 // requests served by joining an in-flight twin
 }
 
 // New creates a service and, when cfg.CacheDir is set, opens the persistent
-// cache and installs it behind the experiment suite memo and the sweep
-// measurement layer — so gals.EvaluateSuite, sweep.Measure and every
-// service endpoint share one store.
+// result cache and the recording store and installs them behind the
+// experiment suite memo and the sweep measurement layer — so
+// gals.EvaluateSuite, sweep.MeasureSummary and every service endpoint share
+// one store and one set of mmap'd recordings.
 func New(cfg Config) (*Service, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = 1024
-	}
-	s := &Service{cfg: cfg}
+	s := &Service{cfg: cfg, tracePools: make(map[int64]*workload.Pool)}
 	if cfg.CacheDir != "" {
 		c, err := resultcache.Open(cfg.CacheDir)
 		if err != nil {
 			return nil, err
 		}
+		rs, err := recstore.Open(filepath.Join(cfg.CacheDir, recstore.Subdir))
+		if err != nil {
+			return nil, err
+		}
 		s.cache = c
+		s.recs = rs
 		s.prevSuite = experiment.SetSuitePersist(c)
 		s.prevSweep = sweep.SetPersist(c)
+		s.prevRecs = sweep.SetRecordings(rs)
 	}
-	s.sched = newScheduler(cfg.Workers, cfg.QueueDepth)
+	s.pool = sweep.NewPool(cfg.Workers, cfg.QueueDepth)
+	s.maybePrune()
 	return s, nil
 }
 
-// Close stops the workers (accepted jobs still finish) and restores the
-// persist stores that were installed before this service took over (e.g.
-// one installed by gals.UsePersistentCache).
+// Close stops the workers (accepted cells still finish) and restores the
+// persist hooks that were installed before this service took over (e.g.
+// one installed by gals.UsePersistentCache). Recording mmaps stay valid
+// for any still-referenced recordings; the kernel reclaims the pages.
 func (s *Service) Close() {
-	s.sched.close()
+	s.pool.Close()
 	if s.cache != nil {
 		experiment.SetSuitePersist(s.prevSuite)
 		sweep.SetPersist(s.prevSweep)
+		sweep.SetRecordings(s.prevRecs)
 	}
 }
 
 // Cache returns the persistent cache, or nil when persistence is disabled.
 func (s *Service) Cache() *resultcache.Cache { return s.cache }
+
+// Recordings returns the recording store, or nil when persistence is
+// disabled.
+func (s *Service) Recordings() *recstore.Store { return s.recs }
+
+// tracePool returns the shared per-window trace pool (a thin view over the
+// recording store), or nil when persistence is disabled — single runs then
+// generate live traces and sweeps build transient in-memory pools, exactly
+// as before the store existed.
+func (s *Service) tracePool(window int64) *workload.Pool {
+	if s.recs == nil || window <= 0 {
+		return nil
+	}
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	p := s.tracePools[window]
+	if p == nil {
+		p = workload.NewBackedPool(window, s.recs)
+		s.tracePools[window] = p
+	}
+	return p
+}
+
+// maybePrune enforces Config.CacheMaxBytes on the persistent cache
+// (including recordings — a pruned slab is simply re-recorded).
+func (s *Service) maybePrune() {
+	if s.cache == nil || s.cfg.CacheMaxBytes <= 0 {
+		return
+	}
+	s.pruneMu.Lock()
+	defer s.pruneMu.Unlock()
+	s.cache.Prune(s.cfg.CacheMaxBytes)
+}
+
+// Prune removes least-recently-used cache files until the persistent cache
+// fits in maxBytes (the admin surface behind POST /v1/cache/prune). It
+// errors when persistence is disabled.
+func (s *Service) Prune(maxBytes int64) (resultcache.PruneStats, error) {
+	if s.cache == nil {
+		return resultcache.PruneStats{}, fmt.Errorf("service: no persistent cache configured")
+	}
+	s.pruneMu.Lock()
+	defer s.pruneMu.Unlock()
+	return s.cache.Prune(maxBytes)
+}
+
+// contain runs fn and converts a panic into an error: one malformed request
+// must never unwind a server goroutine.
+func contain(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("service: job panicked: %v", r)
+		}
+	}()
+	return fn()
+}
 
 // ---------------------------------------------------------------------------
 // Single runs.
@@ -248,6 +338,16 @@ type RunResult struct {
 	Deduped bool `json:"deduped,omitempty"`
 }
 
+// runOne executes one simulation, replaying the shared per-window recording
+// when the store is available (bit-identical to live generation) and
+// generating live otherwise.
+func (s *Service) runOne(spec workload.Spec, cfg core.Config, window int64) *core.Result {
+	if p := s.tracePool(window); p != nil {
+		return core.RunSource(p.Get(spec).Replay(), cfg, window)
+	}
+	return core.RunWorkload(spec, cfg, window)
+}
+
 // Run executes (or serves from cache / an in-flight twin) one simulation.
 func (s *Service) Run(req RunRequest) (RunResult, error) {
 	n, err := req.normalize()
@@ -268,8 +368,8 @@ func (s *Service) Run(req RunRequest) (RunResult, error) {
 		if err != nil {
 			return RunResult{}, err
 		}
-		if err := s.sched.do(Priority(n.Priority), func() {
-			res := core.RunWorkload(spec, cfg, n.Window)
+		cell := func() {
+			res := s.runOne(spec, cfg, n.Window)
 			s.sims.Add(1)
 			out = RunResult{
 				Workload:     res.Workload,
@@ -279,7 +379,8 @@ func (s *Service) Run(req RunRequest) (RunResult, error) {
 				Instructions: res.Stats.Instructions,
 				Stats:        res.Stats,
 			}
-		}); err != nil {
+		}
+		if err := s.pool.Execute(n.Priority, [][]func(){{cell}}); err != nil {
 			return RunResult{}, err
 		}
 		s.cache.Store(key, out)
@@ -303,13 +404,38 @@ type BatchItem struct {
 }
 
 // RunBatch executes the requests concurrently (bounded by the worker pool)
-// and returns one item per request, in order.
+// and returns one item per request, in order. The batch is planned before
+// it runs: items that normalize identically collapse to one simulation
+// (the stragglers copy the representative's result — running them through
+// the singleflight wouldn't help, since a planned batch need not have them
+// in flight simultaneously), and distinct items sharing a benchmark and
+// window replay one recording via the per-window trace pool regardless of
+// which worker runs them.
 func (s *Service) RunBatch(reqs []RunRequest) []BatchItem {
 	out := make([]BatchItem, len(reqs))
-	done := make(chan int, len(reqs))
+	reps := make(map[string]int) // normalized key -> representative index
+	dups := make([][2]int, 0)    // (duplicate index, representative index)
+	var run []int                // indices that actually execute
 	for i := range reqs {
+		n, err := reqs[i].normalize()
+		if err != nil {
+			run = append(run, i) // let Run report the error per item
+			continue
+		}
+		n.Priority = 0
+		key := resultcache.Key("run", n)
+		if rep, ok := reps[key]; ok {
+			dups = append(dups, [2]int{i, rep})
+			continue
+		}
+		reps[key] = i
+		run = append(run, i)
+	}
+	var wg sync.WaitGroup
+	for _, i := range run {
+		wg.Add(1)
 		go func(i int) {
-			defer func() { done <- i }()
+			defer wg.Done()
 			r, err := s.Run(reqs[i])
 			if err != nil {
 				out[i].Error = err.Error()
@@ -318,8 +444,17 @@ func (s *Service) RunBatch(reqs []RunRequest) []BatchItem {
 			out[i].Result = &r
 		}(i)
 	}
-	for range reqs {
-		<-done
+	wg.Wait()
+	for _, d := range dups {
+		i, rep := d[0], d[1]
+		if out[rep].Result == nil {
+			out[i].Error = out[rep].Error
+			continue
+		}
+		r := *out[rep].Result
+		r.Deduped = true
+		s.dedups.Add(1)
+		out[i].Result = &r
 	}
 	return out
 }
@@ -338,7 +473,9 @@ type SweepRequest struct {
 	Quick bool `json:"quick,omitempty"`
 	// Window is the instruction window per run (default 30,000).
 	Window int64 `json:"window,omitempty"`
-	// Workers overrides the sweep's internal parallelism (result-neutral).
+	// Workers is accepted for wire compatibility but ignored: the sweep's
+	// cells run on the service's shared pool, whose size is the -workers
+	// flag (result-neutral either way).
 	Workers int `json:"workers,omitempty"`
 	// Seed, JitterFrac and PLLScale are as in RunRequest.
 	Seed       int64   `json:"seed,omitempty"`
@@ -393,9 +530,10 @@ type SweepResult struct {
 	Deduped bool      `json:"deduped,omitempty"`
 }
 
-// Sweep measures a whole design space. The underlying times matrix is
-// persisted by the sweep layer, so repeating a sweep (even from another
-// process) reloads it instead of simulating.
+// Sweep measures a whole design space, streaming per-cell results into
+// running best/mean accumulators (the full times matrix is never held).
+// The summary is persisted by the sweep layer, so repeating a sweep (even
+// from another process) reloads it instead of simulating.
 func (s *Service) Sweep(req SweepRequest) (SweepResult, error) {
 	n, err := req.normalize()
 	if err != nil {
@@ -424,36 +562,37 @@ func (s *Service) Sweep(req SweepRequest) (SweepResult, error) {
 		}
 
 		var out SweepResult
-		var runErr error
-		if err := s.sched.do(Priority(n.Priority), func() {
+		err := contain(func() error {
 			so := sweep.Options{
 				Window: n.Window, Workers: n.Workers, Seed: n.Seed,
 				JitterFrac: n.JitterFrac, PLLScale: n.PLLScale,
-				Traces: workload.NewPool(n.Window),
+				Traces: s.tracePool(n.Window),
+				Exec:   s.pool, Priority: n.Priority,
 			}
-			times := sweep.Measure(specs, cfgs, so)
-			best := sweep.BestOverall(times)
-			if best < 0 {
-				runErr = fmt.Errorf("service: sweep produced no finite run times")
-				return
+			sum, err := sweep.MeasureSummary(specs, cfgs, so)
+			if err != nil {
+				return err
+			}
+			if sum.Best < 0 {
+				return fmt.Errorf("service: sweep produced no finite run times")
 			}
 			out = SweepResult{
 				Space: n.Space, Configs: len(cfgs), Benchmarks: len(specs),
-				Window: n.Window, Best: cfgs[best].Label(),
+				Window: n.Window, Best: cfgs[sum.Best].Label(),
 			}
-			for si, bi := range sweep.BestPerApp(times) {
+			for si, bi := range sum.PerApp {
 				out.PerApp = append(out.PerApp, AppBest{
 					Bench:  specs[si].Name,
 					Config: cfgs[bi].Label(),
-					TimeFS: times[bi][si],
+					TimeFS: sum.PerAppTimes[si],
 				})
 			}
-		}); err != nil {
+			return nil
+		})
+		if err != nil {
 			return SweepResult{}, err
 		}
-		if runErr != nil {
-			return SweepResult{}, runErr
-		}
+		s.maybePrune()
 		return out, nil
 	})
 	if err != nil {
@@ -531,7 +670,8 @@ type SuiteSummary struct {
 }
 
 // Suite runs (or serves from the memo / persistent cache) the evaluation
-// pipeline behind Figure 6, Table 9 and Figure 7.
+// pipeline behind Figure 6, Table 9 and Figure 7. The pipeline's cells run
+// on the service's shared pool at the request's priority.
 func (s *Service) Suite(req SuiteRequest) (SuiteSummary, error) {
 	if err := req.validate(); err != nil {
 		return SuiteSummary{}, err
@@ -543,14 +683,13 @@ func (s *Service) Suite(req SuiteRequest) (SuiteSummary, error) {
 
 	v, err, shared := s.flight.Do(key, func() (any, error) {
 		var r *experiment.SuiteResult
-		var runErr error
-		if err := s.sched.do(Priority(req.Priority), func() {
-			r, runErr = experiment.RunSuite(o)
+		if err := contain(func() (err error) {
+			o.Exec = s.pool
+			o.Priority = req.Priority
+			r, err = experiment.RunSuite(o)
+			return err
 		}); err != nil {
 			return SuiteSummary{}, err
-		}
-		if runErr != nil {
-			return SuiteSummary{}, runErr
 		}
 		out := SuiteSummary{
 			BestSync:  r.BestSync.Label(),
@@ -565,6 +704,7 @@ func (s *Service) Suite(req SuiteRequest) (SuiteSummary, error) {
 				ProgConfig: r.ProgConfigs[i].Label(),
 			})
 		}
+		s.maybePrune()
 		return out, nil
 	})
 	if err != nil {
@@ -593,14 +733,16 @@ func (s *Service) Experiment(req ExperimentRequest) (*experiment.Table, error) {
 		return nil, err
 	}
 	o := req.SuiteRequest.options()
+	o.Exec = s.pool
+	o.Priority = req.Priority
 	var t *experiment.Table
-	var runErr error
-	if err := s.sched.do(Priority(req.Priority), func() {
-		t, runErr = experiment.Run(req.ID, o)
+	if err := contain(func() (err error) {
+		t, err = experiment.Run(req.ID, o)
+		return err
 	}); err != nil {
 		return nil, err
 	}
-	return t, runErr
+	return t, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -608,11 +750,12 @@ func (s *Service) Experiment(req ExperimentRequest) (*experiment.Table, error) {
 
 // Stats is the service's operational snapshot (GET /v1/stats).
 type Stats struct {
-	// Workers is the pool size; Queued and InFlight the scheduler state.
+	// Workers is the pool size; Queued the pending (admitted, not yet
+	// running) cells; InFlight the executing cells.
 	Workers  int   `json:"workers"`
 	Queued   int   `json:"queued"`
 	InFlight int64 `json:"in_flight"`
-	// Completed counts finished jobs; Rejected counts queue-full refusals.
+	// Completed counts finished cells; Rejected counts queue-full refusals.
 	Completed int64 `json:"completed"`
 	Rejected  int64 `json:"rejected"`
 	// Simulations counts single-run simulations this service executed
@@ -628,16 +771,18 @@ type Stats struct {
 	// ("" when persistence is disabled).
 	Cache    resultcache.Stats `json:"cache"`
 	CacheDir string            `json:"cache_dir,omitempty"`
+	// Recordings reports the recording store's counters.
+	Recordings recstore.Stats `json:"recordings"`
 }
 
 // Stats returns a snapshot of the service's counters.
 func (s *Service) Stats() Stats {
-	return Stats{
-		Workers:           s.cfg.Workers,
-		Queued:            s.sched.pending(),
-		InFlight:          s.sched.inflight.Load(),
-		Completed:         s.sched.completed.Load(),
-		Rejected:          s.sched.rejected.Load(),
+	st := Stats{
+		Workers:           s.pool.Workers(),
+		Queued:            s.pool.Pending(),
+		InFlight:          s.pool.InFlight(),
+		Completed:         s.pool.Completed(),
+		Rejected:          s.pool.Rejected(),
 		Simulations:       s.sims.Load(),
 		DedupHits:         s.dedups.Load(),
 		SuiteComputations: experiment.SuiteComputations(),
@@ -645,4 +790,8 @@ func (s *Service) Stats() Stats {
 		Cache:             s.cache.Stats(),
 		CacheDir:          s.cache.Dir(),
 	}
+	if s.recs != nil {
+		st.Recordings = s.recs.Stats()
+	}
+	return st
 }

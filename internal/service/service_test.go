@@ -6,10 +6,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"gals/internal/experiment"
 	"gals/internal/resultcache"
@@ -211,19 +215,179 @@ func TestSuiteRequestValidation(t *testing.T) {
 	}
 }
 
-// TestSchedulerSurvivesPanickingJob: a panic inside a job becomes the
-// submitting caller's error; the worker (and later jobs) keep running.
-func TestSchedulerSurvivesPanickingJob(t *testing.T) {
-	s := newScheduler(1, 8)
-	defer s.close()
-
-	err := s.do(PriorityNormal, func() { panic("boom") })
-	if err == nil || !strings.Contains(err.Error(), "boom") {
-		t.Fatalf("panicking job returned %v, want wrapped panic", err)
+// TestSharedPoolBoundsMixedLoad is the PR's scheduler acceptance check,
+// meant to run under -race: concurrent sweeps, single runs and batches all
+// share the service's one cell pool, so the number of simultaneously
+// executing cells never exceeds the configured workers, nothing errors, and
+// every response is consistent with its duplicates.
+func TestSharedPoolBoundsMixedLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mixed-load sweep in -short mode")
 	}
-	ran := false
-	if err := s.do(PriorityNormal, func() { ran = true }); err != nil || !ran {
-		t.Fatalf("worker dead after panic: err=%v ran=%v", err, ran)
+	const workers = 3
+	s := newTestService(t, Config{CacheDir: t.TempDir(), Workers: workers})
+
+	// Sample the in-flight gauge while the load runs: the work-stealing
+	// pool is the only execution path, so it can never exceed workers.
+	stop := make(chan struct{})
+	var maxInFlight atomic.Int64
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if n := s.pool.InFlight(); n > maxInFlight.Load() {
+					maxInFlight.Store(n)
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	// Two sweeps (one duplicated — must dedup), a stream of runs, a batch.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := s.Sweep(SweepRequest{Space: "adaptive", Bench: "art", Window: 700})
+			if err != nil {
+				errc <- err
+				return
+			}
+			if res.Configs != 256 || len(res.PerApp) != 1 {
+				errc <- fmt.Errorf("sweep result malformed: %+v", res)
+			}
+		}()
+	}
+	runResults := make([]RunResult, 6)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bench := []string{"gcc", "art", "gcc"}[i%3]
+			r, err := s.Run(RunRequest{Bench: bench, Window: 2_000, Priority: i % 2 * 10})
+			if err != nil {
+				errc <- err
+				return
+			}
+			runResults[i] = r
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		items := s.RunBatch([]RunRequest{
+			{Bench: "em3d", Window: 1_500},
+			{Bench: "em3d", Window: 1_500}, // same recording lane
+			{Bench: "apsi", Window: 1_500},
+			{Bench: "does-not-exist"},
+		})
+		for i, it := range items[:3] {
+			if it.Result == nil {
+				errc <- fmt.Errorf("batch item %d failed: %s", i, it.Error)
+			}
+		}
+		if items[3].Error == "" {
+			errc <- fmt.Errorf("invalid batch item succeeded")
+		}
+		if items[0].Result.TimeFS != items[1].Result.TimeFS {
+			errc <- fmt.Errorf("same-lane batch items disagree")
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	if got := maxInFlight.Load(); got > workers {
+		t.Fatalf("observed %d cells in flight, pool is bounded at %d", got, workers)
+	}
+	// Identical runs must agree bit-for-bit regardless of scheduling.
+	if runResults[0].TimeFS != runResults[2].TimeFS {
+		t.Fatal("identical concurrent runs diverged")
+	}
+	st := s.Stats()
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("work left behind: %+v", st)
+	}
+	if st.Recordings.Recorded == 0 {
+		t.Fatalf("no recordings written by the mixed load: %+v", st.Recordings)
+	}
+}
+
+// TestCachePruneEndpointAndCap: the admin endpoint prunes the persistent
+// cache LRU-first, and a service configured with CacheMaxBytes prunes at
+// startup.
+func TestCachePruneEndpointAndCap(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestService(t, Config{CacheDir: dir, Workers: 2})
+	if _, err := s.Run(RunRequest{Bench: "gcc", Window: 2_000}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/cache/prune", "application/json", strings.NewReader(`{"max_bytes": 0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st resultcache.PruneStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || st.RemovedFiles == 0 || st.RemainingBytes != 0 {
+		t.Fatalf("prune: %d %+v", resp.StatusCode, st)
+	}
+	// Pruned result is recomputed, not an error.
+	r, err := s.Run(RunRequest{Bench: "gcc", Window: 2_000})
+	if err != nil || r.TimeFS <= 0 {
+		t.Fatalf("run after prune: %v %+v", err, r)
+	}
+
+	// A fresh service with a tiny cap prunes at startup.
+	s.Close()
+	s2 := newTestService(t, Config{CacheDir: dir, Workers: 1, CacheMaxBytes: 1})
+	if got := dirSize(t, dir); got > 1 {
+		t.Fatalf("startup prune left %d bytes, cap 1", got)
+	}
+	_ = s2
+}
+
+func dirSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			if fi, err := d.Info(); err == nil {
+				total += fi.Size()
+			}
+		}
+		return nil
+	})
+	return total
+}
+
+// TestPoolSurvivesPanickingCellThroughService: a panic inside a cell
+// becomes the request's error; later requests keep working (the contract
+// the PR-2 scheduler test pinned, now via the shared pool).
+func TestPoolSurvivesPanickingCellThroughService(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	if err := s.pool.Execute(PriorityNormal, [][]func(){{func() { panic("boom") }}}); err == nil ||
+		!strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panicking cell returned %v, want wrapped panic", err)
+	}
+	if r, err := s.Run(RunRequest{Bench: "gcc", Window: 1_000}); err != nil || r.TimeFS <= 0 {
+		t.Fatalf("service dead after cell panic: %v %+v", err, r)
 	}
 }
 
@@ -257,49 +421,41 @@ func TestCloseRestoresPreviousPersistStore(t *testing.T) {
 	}
 }
 
-func TestSchedulerPriorityAndBackpressure(t *testing.T) {
-	s := newScheduler(1, 4)
-	defer s.close()
-
+// TestQueueFullSurfacesAs503: a service whose cell queue is saturated
+// rejects new requests with ErrQueueFull, which HTTP maps to 503. (The
+// priority/backpressure ordering contract itself is pinned by the pool's
+// own tests in internal/sweep.)
+func TestQueueFullSurfacesAs503(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, QueueDepth: 1})
 	gate := make(chan struct{})
+	defer func() { close(gate) }()
 	started := make(chan struct{})
-	if err := s.submit(PriorityNormal, func() { close(started); <-gate }); err != nil {
+	go s.pool.Execute(PriorityNormal, [][]func(){{func() { close(started); <-gate }}})
+	<-started
+	// Worker occupied; fill the 1-cell queue, then overflow it.
+	go s.pool.Execute(PriorityNormal, [][]func(){{func() {}}})
+	deadline := time.Now().Add(5 * time.Second)
+	for s.pool.Pending() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	_, err := s.Run(RunRequest{Bench: "gcc", Window: 1_000})
+	if err != ErrQueueFull {
+		t.Fatalf("overflowing run returned %v, want ErrQueueFull", err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	blob, _ := json.Marshal(RunRequest{Bench: "art", Window: 1_000})
+	resp, err := http.Post(srv.URL+"/v1/run", "application/json", bytes.NewReader(blob))
+	if err != nil {
 		t.Fatal(err)
 	}
-	<-started // worker is now occupied; everything below queues
-
-	var mu sync.Mutex
-	var order []string
-	var wg sync.WaitGroup
-	enqueue := func(name string, pri Priority) {
-		wg.Add(1)
-		if err := s.submit(pri, func() {
-			defer wg.Done()
-			mu.Lock()
-			order = append(order, name)
-			mu.Unlock()
-		}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	enqueue("low", PriorityLow)
-	enqueue("normal-1", PriorityNormal)
-	enqueue("high", PriorityHigh)
-	enqueue("normal-2", PriorityNormal)
-
-	// Queue is at its bound of 4 now.
-	if err := s.submit(PriorityHigh, func() {}); err != ErrQueueFull {
-		t.Fatalf("over-bound submit returned %v, want ErrQueueFull", err)
-	}
-	if s.rejected.Load() != 1 {
-		t.Fatalf("rejected = %d, want 1", s.rejected.Load())
-	}
-
-	close(gate)
-	wg.Wait()
-	want := []string{"high", "normal-1", "normal-2", "low"}
-	if !reflect.DeepEqual(order, want) {
-		t.Fatalf("execution order %v, want %v", order, want)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("queue-full HTTP status %d, want 503", resp.StatusCode)
 	}
 }
 
@@ -324,6 +480,33 @@ func TestRunBatchShapesAndErrors(t *testing.T) {
 	}
 	if got := s.Stats().Simulations; got != 1 {
 		t.Fatalf("batch ran %d simulations, want 1", got)
+	}
+}
+
+// TestRunBatchDedupsWithoutCache: identical batch items must collapse to
+// one simulation even with persistence disabled — the lane planner runs
+// them back-to-back (no in-flight twin for singleflight), so the lane
+// itself reuses the first result.
+func TestRunBatchDedupsWithoutCache(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2}) // no CacheDir
+	items := s.RunBatch([]RunRequest{
+		{Bench: "gcc", Window: 2_000},
+		{Bench: "gcc", Window: 2_000, Priority: 5}, // same result, other priority
+		{Bench: "gcc", Window: 2_000},
+	})
+	for i, it := range items {
+		if it.Result == nil {
+			t.Fatalf("item %d failed: %s", i, it.Error)
+		}
+		if it.Result.TimeFS != items[0].Result.TimeFS {
+			t.Fatalf("item %d diverged", i)
+		}
+	}
+	if !items[1].Result.Deduped || !items[2].Result.Deduped {
+		t.Fatalf("duplicates not marked deduped: %+v %+v", items[1].Result, items[2].Result)
+	}
+	if got := s.Stats().Simulations; got != 1 {
+		t.Fatalf("cacheless batch ran %d simulations, want 1", got)
 	}
 }
 

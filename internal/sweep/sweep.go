@@ -6,9 +6,13 @@
 // configurations: 4 x 4 x 4 x 4).
 //
 // Every run replays the same deterministic trace per benchmark, so
-// configuration comparisons are exact. Runs fan out over a worker pool;
-// the paper burned 300 CPU-months on this, we burn a few CPU-minutes at
-// scaled-down windows.
+// configuration comparisons are exact. A sweep is decomposed into one cell
+// per (configuration, benchmark) pair executed on a shared work-stealing
+// pool (see pool.go); the paper burned 300 CPU-months on this, we burn a
+// few CPU-minutes at scaled-down windows. At paper-scale windows, use
+// MeasureSummary (streaming aggregation, O(configs + benchmarks) memory)
+// with a recording store installed (SetRecordings), so the traces are
+// mmap'd files rather than heap.
 package sweep
 
 import (
@@ -38,10 +42,20 @@ type Options struct {
 	// Traces optionally shares recorded instruction streams across sweeps:
 	// each benchmark is generated once into an immutable slab and replayed
 	// by every configuration run. When nil (or when the pool's window is
-	// shorter than Window), Measure and PhaseResults build a private pool,
+	// shorter than Window), Measure and PhaseResults build a private pool
+	// (backed by the recording store installed with SetRecordings, if any),
 	// so per-run trace regeneration is avoided either way; pass a pool to
 	// also share recordings between separate sweep calls.
 	Traces *workload.Pool
+	// Exec optionally routes the sweep's cells to a specific pool — the
+	// service installs its own so total parallelism stays bounded under
+	// mixed run/sweep/suite load. When nil, cells run on SharedPool()
+	// (or a transient pool when Workers deviates from GOMAXPROCS).
+	// Result-neutral.
+	Exec *Pool
+	// Priority orders this sweep's cells against other work sharing the
+	// pool (higher first). Result-neutral.
+	Priority int
 }
 
 // WithDefaults fills in zero fields: Window 30,000, Workers GOMAXPROCS,
@@ -66,18 +80,19 @@ func (o Options) WithDefaults() Options {
 var (
 	persistMu       sync.RWMutex
 	persist         resultcache.Store
+	recordings      workload.Backing
 	measureComputes atomic.Int64
 )
 
-// SetPersist installs a persistent result store consulted by Measure and
-// PhaseResults before simulating anything, and written back after every
-// computed matrix. Keys derive from the benchmark specs, the configuration
-// list and the result-relevant options (Window, Seed, JitterFrac, PLLScale
-// — Workers and Traces change only how fast the answer arrives), plus
-// resultcache.SchemaVersion, so repeated sweep invocations are incremental
-// across processes. Pass nil to detach. It returns the previously
-// installed store so temporary owners can restore it rather than clobber
-// it.
+// SetPersist installs a persistent result store consulted by Measure,
+// MeasureSummary and PhaseResults before simulating anything, and written
+// back after every computed matrix or summary. Keys derive from the
+// benchmark specs, the configuration list and the result-relevant options
+// (Window, Seed, JitterFrac, PLLScale — Workers, Exec, Priority and Traces
+// change only how fast the answer arrives), plus resultcache.SchemaVersion,
+// so repeated sweep invocations are incremental across processes. Pass nil
+// to detach. It returns the previously installed store so temporary owners
+// can restore it rather than clobber it.
 func SetPersist(s resultcache.Store) (prev resultcache.Store) {
 	persistMu.Lock()
 	defer persistMu.Unlock()
@@ -92,8 +107,34 @@ func persistStore() resultcache.Store {
 	return persist
 }
 
-// MeasureComputations reports how many Measure and PhaseResults calls
-// actually simulated (rather than being served from the persistent store).
+// SetRecordings installs a recording backing (typically an mmap-backed
+// recstore.Store) behind every trace pool the sweep layer creates: each
+// benchmark's instruction stream then lives in file-backed pages, recorded
+// at most once per store directory across processes. Pass nil to detach.
+// It returns the previously installed backing.
+func SetRecordings(b workload.Backing) (prev workload.Backing) {
+	persistMu.Lock()
+	defer persistMu.Unlock()
+	prev = recordings
+	recordings = b
+	return prev
+}
+
+func recordingsBacking() workload.Backing {
+	persistMu.RLock()
+	defer persistMu.RUnlock()
+	return recordings
+}
+
+// NewRecordingPool creates a trace pool for the given window, backed by the
+// recording store installed with SetRecordings (in-memory when none is).
+func NewRecordingPool(window int64) *workload.Pool {
+	return workload.NewBackedPool(window, recordingsBacking())
+}
+
+// MeasureComputations reports how many Measure, MeasureSummary and
+// PhaseResults calls actually simulated (rather than being served from the
+// persistent store).
 func MeasureComputations() int64 { return measureComputes.Load() }
 
 // measureRequest is the canonical cache-key payload for one Measure call:
@@ -116,12 +157,28 @@ func (o Options) measureKey(kind string, specs []workload.Spec, cfgs []core.Conf
 }
 
 // pool returns the recorded-trace pool to run from: the caller-provided one
-// when it covers the window, otherwise a private pool sized to the window.
+// when it covers the window, otherwise a private pool sized to the window
+// (backed by the installed recording store, if any).
 func (o Options) pool() *workload.Pool {
 	if o.Traces.Window() >= o.Window {
 		return o.Traces
 	}
-	return workload.NewPool(o.Window)
+	return NewRecordingPool(o.Window)
+}
+
+// executor resolves the pool cells run on. The second return is non-nil
+// when the caller owns a transient pool and must Close it: Workers is a
+// per-call parallelism contract, so a non-default value gets a private
+// pool of exactly that size instead of the shared one.
+func (o Options) executor() (exec, owned *Pool) {
+	if o.Exec != nil {
+		return o.Exec, nil
+	}
+	if o.Workers == runtime.GOMAXPROCS(0) {
+		return SharedPool(), nil
+	}
+	p := NewPool(o.Workers, 0)
+	return p, p
 }
 
 func (o Options) apply(cfg core.Config) core.Config {
@@ -183,10 +240,63 @@ func AdaptiveSpace() []core.Config {
 	return out
 }
 
+// cellChunk bounds the cells per submitted group, so a queued
+// higher-priority request is admitted after at most a chunk's worth of one
+// worker's backlog.
+const cellChunk = 64
+
+// runCells executes one simulation cell per (configuration, benchmark)
+// pair on the sweep's executor and streams each cell's result into sink.
+// sink is called from worker goroutines: calls for distinct (ci, si) pairs
+// may be concurrent, and each pair is delivered exactly once.
+//
+// Groups are config-major: one group is one configuration's cells across
+// the benchmarks, in benchmark order. That is what lets the streaming
+// accumulator close a config's row as soon as its group drains (O(workers)
+// rows in flight) instead of holding every row open until the last
+// benchmark completes. Recording sharing is unaffected — the trace pool
+// hands every cell the same slab regardless of which group asked first —
+// and thieves stealing from a group's far end touch its later benchmarks,
+// so concurrent cold-start recording still spreads across workers.
+func runCells(specs []workload.Spec, cfgs []core.Config, o Options, sink func(ci, si int, res *core.Result)) error {
+	pool := o.pool()
+	exec, owned := o.executor()
+	if owned != nil {
+		defer owned.Close()
+	}
+	groups := make([][]func(), 0, len(cfgs)*(len(specs)/cellChunk+1))
+	for ci := range cfgs {
+		ci := ci
+		for start := 0; start < len(specs); start += cellChunk {
+			end := start + cellChunk
+			if end > len(specs) {
+				end = len(specs)
+			}
+			cells := make([]func(), 0, end-start)
+			for si := start; si < end; si++ {
+				si := si
+				cells = append(cells, func() {
+					src := pool.Get(specs[si]).Replay()
+					res := core.RunSource(src, o.apply(cfgs[ci]), o.Window)
+					sink(ci, si, res)
+				})
+			}
+			groups = append(groups, cells)
+		}
+	}
+	return exec.Execute(o.Priority, groups)
+}
+
 // Measure runs every configuration on every benchmark and returns the run
 // times in femtoseconds, indexed [config][benchmark]. Each benchmark's
 // deterministic trace is recorded once (in Options.Traces when provided)
 // and replayed by all configuration runs concurrently.
+//
+// The full matrix grows with |configs| x |benchmarks|; callers that only
+// need the winners (best overall, best per application) should prefer
+// MeasureSummary, which folds cells into running accumulators instead.
+// Measure panics if the executor rejects the sweep (only possible with a
+// caller-provided bounded Options.Exec — use MeasureSummary there).
 func Measure(specs []workload.Spec, cfgs []core.Config, o Options) [][]timing.FS {
 	o = o.WithDefaults()
 	store := persistStore()
@@ -199,37 +309,184 @@ func Measure(specs []workload.Spec, cfgs []core.Config, o Options) [][]timing.FS
 		}
 	}
 	measureComputes.Add(1)
-	pool := o.pool()
 	times := make([][]timing.FS, len(cfgs))
 	for i := range times {
 		times[i] = make([]timing.FS, len(specs))
 	}
-
-	type job struct{ ci, si int }
-	jobs := make(chan job, o.Workers*2)
-	var wg sync.WaitGroup
-	for w := 0; w < o.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				src := pool.Get(specs[j.si]).Replay()
-				res := core.RunSource(src, o.apply(cfgs[j.ci]), o.Window)
-				times[j.ci][j.si] = res.TimeFS
-			}
-		}()
+	err := runCells(specs, cfgs, o, func(ci, si int, res *core.Result) {
+		times[ci][si] = res.TimeFS
+	})
+	if err != nil {
+		panic(err)
 	}
-	for ci := range cfgs {
-		for si := range specs {
-			jobs <- job{ci, si}
-		}
-	}
-	close(jobs)
-	wg.Wait()
 	if store != nil {
 		store.Store(key, times)
 	}
 	return times
+}
+
+// Summary is the streaming aggregation of one sweep: everything the
+// sweep's consumers (best-overall ranking, Figure 6, the service) need, in
+// O(configs + benchmarks) memory instead of the full [config][benchmark]
+// matrix. Its per-config best times are bit-identical to running Measure
+// and folding the matrix: cells complete out of order, but each config's
+// row is folded in benchmark order and ties resolve to the lowest config
+// index, exactly as BestOverall and BestPerApp do.
+type Summary struct {
+	// NumSpecs and NumCfgs are the matrix dimensions.
+	NumSpecs, NumCfgs int
+	// Best is the best-overall configuration index (lowest geometric-mean
+	// run time across benchmarks), or -1 when no configuration has a
+	// finite score.
+	Best int
+	// BestTimes are the best configuration's per-benchmark run times
+	// (nil when Best is -1).
+	BestTimes []timing.FS
+	// PerApp[si] is the configuration index with the lowest run time on
+	// benchmark si; PerAppTimes[si] is that time.
+	PerApp      []int
+	PerAppTimes []timing.FS
+	// Scores[ci] is configuration ci's sum of log run times (the geomean
+	// ranking metric); Invalid[ci] marks configurations disqualified by a
+	// non-positive run time, whose Scores entry is meaningless.
+	Scores  []float64
+	Invalid []bool
+}
+
+// summaryAcc folds completed cells into a Summary. A config's row buffer
+// lives only while its cells are outstanding; with runCells's config-major
+// groups that is O(workers) rows at a time, not the full matrix.
+type summaryAcc struct {
+	mu    sync.Mutex
+	specs int
+	rows  map[int][]timing.FS
+	left  []int // cells outstanding per config
+	sum   *Summary
+}
+
+func newSummaryAcc(nspecs, ncfgs int) *summaryAcc {
+	a := &summaryAcc{
+		specs: nspecs,
+		rows:  make(map[int][]timing.FS),
+		left:  make([]int, ncfgs),
+		sum: &Summary{
+			NumSpecs: nspecs, NumCfgs: ncfgs,
+			Best:        -1,
+			PerApp:      make([]int, nspecs),
+			PerAppTimes: make([]timing.FS, nspecs),
+			Scores:      make([]float64, ncfgs),
+			Invalid:     make([]bool, ncfgs),
+		},
+	}
+	for i := range a.left {
+		a.left[i] = nspecs
+	}
+	for i := range a.sum.PerApp {
+		a.sum.PerApp[i] = -1
+	}
+	return a
+}
+
+func (a *summaryAcc) add(ci, si int, t timing.FS) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	row := a.rows[ci]
+	if row == nil {
+		row = make([]timing.FS, a.specs)
+		a.rows[ci] = row
+	}
+	row[si] = t
+	if a.left[ci]--; a.left[ci] == 0 {
+		delete(a.rows, ci)
+		a.fold(ci, row)
+	}
+}
+
+// fold consumes one completed config row: per-benchmark bests, the geomean
+// score, and (when it wins) the retained best row. Rows arrive in any
+// order; the lowest-index tie-breaks reproduce the sequential fold.
+func (a *summaryAcc) fold(ci int, row []timing.FS) {
+	s := a.sum
+	score, invalid := 0.0, false
+	for si, t := range row {
+		score += logFS(t)
+		if t <= 0 {
+			invalid = true
+		}
+		if s.PerApp[si] == -1 || t < s.PerAppTimes[si] ||
+			(t == s.PerAppTimes[si] && ci < s.PerApp[si]) {
+			s.PerApp[si], s.PerAppTimes[si] = ci, t
+		}
+	}
+	if invalid {
+		// Disqualified: park a JSON-safe zero (the +Inf score would poison
+		// persistence) and let Invalid carry the disqualification.
+		score = 0
+	}
+	s.Scores[ci] = score
+	s.Invalid[ci] = invalid
+	if invalid {
+		return
+	}
+	if s.Best == -1 || score < s.Scores[s.Best] ||
+		(score == s.Scores[s.Best] && ci < s.Best) {
+		s.Best = ci
+		s.BestTimes = append(s.BestTimes[:0], row...)
+	}
+}
+
+// Summarize folds a full Measure matrix into a Summary — the bridge for
+// callers still holding matrices, and the reference the streaming path is
+// tested against.
+func Summarize(times [][]timing.FS) *Summary {
+	nspecs := 0
+	if len(times) > 0 {
+		nspecs = len(times[0])
+	}
+	a := newSummaryAcc(nspecs, len(times))
+	for ci, row := range times {
+		a.fold(ci, row)
+	}
+	return a.sum
+}
+
+// MeasureSummary runs every configuration on every benchmark like Measure,
+// but folds each cell into running accumulators instead of retaining the
+// whole times matrix: memory is O(configs + benchmarks) plus one row per
+// in-flight configuration, regardless of window. It returns an error when
+// the executor rejects the sweep (queue full / closed) or a cell panics.
+func MeasureSummary(specs []workload.Spec, cfgs []core.Config, o Options) (*Summary, error) {
+	o = o.WithDefaults()
+	store := persistStore()
+	var key string
+	if store != nil {
+		key = o.measureKey("sweepsum", specs, cfgs)
+		var cached Summary
+		if store.Load(key, &cached) &&
+			cached.NumSpecs == len(specs) && cached.NumCfgs == len(cfgs) &&
+			len(cached.PerApp) == len(specs) && len(cached.Scores) == len(cfgs) {
+			return &cached, nil
+		}
+		// A full matrix persisted by Measure answers the same question.
+		var times [][]timing.FS
+		if store.Load(o.measureKey("measure", specs, cfgs), &times) && len(times) == len(cfgs) {
+			sum := Summarize(times)
+			store.Store(key, sum)
+			return sum, nil
+		}
+	}
+	measureComputes.Add(1)
+	acc := newSummaryAcc(len(specs), len(cfgs))
+	err := runCells(specs, cfgs, o, func(ci, si int, res *core.Result) {
+		acc.add(ci, si, res.TimeFS)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if store != nil {
+		store.Store(key, acc.sum)
+	}
+	return acc.sum, nil
 }
 
 // BestOverall picks the configuration with the best (lowest) geometric-mean
@@ -282,8 +539,20 @@ func logFS(t timing.FS) float64 {
 // PhaseResults runs the Phase-Adaptive machine (base configuration,
 // controllers on) on every benchmark, replaying shared recorded traces.
 // Reconfiguration events are always recorded so downstream consumers
-// (Figure 7 traces) can reuse these results instead of re-running.
+// (Figure 7 traces) can reuse these results instead of re-running. It
+// panics if the executor rejects the batch; MeasurePhase is the
+// error-returning form.
 func PhaseResults(specs []workload.Spec, o Options) []*core.Result {
+	out, err := MeasurePhase(specs, o)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// MeasurePhase is PhaseResults with executor rejections (queue full /
+// closed pool) reported as errors instead of panics.
+func MeasurePhase(specs []workload.Spec, o Options) ([]*core.Result, error) {
 	o = o.WithDefaults()
 	store := persistStore()
 	var key string
@@ -291,30 +560,32 @@ func PhaseResults(specs []workload.Spec, o Options) []*core.Result {
 		key = o.measureKey("phase", specs, nil)
 		var cached []*core.Result
 		if store.Load(key, &cached) && len(cached) == len(specs) {
-			return cached
+			return cached, nil
 		}
 	}
 	measureComputes.Add(1)
 	pool := o.pool()
+	exec, owned := o.executor()
+	if owned != nil {
+		defer owned.Close()
+	}
 	out := make([]*core.Result, len(specs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, o.Workers)
+	groups := make([][]func(), len(specs))
 	for i := range specs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
+		i := i
+		groups[i] = []func(){func() {
 			cfg := o.apply(core.DefaultAdaptive(core.PhaseAdaptive))
 			cfg.RecordTrace = true
 			out[i] = core.RunSource(pool.Get(specs[i]).Replay(), cfg, o.Window)
-		}(i)
+		}}
 	}
-	wg.Wait()
+	if err := exec.Execute(o.Priority, groups); err != nil {
+		return nil, err
+	}
 	if store != nil {
 		store.Store(key, out)
 	}
-	return out
+	return out, nil
 }
 
 // Improvement returns the percent run-time improvement of adapted over

@@ -1,9 +1,11 @@
 package sweep
 
 import (
+	"reflect"
 	"testing"
 
 	"gals/internal/core"
+	"gals/internal/resultcache"
 	"gals/internal/timing"
 	"gals/internal/workload"
 )
@@ -176,6 +178,144 @@ func TestMeasureDeterministicAcrossRuns(t *testing.T) {
 				t.Fatalf("parallel sweep nondeterministic at [%d][%d]", ci, si)
 			}
 		}
+	}
+}
+
+// TestMeasureSummaryBitIdenticalToMatrix is the tentpole acceptance check
+// at test scale: the streaming summary's winners and per-config best times
+// must be bit-identical to retaining the full matrix and folding it, for
+// both the summary's own accumulation order (out-of-order cell completion)
+// and the sequential reference.
+func TestMeasureSummaryBitIdenticalToMatrix(t *testing.T) {
+	specs := workload.Suite()[:5]
+	cfgs := AdaptiveSpace()[:24]
+	o := Options{Window: 2500}
+	times := Measure(specs, cfgs, o)
+	ref := Summarize(times)
+	sum, err := MeasureSummary(specs, cfgs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if sum.Best != ref.Best || sum.Best != BestOverall(times) {
+		t.Fatalf("Best = %d, matrix fold %d, BestOverall %d", sum.Best, ref.Best, BestOverall(times))
+	}
+	for si := range specs {
+		if sum.BestTimes[si] != times[sum.Best][si] {
+			t.Fatalf("BestTimes[%d] = %d, matrix %d", si, sum.BestTimes[si], times[sum.Best][si])
+		}
+	}
+	per := BestPerApp(times)
+	for si := range specs {
+		if sum.PerApp[si] != per[si] {
+			t.Fatalf("PerApp[%d] = %d, BestPerApp %d", si, sum.PerApp[si], per[si])
+		}
+		if sum.PerAppTimes[si] != times[per[si]][si] {
+			t.Fatalf("PerAppTimes[%d] = %d, matrix %d", si, sum.PerAppTimes[si], times[per[si]][si])
+		}
+	}
+	for ci := range cfgs {
+		if sum.Scores[ci] != ref.Scores[ci] || sum.Invalid[ci] != ref.Invalid[ci] {
+			t.Fatalf("Scores[%d] = %v/%v, matrix fold %v/%v",
+				ci, sum.Scores[ci], sum.Invalid[ci], ref.Scores[ci], ref.Invalid[ci])
+		}
+	}
+	// And the summary is itself deterministic across runs.
+	again, err := MeasureSummary(specs, cfgs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sum, again) {
+		t.Fatal("MeasureSummary nondeterministic across runs")
+	}
+}
+
+// TestSummarizeTieBreaksAndInvalids pins Summarize (and therefore the
+// streaming fold) to BestOverall/BestPerApp semantics on crafted ties and
+// disqualified rows.
+func TestSummarizeTieBreaksAndInvalids(t *testing.T) {
+	times := [][]timing.FS{
+		{100, 0, 900}, // failed run: disqualified overall, still wins app 0
+		{300, 300, 300},
+		{300, 300, 300}, // exact tie with config 1: lowest index must win
+		{500, 400, 800},
+	}
+	sum := Summarize(times)
+	if sum.Best != BestOverall(times) || sum.Best != 1 {
+		t.Fatalf("Best = %d, want 1", sum.Best)
+	}
+	if !sum.Invalid[0] || sum.Invalid[1] {
+		t.Fatalf("Invalid flags wrong: %v", sum.Invalid)
+	}
+	per := BestPerApp(times)
+	for si := range per {
+		if sum.PerApp[si] != per[si] {
+			t.Fatalf("PerApp[%d] = %d, BestPerApp %d", si, sum.PerApp[si], per[si])
+		}
+	}
+	// Degenerate shapes.
+	if s := Summarize(nil); s.Best != -1 {
+		t.Fatalf("Summarize(nil).Best = %d, want -1", s.Best)
+	}
+	if s := Summarize([][]timing.FS{{0}, {-3}}); s.Best != -1 {
+		t.Fatalf("all-invalid Best = %d, want -1", s.Best)
+	}
+}
+
+// TestMeasureSummaryPersistAndMatrixFallback: a persisted summary is served
+// without simulating; a persisted full matrix (from an older Measure call)
+// also answers a summary request without simulating.
+func TestMeasureSummaryPersistAndMatrixFallback(t *testing.T) {
+	specs := workload.Suite()[:2]
+	cfgs := AdaptiveSpace()[:6]
+	o := Options{Window: 1500}
+
+	c, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev := SetPersist(c); prev != nil {
+		defer SetPersist(prev)
+	} else {
+		defer SetPersist(nil)
+	}
+
+	before := MeasureComputations()
+	sum, err := MeasureSummary(specs, cfgs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MeasureComputations() != before+1 {
+		t.Fatal("cold summary did not compute")
+	}
+	warm, err := MeasureSummary(specs, cfgs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MeasureComputations() != before+1 {
+		t.Fatal("warm summary recomputed instead of loading")
+	}
+	if !reflect.DeepEqual(sum, warm) {
+		t.Fatal("persisted summary differs from computed one")
+	}
+
+	// Fresh store: persist only the matrix, then ask for the summary.
+	c2, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetPersist(c2)
+	times := Measure(specs, cfgs, o) // computes and persists the matrix
+	mid := MeasureComputations()
+	fromMatrix, err := MeasureSummary(specs, cfgs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MeasureComputations() != mid {
+		t.Fatal("summary re-simulated despite a persisted matrix")
+	}
+	if !reflect.DeepEqual(fromMatrix, Summarize(times)) {
+		t.Fatal("matrix-derived summary differs")
 	}
 }
 

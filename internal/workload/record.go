@@ -4,6 +4,12 @@
 // configuration on the same dynamic instruction window, so regenerating the
 // stream per run (12,800-40,960 times per sweep) is pure waste; a Recording
 // amortizes the generation cost to once per benchmark.
+//
+// A Recording's slab takes one of two forms: a decoded []isa.Inst in heap
+// (Spec.Record), or an encoded byte slab (RecordingFromEncoded) that may be
+// an mmap'd file from internal/recstore — the latter is how paper-scale
+// windows (millions of instructions x 40 benchmarks) fit in bounded memory.
+// Replays of both forms are bit-identical to live generation.
 package workload
 
 import (
@@ -19,7 +25,9 @@ import (
 // reads the shared slab.
 type Recording struct {
 	spec  Spec
-	insts []isa.Inst
+	insts []isa.Inst // decoded slab (nil when raw-backed)
+	raw   []byte     // encoded slab (mmap or heap backed; nil when decoded)
+	count int64
 }
 
 // Record captures the first n instructions of the benchmark's deterministic
@@ -33,18 +41,23 @@ func (s Spec) Record(n int64) *Recording {
 	for i := range insts {
 		tr.Next(&insts[i])
 	}
-	return &Recording{spec: s, insts: insts}
+	return &Recording{spec: s, insts: insts, count: n}
 }
 
 // Spec returns the benchmark description.
 func (r *Recording) Spec() Spec { return r.spec }
 
 // Len returns the number of recorded instructions.
-func (r *Recording) Len() int64 { return int64(len(r.insts)) }
+func (r *Recording) Len() int64 { return r.count }
 
 // Replay returns a fresh cursor over the recording. Replays are cheap;
 // create one per simulation run.
 func (r *Recording) Replay() *Replay { return &Replay{rec: r} }
+
+// replayChunk is the number of instructions a raw-backed replay decodes at
+// a time: large enough to amortize the decode loop, small enough that a
+// worker's cursor costs ~20 KB regardless of the recording's length.
+const replayChunk = 512
 
 // Replay streams a Recording from the beginning. Reading past the recorded
 // window falls back to live generation (the generator is deterministic, so
@@ -55,6 +68,11 @@ type Replay struct {
 	rec  *Recording
 	pos  int64
 	tail *Trace
+
+	// Decode window over a raw-backed slab: buf holds instructions
+	// [bufStart, bufStart+len(buf)).
+	buf      []isa.Inst
+	bufStart int64
 }
 
 // Spec returns the benchmark description.
@@ -65,15 +83,23 @@ func (p *Replay) Count() int64 { return p.pos }
 
 // Next fills in with the next dynamic instruction.
 func (p *Replay) Next(in *isa.Inst) {
-	if p.pos < int64(len(p.rec.insts)) {
-		*in = p.rec.insts[p.pos]
+	if p.pos < p.rec.count {
+		if p.rec.insts != nil {
+			*in = p.rec.insts[p.pos]
+			p.pos++
+			return
+		}
+		if p.pos >= p.bufStart+int64(len(p.buf)) || p.pos < p.bufStart {
+			p.fill()
+		}
+		*in = p.buf[p.pos-p.bufStart]
 		p.pos++
 		return
 	}
 	if p.tail == nil {
 		p.tail = p.rec.spec.NewTrace()
 		var skip isa.Inst
-		for i := int64(0); i < int64(len(p.rec.insts)); i++ {
+		for i := int64(0); i < p.rec.count; i++ {
 			p.tail.Next(&skip)
 		}
 	}
@@ -81,13 +107,39 @@ func (p *Replay) Next(in *isa.Inst) {
 	p.tail.Next(in)
 }
 
+// fill decodes the next chunk of a raw-backed slab at the cursor.
+func (p *Replay) fill() {
+	n := p.rec.count - p.pos
+	if n > replayChunk {
+		n = replayChunk
+	}
+	if p.buf == nil {
+		p.buf = make([]isa.Inst, replayChunk)
+	}
+	p.buf = p.buf[:n]
+	src := p.rec.raw[p.pos*EncodedInstSize:]
+	for i := range p.buf {
+		decodeInst(src[i*EncodedInstSize:], &p.buf[i])
+	}
+	p.bufStart = p.pos
+}
+
+// Backing supplies recordings from somewhere other than live generation —
+// internal/recstore implements it with mmap'd on-disk slabs. A Backing must
+// be safe for concurrent use and must return recordings of exactly window
+// instructions, bit-identical to Spec.Record(window).
+type Backing interface {
+	Recording(s Spec, window int64) (*Recording, error)
+}
+
 // Pool shares recordings across concurrent simulation runs: each benchmark
 // is recorded at most once per pool, on first request. A nil *Pool reports
 // Window 0 and Size 0, so callers can treat "no pool" uniformly.
 type Pool struct {
-	window int64
-	mu     sync.Mutex
-	recs   map[string]*poolEntry
+	window  int64
+	backing Backing
+	mu      sync.Mutex
+	recs    map[string]*poolEntry
 }
 
 type poolEntry struct {
@@ -96,11 +148,18 @@ type poolEntry struct {
 }
 
 // NewPool creates a pool whose recordings cover window instructions.
-func NewPool(window int64) *Pool {
+func NewPool(window int64) *Pool { return NewBackedPool(window, nil) }
+
+// NewBackedPool creates a pool that asks b for each benchmark's recording
+// before recording in memory, making the pool a thin view over a shared
+// (typically on-disk, mmap-backed) store. A nil Backing is the plain
+// in-memory pool; a Backing error degrades to in-memory recording, never to
+// a failure.
+func NewBackedPool(window int64, b Backing) *Pool {
 	if window <= 0 {
 		panic(fmt.Sprintf("workload: non-positive pool window %d", window))
 	}
-	return &Pool{window: window, recs: make(map[string]*poolEntry)}
+	return &Pool{window: window, backing: b, recs: make(map[string]*poolEntry)}
 }
 
 // Window returns the recording length the pool was created with.
@@ -125,7 +184,15 @@ func (p *Pool) Get(s Spec) *Recording {
 		p.recs[s.Name] = e
 	}
 	p.mu.Unlock()
-	e.once.Do(func() { e.rec = s.Record(p.window) })
+	e.once.Do(func() {
+		if p.backing != nil {
+			if rec, err := p.backing.Recording(s, p.window); err == nil && rec.Len() == p.window {
+				e.rec = rec
+				return
+			}
+		}
+		e.rec = s.Record(p.window)
+	})
 	if !reflect.DeepEqual(e.rec.spec, s) {
 		return s.Record(p.window)
 	}
