@@ -9,7 +9,7 @@ BENCHOUT  ?= BENCH_latest.txt
 MEMWINDOW ?= 60000
 MEMCACHE  ?= /tmp/gals-bench-mem-cache
 
-.PHONY: all build test test-short race vet bench bench-suite bench-mem bench-smoke ci
+.PHONY: all build test test-short race vet parity bench bench-suite bench-mem bench-smoke ci
 
 all: build
 
@@ -29,6 +29,12 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Policy-parity gate (also a CI step): the "paper" adaptation policy must
+# stay bit-identical to the pre-extraction machine — golden reconfiguration
+# traces and rendered figure6/table9/figure7 outputs.
+parity:
+	$(GO) test -run Parity -race ./internal/control/... ./internal/core/... ./internal/experiment/...
 
 # Micro-benchmarks of the simulator's hot paths: fast enough to run on
 # every PR. Results land in $(BENCHOUT) for before/after comparison

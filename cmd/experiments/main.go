@@ -6,6 +6,8 @@
 //	experiments -run figure6     # one experiment
 //	experiments -all             # everything, including the sweeps
 //	experiments -all -full -window 100000 > results.txt
+//	experiments -run policies    # frozen-vs-paper adaptation benefit
+//	experiments -run figure6 -policy interval -policy-params interval=7500
 package main
 
 import (
@@ -34,6 +36,8 @@ func main() {
 		full    = flag.Bool("full", false, "sweep all 1,024 synchronous configurations (paper scale)")
 		pll     = flag.Float64("pllscale", 0.1, "PLL lock-time scale")
 		cache   = flag.String("cache", "", "persistent result cache directory (repeated invocations become incremental)")
+		policy  = flag.String("policy", "", "adaptation policy for the Phase-Adaptive stages (paper, interval, frozen); empty = paper")
+		polPar  = flag.String("policy-params", "", "policy parameters as key=value[,key=value...]")
 	)
 	flag.Parse()
 
@@ -49,6 +53,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: -pllscale must be >= 0, got %g\n", *pll)
 		os.Exit(2)
 	}
+	if *policy != "" || *polPar != "" {
+		if err := gals.ValidatePolicy(*policy, *polPar); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+	}
 	if *cache != "" {
 		if err := gals.UsePersistentCache(*cache); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -61,6 +71,8 @@ func main() {
 	opts.Workers = *workers
 	opts.FullSyncSpace = *full
 	opts.PLLScale = *pll
+	opts.Policy = *policy
+	opts.PolicyParams = *polPar
 
 	var ids []string
 	switch {

@@ -65,7 +65,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "galsd:", err)
 		os.Exit(1)
 	}
-	defer svc.Close()
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -81,13 +80,20 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
+		svc.Close()
 		fmt.Fprintln(os.Stderr, "galsd:", err)
 		os.Exit(1)
 	case sig := <-sigc:
+		// Graceful stop: the listener closes and in-flight requests drain
+		// (their simulation cells with them), then the pool stops and a
+		// final prune pass leaves the cache within -cache-max-bytes.
 		fmt.Printf("galsd: %v, shutting down\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		srv.Shutdown(ctx)
+		if err := svc.Shutdown(ctx, srv); err != nil {
+			fmt.Fprintln(os.Stderr, "galsd: shutdown:", err)
+			os.Exit(1)
+		}
 	}
 }
 

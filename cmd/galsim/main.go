@@ -6,6 +6,8 @@
 //	galsim -bench gcc -mode phase -n 100000
 //	galsim -bench em3d -mode sync -icache 64k1W -dcache 0 -iq 16 -fq 16
 //	galsim -bench art -mode phase -trace
+//	galsim -bench apsi -mode phase -policy interval -policy-params interval=7500
+//	galsim -list-policies
 //
 // Modes: sync (fully synchronous), program (Program-Adaptive MCD with the
 // given fixed configuration), phase (Phase-Adaptive MCD with the on-line
@@ -18,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"gals/internal/control"
 	"gals/internal/core"
 	"gals/internal/timing"
 	"gals/internal/workload"
@@ -37,8 +40,21 @@ func main() {
 		pll     = flag.Float64("pllscale", 0.1, "PLL lock-time scale for shortened windows")
 		doTrace = flag.Bool("trace", false, "print reconfiguration events (phase mode)")
 		list    = flag.Bool("list", false, "list benchmark runs and exit")
+		policy  = flag.String("policy", "", "adaptation policy for phase mode (see -list-policies); empty = paper")
+		polPar  = flag.String("policy-params", "", "policy parameters as key=value[,key=value...]")
+		listPol = flag.Bool("list-policies", false, "list adaptation policies and exit")
 	)
 	flag.Parse()
+
+	if *listPol {
+		for _, in := range control.Infos() {
+			fmt.Printf("%-10s %s\n", in.Name, in.Description)
+			for _, p := range in.Params {
+				fmt.Printf("           %s (default %g): %s\n", p.Name, p.Default, p.Description)
+			}
+		}
+		return
+	}
 
 	if *list {
 		for _, s := range workload.Suite() {
@@ -99,6 +115,8 @@ func main() {
 	cfg.JitterFrac = *jitter
 	cfg.PLLScale = *pll
 	cfg.RecordTrace = *doTrace
+	cfg.Policy = *policy
+	cfg.PolicyParams = *polPar
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "galsim:", err)
 		os.Exit(1)

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gals/internal/control"
 	"gals/internal/core"
 	"gals/internal/recstore"
 	"gals/internal/resultcache"
@@ -48,6 +49,8 @@ func main() {
 		cache    = flag.String("cache", "", "persistent cache directory: results + mmap-replayed recordings (repeated sweeps become incremental)")
 		fullmat  = flag.Bool("fullmatrix", false, "retain the full [config][benchmark] times matrix instead of streaming accumulators")
 		memstats = flag.Bool("memstats", false, "report peak heap and peak RSS after the sweep")
+		topk     = flag.Int("topk", 0, "retain only the K best configurations for the ranking report (memory stops scaling with design-space size; 0 = full scores)")
+		policies = flag.String("policies", "", `adaptation-policy sweep: settings as "name[:k=v,k=v]" separated by ';' (e.g. "paper;frozen;interval:interval=7500"); runs an extra Phase-Adaptive policy stage`)
 	)
 	flag.Parse()
 
@@ -61,6 +64,15 @@ func main() {
 	}
 	if !(*pll >= 0) { // negated form rejects NaN too
 		fmt.Fprintf(os.Stderr, "sweep: -pllscale must be >= 0, got %g\n", *pll)
+		os.Exit(2)
+	}
+	if *topk < 0 {
+		fmt.Fprintf(os.Stderr, "sweep: -topk must be >= 0, got %d\n", *topk)
+		os.Exit(2)
+	}
+	settings, err := parsePolicies(*policies)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(2)
 	}
 	if *cache != "" {
@@ -83,7 +95,7 @@ func main() {
 		stopSampler = startHeapSampler()
 	}
 
-	opts := sweep.Options{Window: *window, Workers: *workers, PLLScale: *pll}.WithDefaults()
+	opts := sweep.Options{Window: *window, Workers: *workers, PLLScale: *pll, TopK: *topk}.WithDefaults()
 	*window = opts.Window
 	// One shared recorded-trace pool: each benchmark's deterministic stream
 	// is captured once (on disk when -cache is set, in memory otherwise)
@@ -129,31 +141,36 @@ func main() {
 	fmt.Printf("best overall synchronous: %s  (%.1fs)\n", syncCfgs[syncSum.Best].Label(), time.Since(start).Seconds())
 
 	// Show the ranking of the synchronous space (geomean run time relative
-	// to the best) for the most informative configurations.
-	type ranked struct {
-		ci    int
-		score float64
-	}
-	var rank []ranked
-	for ci := range syncCfgs {
-		s := syncSum.Scores[ci]
-		if syncSum.Invalid[ci] { // no valid measurement: disqualify
-			s = math.Inf(1)
+	// to the best) for the most informative configurations. With -topk the
+	// sweep retained only the K best scores (Summary.Top); otherwise the
+	// full Scores slice is sorted here.
+	var rank []sweep.RankedConfig
+	if *topk > 0 {
+		rank = syncSum.Top
+		if len(rank) == 0 && syncSum.Scores != nil { // -fullmatrix retains scores
+			rank = syncSum.TopOf(*topk)
 		}
-		rank = append(rank, ranked{ci, s})
+	} else {
+		for ci := range syncCfgs {
+			s := syncSum.Scores[ci]
+			if syncSum.Invalid[ci] { // no valid measurement: disqualify
+				s = math.Inf(1)
+			}
+			rank = append(rank, sweep.RankedConfig{Config: ci, Score: s})
+		}
+		sort.Slice(rank, func(i, j int) bool { return rank[i].Score < rank[j].Score })
 	}
-	sort.Slice(rank, func(i, j int) bool { return rank[i].score < rank[j].score })
 	n := float64(len(specs))
 	fmt.Println("top synchronous configurations (geomean vs best):")
 	for i := 0; i < 10 && i < len(rank); i++ {
-		rel := math.Exp((rank[i].score - rank[0].score) / n)
-		fmt.Printf("  %2d. %-44s %+.2f%%\n", i+1, syncCfgs[rank[i].ci].Label(), (rel-1)*100)
+		rel := math.Exp((rank[i].Score - rank[0].Score) / n)
+		fmt.Printf("  %2d. %-44s %+.2f%%\n", i+1, syncCfgs[rank[i].Config].Label(), (rel-1)*100)
 	}
 	for i, r := range rank {
-		c := syncCfgs[r.ci]
+		c := syncCfgs[r.Config]
 		if timing.SyncICacheSpecs()[c.SyncICache].Name == "64k1W" && c.DCache == timing.DCache32K1W &&
 			c.IntIQ == timing.IQ16 && c.FPIQ == timing.IQ16 {
-			rel := math.Exp((r.score - rank[0].score) / n)
+			rel := math.Exp((r.Score - rank[0].Score) / n)
 			fmt.Printf("  paper's best-sync config ranks #%d: %-30s %+.2f%%\n", i+1, c.Label(), (rel-1)*100)
 		}
 	}
@@ -180,11 +197,62 @@ func main() {
 	}
 	fmt.Printf("\nmean improvement: program-adaptive %+.1f%%  phase-adaptive %+.1f%%  (paper: +17.6%% / +20.4%%)\n",
 		sumProg/n, sumPhase/n)
+
+	// Optional adaptation-policy stage: the same benchmarks swept across
+	// Phase-Adaptive machines that differ only in their control policy.
+	if len(settings) > 0 {
+		fmt.Printf("\npolicy sweep: %d policies x %d benchmarks\n", len(settings), len(specs))
+		polCfgs := sweep.PhaseSpace(settings)
+		// Summarize applies the module's ranking guards (a non-positive run
+		// time disqualifies a policy instead of poisoning the geomean).
+		polSum := sweep.Summarize(sweep.Measure(specs, polCfgs, opts))
+		fmt.Printf("%-40s %12s %10s\n", "policy", "geomean(us)", "vs first")
+		for i, ps := range settings {
+			label := ps.Name
+			if ps.Params != "" {
+				label += "{" + ps.Params + "}"
+			}
+			if polSum.Invalid[i] {
+				fmt.Printf("%-40s %12s %10s\n", label, "-", "invalid")
+				continue
+			}
+			geo := math.Exp(polSum.Scores[i] / n)
+			if polSum.Invalid[0] {
+				fmt.Printf("%-40s %12.2f %10s\n", label, geo/1e9, "n/a")
+				continue
+			}
+			rel := math.Exp((polSum.Scores[i] - polSum.Scores[0]) / n)
+			fmt.Printf("%-40s %12.2f %+9.2f%%\n", label, geo/1e9, (rel-1)*100)
+		}
+	}
 	fmt.Printf("total sweep time %.1fs\n", time.Since(start).Seconds())
 
 	if stopSampler != nil {
 		stopSampler()
 	}
+}
+
+// parsePolicies parses the -policies flag: settings separated by ';', each
+// "name" or "name:key=value,key=value", validated against the policy
+// registry.
+func parsePolicies(s string) ([]sweep.PolicySetting, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []sweep.PolicySetting
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, params, _ := strings.Cut(part, ":")
+		ps := sweep.PolicySetting{Name: strings.TrimSpace(name), Params: strings.TrimSpace(params)}
+		if err := control.Validate(ps.Name, ps.Params); err != nil {
+			return nil, err
+		}
+		out = append(out, ps)
+	}
+	return out, nil
 }
 
 func us(fs int64) float64 { return float64(fs) / 1e9 }

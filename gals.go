@@ -16,6 +16,10 @@
 //     the paper's evaluation.
 //   - BestSynchronous(), ProgramAdaptiveSearch() and EvaluateSuite()
 //     expose the design-space sweeps of Section 4.
+//   - Policies() lists the pluggable adaptation policies (the paper's
+//     controllers, a parameterized variant, and a frozen baseline);
+//     Config.WithPolicy selects one, making the control algorithm itself a
+//     sweepable design-space dimension.
 //
 // A minimal session:
 //
@@ -48,6 +52,7 @@ import (
 	"fmt"
 	"path/filepath"
 
+	"gals/internal/control"
 	"gals/internal/core"
 	"gals/internal/experiment"
 	"gals/internal/recstore"
@@ -97,6 +102,14 @@ type (
 	ICacheConfig = timing.ICacheConfig
 	DCacheConfig = timing.DCacheConfig
 	IQSize       = timing.IQSize
+	// PolicyInfo describes one registered adaptation policy (name,
+	// description, accepted parameters); see Policies.
+	PolicyInfo = control.Info
+	// PolicyParamInfo describes one policy parameter.
+	PolicyParamInfo = control.ParamInfo
+	// PolicySetting pairs a policy name with a parameter assignment for
+	// policy-axis sweeps (sweep.PhaseSpace, POST /v1/sweep space "phase").
+	PolicySetting = sweep.PolicySetting
 )
 
 // Machine modes.
@@ -122,6 +135,20 @@ func DefaultPhaseAdaptive() Config {
 	cfg.PLLScale = 0.1 // scaled to the shortened default windows
 	return cfg
 }
+
+// Policies lists the registered adaptation policies in registration order:
+// "paper" (the exact Section 3 controllers — the default), "interval" (the
+// same controllers with the decision interval and hysteresis as
+// parameters) and "frozen" (never reconfigures; the MCD-overhead-only
+// baseline). Select one on a configuration with Config.WithPolicy; the
+// selection and its parameters are part of every result-cache key.
+func Policies() []PolicyInfo { return control.Infos() }
+
+// ValidatePolicy reports whether name/params select a registered adaptation
+// policy with a well-formed parameter assignment ("" selects the paper
+// default). Config.Validate applies the same check; this form lets CLIs and
+// services reject a selection before building machines.
+func ValidatePolicy(name, params string) error { return control.Validate(name, params) }
 
 // Workloads returns the benchmark suite in the paper's Figure 6 order.
 func Workloads() []WorkloadSpec { return workload.Suite() }

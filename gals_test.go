@@ -48,8 +48,8 @@ func TestThreeModesRun(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 14 {
-		t.Errorf("got %d experiments, want 14", len(ids))
+	if len(ids) != 15 {
+		t.Errorf("got %d experiments, want 15", len(ids))
 	}
 	tab, err := RunExperiment("table1", DefaultExperimentOptions())
 	if err != nil {
@@ -127,5 +127,37 @@ func TestProgramAdaptiveSearchSmoke(t *testing.T) {
 	}
 	if tt > base.TimeFS {
 		t.Errorf("exhaustive best (%d) slower than base config (%d)", tt, base.TimeFS)
+	}
+}
+
+func TestPoliciesFacade(t *testing.T) {
+	infos := Policies()
+	if len(infos) < 3 {
+		t.Fatalf("Policies() lists %d policies, want >= 3", len(infos))
+	}
+	names := map[string]bool{}
+	for _, in := range infos {
+		names[in.Name] = true
+	}
+	for _, want := range []string{"paper", "interval", "frozen"} {
+		if !names[want] {
+			t.Errorf("Policies() missing %q", want)
+		}
+	}
+
+	spec, err := Workload("apsi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultPhaseAdaptive().WithPolicy("frozen", "")
+	res, err := Run(spec, cfg, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Reconfigs != 0 {
+		t.Errorf("frozen policy reconfigured %d times", res.Stats.Reconfigs)
+	}
+	if _, err := Run(spec, DefaultPhaseAdaptive().WithPolicy("nope", ""), 1000); err == nil {
+		t.Error("unknown policy accepted by Run")
 	}
 }

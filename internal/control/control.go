@@ -1,0 +1,164 @@
+// Package control is the pluggable adaptation-policy layer of the adaptive
+// GALS processor: the paper's whole contribution is the control algorithm —
+// accounting-cache interval decisions (Section 3.1), ILP-driven issue-queue
+// resizing (Section 3.2), and PLL-lock-delayed commits (Section 3.3) — and
+// this package extracts those decisions out of the machine into named,
+// parameterized policies so alternatives can be expressed, swept and served
+// like any other design-space dimension.
+//
+// The split is mechanism vs. decision. The machine (internal/core) owns the
+// mechanism: it snapshots per-domain observations at interval boundaries,
+// hands them to the run's Controller, and commits whatever Reconfig actions
+// come back — transitional (smaller) configuration during the PLL lock,
+// frequency change at lock completion, event recording. A Controller owns
+// only the decision: which configuration each domain should move to, if
+// any. Controllers are single-machine state (hysteresis streaks live here)
+// and need not be safe for concurrent use; Policies are immutable factories
+// and must be.
+//
+// Built-in policies:
+//
+//   - "paper": the exact controllers of Sections 3.1-3.2, bit-identical to
+//     the pre-extraction machine (pinned by golden-trace parity tests).
+//   - "interval": the same decision logic with the accounting-cache
+//     interval length and the issue-queue hysteresis exposed as sweepable
+//     parameters (defaults reproduce "paper").
+//   - "frozen": never reconfigures — a clean baseline that isolates the
+//     multiple-clock-domain overhead from any adaptation benefit (the
+//     comparison the paper's Table 9 discussion implies).
+//
+// Policy selection rides on core.Config (Policy / PolicyParams) and from
+// there through every layer: sweep axes, experiment options, the service's
+// request schemas and the galsd /v1/policies endpoint.
+package control
+
+import (
+	"gals/internal/cache"
+	"gals/internal/queue"
+	"gals/internal/timing"
+)
+
+// Kind names the reconfigurable structure (and with it the clock domain) a
+// Reconfig targets.
+type Kind int
+
+const (
+	// ICache is the front-end I-cache/branch-predictor pair.
+	ICache Kind = iota
+	// DCache is the joint L1-D/L2 pair in the load/store domain.
+	DCache
+	// IntIQ and FPIQ are the issue queues.
+	IntIQ
+	// FPIQ is the floating-point issue queue.
+	FPIQ
+)
+
+// String names the kind with the machine's ReconfigEvent vocabulary.
+func (k Kind) String() string {
+	switch k {
+	case ICache:
+		return "icache"
+	case DCache:
+		return "dcache"
+	case IntIQ:
+		return "int-iq"
+	case FPIQ:
+		return "fp-iq"
+	}
+	return "?"
+}
+
+// Reconfig is one decision: move the Kind structure to the Target
+// configuration. The machine commits it with the paper's Section 3.3
+// mechanics — run the simpler of (current, target) during the PLL lock,
+// switch the domain clock at lock completion. Target is the destination
+// timing.ICacheConfig / timing.DCacheConfig ordinal for the cache kinds and
+// the destination queue size in entries (16/32/48/64) for the queue kinds.
+type Reconfig struct {
+	Kind   Kind
+	Target int
+}
+
+// CacheObs is the accounting-cache interval observation handed to
+// Controller.DecideCaches: the interval statistics of all three caches plus
+// the machine state the Section 3.1 cost model reads. Stats snapshots are
+// taken before any decision commits, and the machine resets the interval
+// statistics after the call regardless of what was decided.
+type CacheObs struct {
+	// ICache, DCacheL1 and L2 are the interval statistics (MRU position
+	// hits, directory misses) of the three accounting caches.
+	ICache, DCacheL1, L2 cache.Stats
+	// ICfg and DCfg are the current (committed) configurations.
+	ICfg timing.ICacheConfig
+	DCfg timing.DCacheConfig
+	// FEPeriod and LSPeriod are the current front-end and load/store clock
+	// periods.
+	FEPeriod, LSPeriod timing.FS
+	// FEPending and LSPending report an in-flight reconfiguration (PLL
+	// still locking) in the respective domain; the paper's controllers skip
+	// a domain whose change has not yet committed.
+	FEPending, LSPending bool
+	// L2LineBytes is the L2 line size (the unit of the memory round trip in
+	// the D/L2 cost model).
+	L2LineBytes int
+}
+
+// IQObs is the completed ILP-tracking interval handed to
+// Controller.DecideIQs (Section 3.2).
+type IQObs struct {
+	// Samples are the tracker's measurements for the four window sizes.
+	Samples [4]queue.Sample
+	// IntIQ and FPIQ are the machine's current (committed) queue sizes.
+	IntIQ, FPIQ timing.IQSize
+	// IntPending and FPPending report an in-flight resize; a pending queue
+	// takes no new decision and its hysteresis state does not observe the
+	// interval (exactly the pre-extraction machine's behaviour).
+	IntPending, FPPending bool
+}
+
+// Init carries the per-run construction state a Controller needs from the
+// machine configuration.
+type Init struct {
+	// IntIQ and FPIQ are the initial issue-queue sizes.
+	IntIQ, FPIQ timing.IQSize
+	// IQHysteresis is core.Config.IQHysteresis: the number of consecutive
+	// agreeing ILP intervals before a queue resize; values <= 0 mean the
+	// paper's default of 2. Policies with their own hysteresis parameter
+	// let the parameter override this.
+	IQHysteresis int
+}
+
+// Controller is one run's decision state, created by a Policy and bound to
+// a single machine. The machine calls the Decide hooks at interval
+// boundaries and commits the returned actions in order (each commit draws
+// one PLL lock time, so action order is part of behavioural identity).
+// Controllers are not safe for concurrent use; a machine is single-threaded.
+type Controller interface {
+	// CacheInterval returns the accounting-cache decision interval in
+	// committed instructions; 0 disables cache decisions entirely.
+	CacheInterval() int64
+	// NeedsIQ reports whether the machine should run the per-instruction
+	// ILP tracker and deliver IQObs intervals. False disables issue-queue
+	// adaptation (and its tracking overhead) entirely.
+	NeedsIQ() bool
+	// DecideCaches consumes one accounting interval and appends to buf the
+	// cache-domain reconfigurations to initiate, in commit order.
+	DecideCaches(obs CacheObs, buf []Reconfig) []Reconfig
+	// DecideIQs consumes one completed ILP-tracking interval and appends
+	// the issue-queue resizes to initiate, in commit order.
+	DecideIQs(obs IQObs, buf []Reconfig) []Reconfig
+}
+
+// Policy is a named, registered adaptation policy: an immutable factory for
+// per-run Controllers. Implementations must be safe for concurrent use (one
+// Policy value serves every machine in a sweep).
+type Policy interface {
+	// Info describes the policy and its parameters for registry listings
+	// (galsd's /v1/policies, gals.Policies).
+	Info() Info
+	// NewController builds one run's controller. params holds only the
+	// explicitly given (already validated) parameters — read them with
+	// Param(params, name, default), so an omitted key can resolve through
+	// Init where the policy's semantics call for it.
+	NewController(params map[string]float64, init Init) Controller
+}

@@ -1,0 +1,25 @@
+package control
+
+// frozenPolicy never reconfigures anything: the Phase-Adaptive machine kept
+// at its base configuration for the whole run. Against "paper" it isolates
+// what adaptation itself buys, net of the multiple-clock-domain
+// synchronization overhead both share — the MCD-overhead-only baseline the
+// paper's Table 9 discussion implies. It also skips the ILP tracker, so a
+// frozen run carries no decision-hardware cost at all.
+type frozenPolicy struct{}
+
+func (frozenPolicy) Info() Info {
+	return Info{
+		Name:        "frozen",
+		Description: "never reconfigures: the base MCD machine with controllers off, isolating multiple-clock-domain overhead from adaptation benefit",
+	}
+}
+
+func (frozenPolicy) NewController(map[string]float64, Init) Controller { return frozenCtl{} }
+
+type frozenCtl struct{}
+
+func (frozenCtl) CacheInterval() int64                             { return 0 }
+func (frozenCtl) NeedsIQ() bool                                    { return false }
+func (frozenCtl) DecideCaches(_ CacheObs, b []Reconfig) []Reconfig { return b }
+func (frozenCtl) DecideIQs(_ IQObs, b []Reconfig) []Reconfig       { return b }

@@ -1,0 +1,221 @@
+// The paper's controllers (Sections 3.1-3.2), extracted verbatim from the
+// machine. Both the "paper" and "interval" policies run this decision
+// logic; "interval" merely exposes the two hard-wired constants — the
+// accounting-cache decision interval and the issue-queue hysteresis — as
+// parameters. With the defaults they are one and the same controller, so
+// the parity guarantee pinned for "paper" extends to "interval" at its
+// defaults.
+package control
+
+import (
+	"gals/internal/cache"
+	"gals/internal/queue"
+	"gals/internal/timing"
+)
+
+// PaperCacheInterval is the Accounting Cache decision interval of paper
+// Section 3.1: every 15K committed instructions.
+const PaperCacheInterval = 15_000
+
+// paperHysteresis is the default issue-queue anti-thrash hysteresis: two
+// agreeing intervals before a resize.
+const paperHysteresis = 2
+
+func init() {
+	Register(paperPolicy{})
+	Register(intervalPolicy{})
+	Register(frozenPolicy{})
+}
+
+// paperPolicy is the exact pre-extraction controller: Section 3.1 accounting
+// caches on a fixed 15K-instruction interval, Section 3.2 ILP-tracked issue
+// queues with the machine-configured hysteresis.
+type paperPolicy struct{}
+
+func (paperPolicy) Info() Info {
+	return Info{
+		Name:        "paper",
+		Description: "the paper's exact controllers: Section 3.1 accounting-cache interval decisions and Section 3.2 ILP-driven issue-queue resizing",
+	}
+}
+
+func (paperPolicy) NewController(_ map[string]float64, init Init) Controller {
+	return newIntervalCtl(PaperCacheInterval, initHysteresis(init), init)
+}
+
+// intervalPolicy is the paper controller with its two constants sweepable.
+type intervalPolicy struct{}
+
+func (intervalPolicy) Info() Info {
+	return Info{
+		Name:        "interval",
+		Description: "the paper's controllers with tunable decision cadence: the accounting-cache interval length and the issue-queue hysteresis are parameters",
+		Params: []ParamInfo{
+			{Name: "interval", Default: PaperCacheInterval,
+				Description: "accounting-cache decision interval in committed instructions (0 freezes the cache controllers)"},
+			{Name: "hysteresis", Default: paperHysteresis,
+				Description: "consecutive agreeing ILP intervals required before an issue-queue resize (0 freezes the queue controllers; omitted inherits Config.IQHysteresis, like the paper policy)"},
+		},
+	}
+}
+
+func (intervalPolicy) NewController(params map[string]float64, init Init) Controller {
+	interval := int64(Param(params, "interval", PaperCacheInterval))
+	// An omitted hysteresis inherits Config.IQHysteresis exactly as the
+	// paper policy does — the defaults equivalence "interval == paper" must
+	// hold for every machine configuration, not just IQHysteresis 0.
+	h := initHysteresis(init)
+	if v, explicit := params["hysteresis"]; explicit {
+		h = int(v)
+	}
+	if h <= 0 {
+		// hysteresis=0 freezes the queues: the cleanest "cache-only"
+		// expression. (The machine-level DisableIQAdapt flag remains the
+		// ablation switch for the paper policy itself.)
+		return &intervalCtl{interval: interval}
+	}
+	return newIntervalCtl(interval, h, init)
+}
+
+// initHysteresis resolves core.Config.IQHysteresis exactly as the
+// pre-extraction machine did: values <= 0 mean the paper default of 2.
+func initHysteresis(init Init) int {
+	if init.IQHysteresis <= 0 {
+		return paperHysteresis
+	}
+	return init.IQHysteresis
+}
+
+// intervalCtl is the shared controller state: the issue-queue hysteresis
+// trackers (nil when queue adaptation is off) and the cache decision
+// cadence.
+type intervalCtl struct {
+	interval int64
+	intCtl   *queue.Controller
+	fpCtl    *queue.Controller
+}
+
+func newIntervalCtl(interval int64, hysteresis int, init Init) *intervalCtl {
+	return &intervalCtl{
+		interval: interval,
+		intCtl:   queue.NewController(false, init.IntIQ, hysteresis),
+		fpCtl:    queue.NewController(true, init.FPIQ, hysteresis),
+	}
+}
+
+func (c *intervalCtl) CacheInterval() int64 { return c.interval }
+func (c *intervalCtl) NeedsIQ() bool        { return c.intCtl != nil }
+
+// DecideCaches runs the Section 3.1 interval decision for the front end and
+// the load/store pair. The arithmetic is the pre-extraction machine's,
+// moved: candidate costs reconstructed from one interval's MRU statistics,
+// no exploration.
+func (c *intervalCtl) DecideCaches(obs CacheObs, buf []Reconfig) []Reconfig {
+	buf = c.decideICache(obs, buf)
+	buf = c.decideDCache(obs, buf)
+	return buf
+}
+
+// decideICache picks the front-end configuration minimizing modeled access
+// cost over the interval just ended.
+func (c *intervalCtl) decideICache(obs CacheObs, buf []Reconfig) []Reconfig {
+	if obs.FEPending {
+		return buf // a change is already in flight
+	}
+	stats := obs.ICache
+	if stats.Accesses == 0 {
+		return buf
+	}
+	// Miss service estimate: L2 A access plus a round trip of domain
+	// crossings at current frequencies.
+	missPenalty := timing.FS(obs.DCfg.Spec().L2ALat)*obs.LSPeriod + obs.FEPeriod + obs.LSPeriod
+
+	best, bestCost := obs.ICfg, timing.FS(1<<62)
+	for _, cand := range timing.ICacheConfigs() {
+		spec := cand.Spec()
+		aH, bH, miss := stats.Reconstruct(int(cand)+1, true)
+		cost := cache.Cost(aH, bH, miss, cand != timing.ICache64K4W, cache.CostParams{
+			ALat: spec.ALat, BLat: spec.BLat,
+			Period:      cand.AdaptPeriod(),
+			MissPenalty: missPenalty,
+		})
+		if cost < bestCost {
+			best, bestCost = cand, cost
+		}
+	}
+	if best == obs.ICfg {
+		return buf
+	}
+	return append(buf, Reconfig{Kind: ICache, Target: int(best)})
+}
+
+// decideDCache picks the joint L1-D/L2 configuration minimizing the
+// combined modeled access cost.
+func (c *intervalCtl) decideDCache(obs CacheObs, buf []Reconfig) []Reconfig {
+	if obs.LSPending {
+		return buf
+	}
+	l1 := obs.DCacheL1
+	l2 := obs.L2
+	if l1.Accesses == 0 {
+		return buf
+	}
+	_, _, curMiss := l1.Reconstruct(obs.DCfg.Spec().Assoc, true)
+
+	memPenalty := timing.MemLatency(obs.L2LineBytes) + 2*obs.LSPeriod
+
+	best, bestCost := obs.DCfg, timing.FS(1<<62)
+	for _, cand := range timing.DCacheConfigs() {
+		spec := cand.Spec()
+		ways := cand.Spec().Assoc
+		period := cand.AdaptPeriod()
+		hasB := cand != timing.DCache256K8W
+
+		a1, b1, miss1 := l1.Reconstruct(ways, hasB)
+		cost := cache.Cost(a1, b1, miss1, hasB, cache.CostParams{
+			ALat: spec.L1ALat, BLat: spec.L1BLat, Period: period,
+		})
+
+		// The L2 counters were collected under the current configuration's
+		// L1 miss stream; scale them to the candidate's L1 miss rate.
+		a2, b2, miss2 := l2.Reconstruct(ways, hasB)
+		if curMiss > 0 {
+			f := float64(miss1) / float64(curMiss)
+			a2 = uint64(float64(a2) * f)
+			b2 = uint64(float64(b2) * f)
+			miss2 = uint64(float64(miss2) * f)
+		}
+		cost += cache.Cost(a2, b2, miss2, hasB, cache.CostParams{
+			ALat: spec.L2ALat, BLat: spec.L2BLat, Period: period,
+			MissPenalty: memPenalty,
+		})
+		if cost < bestCost {
+			best, bestCost = cand, cost
+		}
+	}
+	if best == obs.DCfg {
+		return buf
+	}
+	return append(buf, Reconfig{Kind: DCache, Target: int(best)})
+}
+
+// DecideIQs feeds a completed ILP-tracking interval to both issue-queue
+// hysteresis controllers (Section 3.2). A queue with a resize in flight is
+// skipped entirely — its hysteresis state does not observe the interval,
+// exactly as in the pre-extraction machine.
+func (c *intervalCtl) DecideIQs(obs IQObs, buf []Reconfig) []Reconfig {
+	if c.intCtl == nil {
+		return buf
+	}
+	if !obs.IntPending {
+		if size, resize := c.intCtl.Decide(obs.Samples); resize {
+			buf = append(buf, Reconfig{Kind: IntIQ, Target: int(size)})
+		}
+	}
+	if !obs.FPPending {
+		if size, resize := c.fpCtl.Decide(obs.Samples); resize {
+			buf = append(buf, Reconfig{Kind: FPIQ, Target: int(size)})
+		}
+	}
+	return buf
+}

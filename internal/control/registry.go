@@ -1,0 +1,231 @@
+package control
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// DefaultPolicy is the policy an empty name resolves to: the paper's exact
+// controllers.
+const DefaultPolicy = "paper"
+
+// ParamInfo describes one policy parameter for registry listings.
+type ParamInfo struct {
+	// Name is the parameter key as written in a params string.
+	Name string `json:"name"`
+	// Default is the declared default: the value an omitted parameter
+	// resolves to (possibly indirectly — see ResolveParams).
+	Default float64 `json:"default"`
+	// Description says what the parameter does (units included).
+	Description string `json:"description"`
+}
+
+// Info describes one registered policy.
+type Info struct {
+	// Name is the registry key (core.Config.Policy).
+	Name string `json:"name"`
+	// Description is a one-line summary.
+	Description string `json:"description"`
+	// Params lists the accepted parameters; policies reject unknown keys.
+	Params []ParamInfo `json:"params,omitempty"`
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Policy{}
+	regOrder []string
+)
+
+// Register adds a policy under its Info().Name. It panics on an empty or
+// duplicate name — registration is an init-time, programmer-error surface.
+func Register(p Policy) {
+	name := p.Info().Name
+	if name == "" {
+		panic("control: policy with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("control: duplicate policy " + name)
+	}
+	registry[name] = p
+	regOrder = append(regOrder, name)
+}
+
+// Lookup resolves a policy name ("" means DefaultPolicy).
+func Lookup(name string) (Policy, bool) {
+	if name == "" {
+		name = DefaultPolicy
+	}
+	regMu.RLock()
+	defer regMu.RUnlock()
+	p, ok := registry[name]
+	return p, ok
+}
+
+// Names lists the registered policy names in registration order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), regOrder...)
+}
+
+// Infos lists the registered policies in registration order.
+func Infos() []Info {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Info, 0, len(regOrder))
+	for _, name := range regOrder {
+		out = append(out, registry[name].Info())
+	}
+	return out
+}
+
+// ParseParams parses a "key=value[,key=value...]" parameter string into a
+// map. An empty string parses to an empty map. Keys must be non-empty and
+// unique; values must parse as floats (integers included).
+func ParseParams(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		k = strings.TrimSpace(k)
+		if !ok || k == "" {
+			return nil, fmt.Errorf("control: malformed parameter %q (want key=value)", part)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			return nil, fmt.Errorf("control: parameter %s: %v", k, err)
+		}
+		if _, dup := out[k]; dup {
+			return nil, fmt.Errorf("control: duplicate parameter %q", k)
+		}
+		out[k] = f
+	}
+	return out, nil
+}
+
+// FormatParams renders a parameter map in the canonical "k=v,k=v" form
+// (keys sorted), the inverse of ParseParams up to ordering and whitespace.
+func FormatParams(p map[string]float64) string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%s", k, strconv.FormatFloat(p[k], 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// resolve looks up the policy and parses+validates params against its
+// declared ParamInfos. The returned map holds only the explicitly given
+// keys — a policy must be able to tell "omitted" from "set to the declared
+// default", because some defaults resolve through Init (e.g. "interval"'s
+// hysteresis inherits Config.IQHysteresis when not given, exactly like
+// "paper").
+func resolve(name, params string) (Policy, map[string]float64, error) {
+	p, ok := Lookup(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("control: unknown policy %q (have %v)", name, Names())
+	}
+	got, err := ParseParams(params)
+	if err != nil {
+		return nil, nil, err
+	}
+	info := p.Info()
+	allowed := map[string]bool{}
+	for _, pi := range info.Params {
+		allowed[pi.Name] = true
+	}
+	for k := range got {
+		if !allowed[k] {
+			return nil, nil, fmt.Errorf("control: policy %q has no parameter %q (accepts %v)",
+				info.Name, k, paramNames(info.Params))
+		}
+	}
+	if err := validateValues(info, got); err != nil {
+		return nil, nil, err
+	}
+	return p, got, nil
+}
+
+func paramNames(ps []ParamInfo) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// validateValues applies the cross-policy sanity rules to the explicitly
+// given values: every built-in parameter is a count or an instruction
+// interval, so values must be finite and non-negative.
+func validateValues(info Info, vals map[string]float64) error {
+	for _, pi := range info.Params {
+		v, ok := vals[pi.Name]
+		if !ok {
+			continue
+		}
+		if !(v >= 0) || v > 1e15 { // negated form rejects NaN too
+			return fmt.Errorf("control: policy %q parameter %s=%v out of range", info.Name, pi.Name, v)
+		}
+	}
+	return nil
+}
+
+// Param returns the explicitly given value for name, or def when omitted.
+func Param(params map[string]float64, name string, def float64) float64 {
+	if v, ok := params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Validate reports whether name/params select a registered policy with a
+// well-formed parameter assignment. It is what core.Config.Validate calls.
+func Validate(name, params string) error {
+	_, _, err := resolve(name, params)
+	return err
+}
+
+// ResolveParams returns the declared parameter assignment — the policy's
+// Info defaults overlaid with the explicit values — for introspection and
+// reporting. Note a declared default can itself be indirect (the
+// "interval" policy's hysteresis inherits Config.IQHysteresis when not
+// explicitly given; 2 is the value that resolution bottoms out at).
+func ResolveParams(name, params string) (map[string]float64, error) {
+	p, got, err := resolve(name, params)
+	if err != nil {
+		return nil, err
+	}
+	full := make(map[string]float64)
+	for _, pi := range p.Info().Params {
+		full[pi.Name] = Param(got, pi.Name, pi.Default)
+	}
+	return full, nil
+}
+
+// New builds a controller for the named policy ("" selects DefaultPolicy)
+// with the given parameter string and construction state.
+func New(name, params string, init Init) (Controller, error) {
+	p, full, err := resolve(name, params)
+	if err != nil {
+		return nil, err
+	}
+	return p.NewController(full, init), nil
+}

@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 
+	"gals/internal/control"
 	"gals/internal/timing"
 )
 
@@ -84,9 +85,11 @@ const (
 	// MSHREntries bounds outstanding misses (memory-level parallelism).
 	MSHREntries = 8
 
-	// CacheIntervalInstrs is the Accounting Cache decision interval
-	// (Section 3.1: every 15K instructions).
-	CacheIntervalInstrs = 15000
+	// CacheIntervalInstrs is the paper's Accounting Cache decision interval
+	// (Section 3.1: every 15K instructions). The machine no longer hard-wires
+	// it — the run's policy sets the cadence — but the "paper" and "interval"
+	// defaults resolve to this value.
+	CacheIntervalInstrs = control.PaperCacheInterval
 
 	// MemFreqMHz is the fixed frequency of the memory interface domain.
 	MemFreqMHz = 1000
@@ -141,6 +144,25 @@ type Config struct {
 	DisableIQAdapt    bool
 	// RecordTrace enables reconfiguration-event recording (Figure 7).
 	RecordTrace bool
+
+	// Policy names the adaptation policy driving PhaseAdaptive
+	// reconfiguration decisions; "" selects "paper", the exact Section 3
+	// controllers. See internal/control for the registry ("paper",
+	// "interval", "frozen") and gals.Policies for discovery. Valid only in
+	// PhaseAdaptive mode — the other modes take no decisions.
+	Policy string
+	// PolicyParams parameterizes the policy as "key=value[,key=value...]"
+	// (e.g. "interval=7500,hysteresis=1" for the "interval" policy).
+	// Omitted keys take the policy's declared defaults.
+	PolicyParams string
+}
+
+// WithPolicy returns a copy of c selecting the named adaptation policy with
+// the given "key=value,..." parameters (both may be empty for the paper
+// defaults). The copy still needs Validate before use.
+func (c Config) WithPolicy(name, params string) Config {
+	c.Policy, c.PolicyParams = name, params
+	return c
 }
 
 // DefaultSync returns the best-overall fully synchronous configuration
@@ -207,8 +229,29 @@ func (c Config) Label() string {
 		if c.ICacheBySets {
 			ic = c.ICache.SetsSpec().Name
 		}
-		return fmt.Sprintf("%s[i$=%s d$=%s iq=%d fq=%d]", c.Mode, ic, c.DCache, c.IntIQ, c.FPIQ)
+		pol := ""
+		if p := c.policyLabel(); p != "" {
+			pol = " pol=" + p
+		}
+		return fmt.Sprintf("%s[i$=%s d$=%s iq=%d fq=%d%s]", c.Mode, ic, c.DCache, c.IntIQ, c.FPIQ, pol)
 	}
+}
+
+// policyLabel renders the non-default policy selection for Label: "" for
+// the default paper controllers (so pre-existing labels are unchanged),
+// otherwise the name with any explicit parameters in braces.
+func (c Config) policyLabel() string {
+	name := c.Policy
+	if (name == "" || name == control.DefaultPolicy) && c.PolicyParams == "" {
+		return ""
+	}
+	if name == "" {
+		name = control.DefaultPolicy
+	}
+	if c.PolicyParams == "" {
+		return name
+	}
+	return name + "{" + c.PolicyParams + "}"
 }
 
 // Validate reports configuration errors.
@@ -234,6 +277,13 @@ func (c Config) Validate() error {
 		default:
 			return fmt.Errorf("core: issue queue size %d invalid", s)
 		}
+	}
+	if c.Mode == PhaseAdaptive {
+		if err := control.Validate(c.Policy, c.PolicyParams); err != nil {
+			return err
+		}
+	} else if c.Policy != "" || c.PolicyParams != "" {
+		return fmt.Errorf("core: adaptation policy %q set on %s config (policies decide only in PhaseAdaptive mode)", c.Policy, c.Mode)
 	}
 	return nil
 }

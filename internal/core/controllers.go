@@ -1,10 +1,18 @@
+// Reconfiguration mechanism (paper Section 3.3). The decisions themselves —
+// which configuration each domain moves to — live in the pluggable policy
+// layer (internal/control); the machine snapshots per-domain observations at
+// interval boundaries, hands them to the run's controller, and commits the
+// returned actions: the simpler of (current, target) configuration runs
+// during the PLL lock, the domain clock switches at lock completion, and
+// applyPending installs the final configuration once the pipeline passes
+// that time.
 package core
 
 import (
 	"fmt"
 
-	"gals/internal/cache"
 	"gals/internal/clock"
+	"gals/internal/control"
 	"gals/internal/timing"
 	"gals/internal/workload"
 )
@@ -64,151 +72,127 @@ func (m *Machine) record(kind reconfigKind, label string, index int) {
 	})
 }
 
-// cacheDecide runs the Accounting Cache interval decision (Section 3.1)
-// for the front end and the load/store pair, at commit time `now`.
+// cacheDecide snapshots one completed accounting interval (Section 3.1),
+// lets the policy decide, commits the decisions at commit time `now`, and
+// resets the interval statistics.
 func (m *Machine) cacheDecide(now timing.FS) {
-	m.decideICache(now)
-	m.decideDCache(now)
+	obs := control.CacheObs{
+		ICache:      m.icache.Stats(),
+		DCacheL1:    m.dcache.Stats(),
+		L2:          m.l2.Stats(),
+		ICfg:        m.iCfg,
+		DCfg:        m.dCfg,
+		FEPeriod:    m.fePeriod,
+		LSPeriod:    m.lsPeriod,
+		FEPending:   m.pendingFE != nil,
+		LSPending:   m.pendingLS != nil,
+		L2LineBytes: L2LineBytes,
+	}
+	for _, a := range m.ctl.DecideCaches(obs, m.actBuf[:0]) {
+		m.commitReconfig(a, now)
+	}
 	m.icache.ResetStats()
 	m.dcache.ResetStats()
 	m.l2.ResetStats()
 }
 
-// decideICache picks the front-end configuration minimizing modeled access
-// cost over the interval just ended.
-func (m *Machine) decideICache(now timing.FS) {
-	if m.pendingFE != nil {
-		return // a change is already in flight
-	}
-	stats := m.icache.Stats()
-	if stats.Accesses == 0 {
-		return
-	}
-	// Miss service estimate: L2 A access plus a round trip of domain
-	// crossings at current frequencies.
-	missPenalty := timing.FS(m.dCfg.Spec().L2ALat)*m.lsPeriod + m.fePeriod + m.lsPeriod
-
-	best, bestCost := m.iCfg, timing.FS(1<<62)
-	for _, cand := range timing.ICacheConfigs() {
-		spec := cand.Spec()
-		aH, bH, miss := stats.Reconstruct(int(cand)+1, true)
-		cost := cache.Cost(aH, bH, miss, cand != timing.ICache64K4W, cache.CostParams{
-			ALat: spec.ALat, BLat: spec.BLat,
-			Period:      cand.AdaptPeriod(),
-			MissPenalty: missPenalty,
-		})
-		if cost < bestCost {
-			best, bestCost = cand, cost
-		}
-	}
-	if best == m.iCfg {
-		return
-	}
-	// Run the simpler (smaller) configuration during the PLL lock:
-	// downsize at the start when speeding up, upsize at the end when
-	// slowing down (Section 3.1).
-	trans := best
-	if m.iCfg < trans {
-		trans = m.iCfg
-	}
-	m.icache.Configure(int(trans)+1, true)
-	m.bank.SetActive(trans)
-	lockDone := now + m.lockTime()
-	m.clocks[clock.FrontEnd].SetPeriodAt(lockDone, best.AdaptPeriod())
-	m.pendingFE = &pendingReconfig{at: lockDone, final: int(best)}
-	m.record(reconfigICache, best.String(), int(best))
-}
-
-// decideDCache picks the joint L1-D/L2 configuration minimizing the
-// combined modeled access cost.
-func (m *Machine) decideDCache(now timing.FS) {
-	if m.pendingLS != nil {
-		return
-	}
-	l1 := m.dcache.Stats()
-	l2 := m.l2.Stats()
-	if l1.Accesses == 0 {
-		return
-	}
-	_, _, curMiss := l1.Reconstruct(dcacheWaysA(m.dCfg), true)
-
-	memPenalty := timing.MemLatency(L2LineBytes) + 2*m.lsPeriod
-
-	best, bestCost := m.dCfg, timing.FS(1<<62)
-	for _, cand := range timing.DCacheConfigs() {
-		spec := cand.Spec()
-		ways := dcacheWaysA(cand)
-		period := cand.AdaptPeriod()
-		hasB := cand != timing.DCache256K8W
-
-		a1, b1, miss1 := l1.Reconstruct(ways, hasB)
-		cost := cache.Cost(a1, b1, miss1, hasB, cache.CostParams{
-			ALat: spec.L1ALat, BLat: spec.L1BLat, Period: period,
-		})
-
-		// The L2 counters were collected under the current configuration's
-		// L1 miss stream; scale them to the candidate's L1 miss rate.
-		a2, b2, miss2 := l2.Reconstruct(ways, hasB)
-		if curMiss > 0 {
-			f := float64(miss1) / float64(curMiss)
-			a2 = uint64(float64(a2) * f)
-			b2 = uint64(float64(b2) * f)
-			miss2 = uint64(float64(miss2) * f)
-		}
-		cost += cache.Cost(a2, b2, miss2, hasB, cache.CostParams{
-			ALat: spec.L2ALat, BLat: spec.L2BLat, Period: period,
-			MissPenalty: memPenalty,
-		})
-		if cost < bestCost {
-			best, bestCost = cand, cost
-		}
-	}
-	if best == m.dCfg {
-		return
-	}
-	trans := best
-	if m.dCfg < trans {
-		trans = m.dCfg
-	}
-	ways := dcacheWaysA(trans)
-	m.dcache.Configure(ways, true)
-	m.l2.Configure(ways, true)
-	lockDone := now + m.lockTime()
-	m.clocks[clock.LoadStore].SetPeriodAt(lockDone, best.AdaptPeriod())
-	m.pendingLS = &pendingReconfig{at: lockDone, final: int(best)}
-	m.record(reconfigDCache, best.String(), int(best))
-}
-
-// iqDecide feeds a completed ILP-tracking interval to both issue-queue
-// controllers (Section 3.2), at rename time `now`.
+// iqDecide hands a completed ILP-tracking interval (Section 3.2) to the
+// policy and commits its resizes, at rename time `now`.
 func (m *Machine) iqDecide(now timing.FS) {
-	samples := m.tracker.Samples()
-
-	if m.pendingIntIQ == nil {
-		if size, resize := m.intCtl.Decide(samples); resize {
-			trans := size
-			if m.intIQ < trans {
-				trans = m.intIQ
-			}
-			m.intIQ = trans
-			lockDone := now + m.lockTime()
-			m.clocks[clock.Integer].SetPeriodAt(lockDone, timing.IQPeriod(size))
-			m.pendingIntIQ = &pendingIQ{at: lockDone, final: size}
-			m.record(reconfigIntIQ, fmt.Sprintf("%d", size), timing.IQIndex(size))
-		}
+	obs := control.IQObs{
+		Samples:    m.tracker.Samples(),
+		IntIQ:      m.intIQ,
+		FPIQ:       m.fpIQ,
+		IntPending: m.pendingIntIQ != nil,
+		FPPending:  m.pendingFPIQ != nil,
 	}
-	if m.pendingFPIQ == nil {
-		if size, resize := m.fpCtl.Decide(samples); resize {
-			trans := size
-			if m.fpIQ < trans {
-				trans = m.fpIQ
-			}
-			m.fpIQ = trans
-			lockDone := now + m.lockTime()
-			m.clocks[clock.FloatingPoint].SetPeriodAt(lockDone, timing.IQPeriod(size))
-			m.pendingFPIQ = &pendingIQ{at: lockDone, final: size}
-			m.record(reconfigFPIQ, fmt.Sprintf("%d", size), timing.IQIndex(size))
+	for _, a := range m.ctl.DecideIQs(obs, m.actBuf[:0]) {
+		m.commitReconfig(a, now)
+	}
+}
+
+// commitReconfig initiates one policy decision: the transitional (simpler)
+// configuration takes effect immediately, the domain clock is scheduled to
+// switch when the PLL locks, and applyPending finalizes. A decision for a
+// domain whose previous change is still locking is dropped — SetPeriodAt
+// cannot rewrite scheduled clock history — and an out-of-range target is a
+// policy bug, reported by panic.
+func (m *Machine) commitReconfig(a control.Reconfig, now timing.FS) {
+	switch a.Kind {
+	case control.ICache:
+		if m.pendingFE != nil {
+			return
 		}
+		if a.Target < 0 || a.Target >= timing.NumICacheConfigs {
+			panic(fmt.Sprintf("core: policy %q targets i-cache config %d", m.cfg.Policy, a.Target))
+		}
+		best := timing.ICacheConfig(a.Target)
+		trans := best
+		if m.iCfg < trans {
+			trans = m.iCfg
+		}
+		// Run the simpler (smaller) configuration during the PLL lock:
+		// downsize at the start when speeding up, upsize at the end when
+		// slowing down (Section 3.1).
+		m.icache.Configure(int(trans)+1, true)
+		m.bank.SetActive(trans)
+		lockDone := now + m.lockTime()
+		m.clocks[clock.FrontEnd].SetPeriodAt(lockDone, best.AdaptPeriod())
+		m.pendingFE = &pendingReconfig{at: lockDone, final: int(best)}
+		m.record(reconfigICache, best.String(), int(best))
+
+	case control.DCache:
+		if m.pendingLS != nil {
+			return
+		}
+		if a.Target < 0 || a.Target >= timing.NumDCacheConfigs {
+			panic(fmt.Sprintf("core: policy %q targets d-cache config %d", m.cfg.Policy, a.Target))
+		}
+		best := timing.DCacheConfig(a.Target)
+		trans := best
+		if m.dCfg < trans {
+			trans = m.dCfg
+		}
+		ways := dcacheWaysA(trans)
+		m.dcache.Configure(ways, true)
+		m.l2.Configure(ways, true)
+		lockDone := now + m.lockTime()
+		m.clocks[clock.LoadStore].SetPeriodAt(lockDone, best.AdaptPeriod())
+		m.pendingLS = &pendingReconfig{at: lockDone, final: int(best)}
+		m.record(reconfigDCache, best.String(), int(best))
+
+	case control.IntIQ:
+		if m.pendingIntIQ != nil {
+			return
+		}
+		size := timing.IQSize(a.Target)
+		trans := size
+		if m.intIQ < trans {
+			trans = m.intIQ
+		}
+		m.intIQ = trans
+		lockDone := now + m.lockTime()
+		m.clocks[clock.Integer].SetPeriodAt(lockDone, timing.IQPeriod(size))
+		m.pendingIntIQ = &pendingIQ{at: lockDone, final: size}
+		m.record(reconfigIntIQ, fmt.Sprintf("%d", size), timing.IQIndex(size))
+
+	case control.FPIQ:
+		if m.pendingFPIQ != nil {
+			return
+		}
+		size := timing.IQSize(a.Target)
+		trans := size
+		if m.fpIQ < trans {
+			trans = m.fpIQ
+		}
+		m.fpIQ = trans
+		lockDone := now + m.lockTime()
+		m.clocks[clock.FloatingPoint].SetPeriodAt(lockDone, timing.IQPeriod(size))
+		m.pendingFPIQ = &pendingIQ{at: lockDone, final: size}
+		m.record(reconfigFPIQ, fmt.Sprintf("%d", size), timing.IQIndex(size))
+
+	default:
+		panic(fmt.Sprintf("core: policy %q returned unknown reconfig kind %d", m.cfg.Policy, a.Kind))
 	}
 }
 

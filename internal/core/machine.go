@@ -7,6 +7,7 @@ import (
 	"gals/internal/bpred"
 	"gals/internal/cache"
 	"gals/internal/clock"
+	"gals/internal/control"
 	"gals/internal/isa"
 	"gals/internal/mem"
 	"gals/internal/queue"
@@ -223,10 +224,14 @@ type Machine struct {
 	lastCommit  timing.FS
 	lastRename  timing.FS
 
-	// Controllers (PhaseAdaptive).
+	// Adaptation policy (PhaseAdaptive): the run's decision state, plus the
+	// machine-side mechanism bookkeeping. cacheEvery caches the policy's
+	// accounting interval (0 disables); actBuf backs the per-decision action
+	// slice so interval boundaries allocate nothing.
+	ctl           control.Controller
+	cacheEvery    int64
+	actBuf        [4]control.Reconfig
 	tracker       *queue.Tracker
-	intCtl        *queue.Controller
-	fpCtl         *queue.Controller
 	intervalStart int64
 	pendingFE     *pendingReconfig
 	pendingLS     *pendingReconfig
@@ -403,13 +408,19 @@ func NewMachineSource(src InstSource, cfg Config) *Machine {
 	m.fpMul = newFUPool(FPMulDivs)
 
 	if cfg.Mode == PhaseAdaptive {
-		m.tracker = queue.NewTracker()
-		h := cfg.IQHysteresis
-		if h <= 0 {
-			h = 2 // two agreeing intervals before a resize (anti-thrash)
+		ctl, err := control.New(cfg.Policy, cfg.PolicyParams, control.Init{
+			IntIQ:        cfg.IntIQ,
+			FPIQ:         cfg.FPIQ,
+			IQHysteresis: cfg.IQHysteresis,
+		})
+		if err != nil {
+			panic(err) // Validate() above rejects unknown policies/params
 		}
-		m.intCtl = queue.NewController(false, cfg.IntIQ, h)
-		m.fpCtl = queue.NewController(true, cfg.FPIQ, h)
+		m.ctl = ctl
+		m.cacheEvery = ctl.CacheInterval()
+		if ctl.NeedsIQ() {
+			m.tracker = queue.NewTracker()
+		}
 	}
 	return m
 }

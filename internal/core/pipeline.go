@@ -243,8 +243,8 @@ func (m *Machine) step(in *isa.Inst) {
 		m.stats.IntIQInstrs[timing.IQIndex(m.intIQ)]++
 		m.stats.FPIQInstrs[timing.IQIndex(m.fpIQ)]++
 	}
-	if m.cfg.Mode == PhaseAdaptive && !m.cfg.DisableCacheAdapt &&
-		m.count-m.intervalStart >= CacheIntervalInstrs {
+	if m.cacheEvery > 0 && !m.cfg.DisableCacheAdapt &&
+		m.count-m.intervalStart >= m.cacheEvery {
 		m.cacheDecide(c)
 		m.intervalStart = m.count
 	}

@@ -294,6 +294,8 @@ func Figure7(o Options) (*Table, error) {
 			cfg.Seed = o.Seed
 			cfg.PLLScale = o.PLLScale
 			cfg.JitterFrac = o.JitterFrac
+			cfg.Policy = o.Policy
+			cfg.PolicyParams = o.PolicyParams
 			cfg.RecordTrace = true
 			res = core.RunWorkload(spec, cfg, o.Window)
 		}
@@ -312,5 +314,60 @@ func Figure7(o Options) (*Table, error) {
 	t.Notes = append(t.Notes,
 		"paper Figure 7(a): apsi's D/L2 pair oscillates 32k1W <-> 128k4W with its working-set phases",
 		"paper Figure 7(b): art's integer queue cycles through its sizes with its ILP phases")
+	return t, nil
+}
+
+// PolicyCompare quantifies what adaptation itself buys (the comparison the
+// paper's Table 9 discussion implies): every benchmark runs the
+// Phase-Adaptive machine under the "frozen" policy — never reconfiguring,
+// so the run carries the multiple-clock-domain overhead and nothing else —
+// and under the selected adaptation policy (Options.Policy, default the
+// paper controllers). The improvement column is adaptation's net benefit on
+// top of the MCD overhead both runs share.
+func PolicyCompare(o Options) (*Table, error) {
+	workers, exec, pri := o.Workers, o.Exec, o.Priority
+	o = o.memoKey()
+	so := o.sweepOptions()
+	so.Workers, so.Exec, so.Priority = workers, exec, pri
+	// One recorded-trace pool for both policy runs of every benchmark.
+	so.Traces = sweep.NewRecordingPool(o.Window)
+	specs := workload.Suite()
+
+	polName := o.Policy
+	if polName == "" {
+		polName = "paper"
+	}
+	frozenOpts := so
+	frozenOpts.Policy, frozenOpts.PolicyParams = "frozen", ""
+	frozen, err := sweep.MeasurePhase(specs, frozenOpts)
+	if err != nil {
+		return nil, err
+	}
+	adapted, err := sweep.MeasurePhase(specs, so)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:    "policies",
+		Title: fmt.Sprintf("Adaptation benefit over the frozen MCD baseline (policy %q)", polName),
+		Header: []string{"benchmark", "t_frozen(us)", "t_" + polName + "(us)",
+			"improvement %", "reconfigs"},
+	}
+	var mean float64
+	for i, spec := range specs {
+		imp := sweep.Improvement(frozen[i].TimeFS, adapted[i].TimeFS)
+		mean += imp
+		t.AddRow(spec.Name,
+			fmt.Sprintf("%.2f", float64(frozen[i].TimeFS)/1e9),
+			fmt.Sprintf("%.2f", float64(adapted[i].TimeFS)/1e9),
+			fmt.Sprintf("%+.1f", imp),
+			fmt.Sprint(adapted[i].Stats.Reconfigs))
+	}
+	mean /= float64(len(specs))
+	t.Notes = append(t.Notes,
+		"frozen = Phase-Adaptive machine that never reconfigures: pure multiple-clock-domain overhead, no adaptation",
+		fmt.Sprintf("mean improvement of %q over frozen: %+.1f%%", polName, mean),
+	)
 	return t, nil
 }

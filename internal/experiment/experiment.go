@@ -41,6 +41,12 @@ type Options struct {
 	Exec *sweep.Pool `json:"-"`
 	// Priority orders the pipeline's cells on that pool. Result-neutral.
 	Priority int `json:"-"`
+	// Policy and PolicyParams select the adaptation policy
+	// (internal/control registry) of the Phase-Adaptive stages; "" keeps
+	// the paper controllers. Result-relevant: part of the suite memo and
+	// every cache key.
+	Policy       string
+	PolicyParams string
 }
 
 // DefaultOptions match the calibration runs recorded in EXPERIMENTS.md.
@@ -50,13 +56,15 @@ func DefaultOptions() Options {
 
 func (o Options) sweepOptions() sweep.Options {
 	return sweep.Options{
-		Window:     o.Window,
-		Workers:    o.Workers,
-		Seed:       o.Seed,
-		JitterFrac: o.JitterFrac,
-		PLLScale:   o.PLLScale,
-		Exec:       o.Exec,
-		Priority:   o.Priority,
+		Window:       o.Window,
+		Workers:      o.Workers,
+		Seed:         o.Seed,
+		JitterFrac:   o.JitterFrac,
+		PLLScale:     o.PLLScale,
+		Exec:         o.Exec,
+		Priority:     o.Priority,
+		Policy:       o.Policy,
+		PolicyParams: o.PolicyParams,
 	}
 }
 
@@ -172,4 +180,5 @@ func init() {
 	register("figure6", func(o Options) (*Table, error) { return Figure6(o) })
 	register("table9", func(o Options) (*Table, error) { return Table9(o) })
 	register("figure7", func(o Options) (*Table, error) { return Figure7(o) })
+	register("policies", func(o Options) (*Table, error) { return PolicyCompare(o) })
 }

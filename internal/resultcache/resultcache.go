@@ -35,7 +35,13 @@ import (
 // anywhere in the simulator can alter results for an identical request
 // (timing model, workload generation, controller behaviour, ...): old
 // entries then simply stop matching instead of being served stale.
-const SchemaVersion = "gals-results-v1"
+//
+// v2: the adaptation-policy layer (internal/control) added Policy and
+// PolicyParams to core.Config and the sweep/experiment/service request
+// shapes. The "paper" default is pinned bit-identical to v1 behaviour by
+// parity tests, but every key payload's encoding changed, so v1 entries are
+// orphaned wholesale rather than left to alias by accident.
+const SchemaVersion = "gals-results-v2"
 
 // Store is the persistence interface consumed by the compute layers
 // (experiment's suite memo, sweep's measure matrices, the service's runs).

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 
+	"gals/internal/control"
 	"gals/internal/workload"
 )
 
@@ -13,6 +14,7 @@ import (
 //
 //	GET  /healthz        liveness probe
 //	GET  /v1/stats       scheduler, dedup and cache counters
+//	GET  /v1/policies    the adaptation-policy registry (names, parameters)
 //	GET  /v1/workloads   the benchmark suite
 //	POST /v1/run         one simulation           (RunRequest -> RunResult)
 //	POST /v1/batch       many simulations         ({"runs": [...]} -> {"results": [...]})
@@ -32,6 +34,10 @@ func (s *Service) Handler() http.Handler {
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	})
+
+	mux.HandleFunc("GET /v1/policies", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, control.Infos())
 	})
 
 	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {

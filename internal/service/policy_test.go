@@ -1,0 +1,140 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gals/internal/control"
+)
+
+func TestRunRequestPolicySelection(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2})
+
+	paper, err := s.Run(RunRequest{Bench: "apsi", Window: 40_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen, err := s.Run(RunRequest{Bench: "apsi", Window: 40_000, Policy: "frozen"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozen.Stats.Reconfigs != 0 {
+		t.Errorf("frozen run reconfigured %d times", frozen.Stats.Reconfigs)
+	}
+	if paper.Stats.Reconfigs == 0 {
+		t.Error("default policy run never reconfigured on apsi")
+	}
+	if paper.TimeFS == frozen.TimeFS {
+		t.Error("policy selection did not change the run result")
+	}
+	if !strings.Contains(frozen.Config, "pol=frozen") {
+		t.Errorf("frozen run label %q does not name the policy", frozen.Config)
+	}
+
+	// Policy validation surfaces as a request error.
+	if _, err := s.Run(RunRequest{Bench: "gcc", Policy: "nope"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := s.Run(RunRequest{Bench: "gcc", Mode: "sync", Policy: "frozen"}); err == nil {
+		t.Error("policy on a sync-mode run accepted")
+	}
+	if _, err := s.Run(RunRequest{Bench: "gcc", Policy: "interval", PolicyParams: "bogus=1"}); err == nil {
+		t.Error("unknown policy parameter accepted")
+	}
+}
+
+func TestSweepPhaseSpacePolicies(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2})
+
+	res, err := s.Sweep(SweepRequest{
+		Space: "phase", Bench: "apsi", Window: 30_000,
+		Policies: []PolicySetting{
+			{Name: "paper"},
+			{Name: "frozen"},
+			{Name: "interval", Params: "interval=7500,hysteresis=1"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Configs != 3 || res.Benchmarks != 1 {
+		t.Fatalf("phase sweep shape %d x %d, want 3 x 1", res.Configs, res.Benchmarks)
+	}
+	if res.Best == "" || len(res.PerApp) != 1 {
+		t.Fatalf("phase sweep produced no winners: %+v", res)
+	}
+
+	// Defaulted policies: every registered policy at default parameters.
+	all, err := s.Sweep(SweepRequest{Space: "phase", Bench: "gcc", Window: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(control.Names()); all.Configs != want {
+		t.Errorf("defaulted phase sweep has %d configs, want %d", all.Configs, want)
+	}
+
+	// Policies are a phase-space-only axis.
+	if _, err := s.Sweep(SweepRequest{Space: "sync", Policies: []PolicySetting{{Name: "paper"}}}); err == nil {
+		t.Error("policies accepted on a sync sweep")
+	}
+	if _, err := s.Sweep(SweepRequest{Space: "phase", Policies: []PolicySetting{{Name: "nope"}}}); err == nil {
+		t.Error("unknown policy accepted in a phase sweep")
+	}
+}
+
+func TestHTTPPoliciesEndpointAndPolicySweep(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/policies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/policies returned %d", resp.StatusCode)
+	}
+	var infos []control.Info
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	var intervalParams int
+	for _, in := range infos {
+		names[in.Name] = true
+		if in.Name == "interval" {
+			intervalParams = len(in.Params)
+		}
+	}
+	for _, want := range []string{"paper", "interval", "frozen"} {
+		if !names[want] {
+			t.Errorf("/v1/policies missing %q (got %v)", want, names)
+		}
+	}
+	if intervalParams != 2 {
+		t.Errorf("interval policy lists %d params, want 2", intervalParams)
+	}
+
+	// End-to-end POST /v1/sweep with a non-default policy with parameters.
+	body := `{"space":"phase","bench":"apsi","window":20000,
+		"policies":[{"name":"frozen"},{"name":"interval","params":"interval=7500"}]}`
+	sresp, err := http.Post(srv.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/sweep (phase) returned %d", sresp.StatusCode)
+	}
+	var sres SweepResult
+	if err := json.NewDecoder(sresp.Body).Decode(&sres); err != nil {
+		t.Fatal(err)
+	}
+	if sres.Configs != 2 || sres.Best == "" {
+		t.Fatalf("phase sweep over HTTP: %+v", sres)
+	}
+}

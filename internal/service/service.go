@@ -24,13 +24,16 @@
 package service
 
 import (
+	"context"
 	"fmt"
+	"net/http"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"gals/internal/control"
 	"gals/internal/core"
 	"gals/internal/experiment"
 	"gals/internal/recstore"
@@ -130,6 +133,24 @@ func (s *Service) Close() {
 	}
 }
 
+// Shutdown is the graceful stop behind galsd's SIGINT/SIGTERM handling, in
+// dependency order: the HTTP server stops accepting connections and drains
+// in-flight requests (whose cells drain the pool with them, bounded by
+// ctx), then Close stops the workers and restores the persist hooks, and
+// finally one cache-prune pass enforces Config.CacheMaxBytes so the
+// directory a stopped server leaves behind is within its configured bound.
+// srv may be nil (no listener was started). The returned error is
+// http.Server.Shutdown's (ctx expiry with requests still in flight).
+func (s *Service) Shutdown(ctx context.Context, srv *http.Server) error {
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
+	}
+	s.Close()
+	s.maybePrune()
+	return err
+}
+
 // Cache returns the persistent cache, or nil when persistence is disabled.
 func (s *Service) Cache() *resultcache.Cache { return s.cache }
 
@@ -217,6 +238,11 @@ type RunRequest struct {
 	JitterFrac float64 `json:"jitter,omitempty"`
 	// PLLScale scales PLL lock times (default 0.1).
 	PLLScale float64 `json:"pllscale,omitempty"`
+	// Policy and PolicyParams select the adaptation policy for phase mode
+	// (names from GET /v1/policies; params as "key=value,..."). Empty keeps
+	// the paper controllers.
+	Policy       string `json:"policy,omitempty"`
+	PolicyParams string `json:"policy_params,omitempty"`
 	// Priority orders this request against others (higher first). It does
 	// not affect the result and is excluded from the cache key.
 	Priority int `json:"priority,omitempty"`
@@ -316,6 +342,8 @@ func (r RunRequest) machine() (workload.Spec, core.Config, error) {
 	cfg.Seed = r.Seed
 	cfg.JitterFrac = r.JitterFrac
 	cfg.PLLScale = r.PLLScale
+	cfg.Policy = r.Policy
+	cfg.PolicyParams = r.PolicyParams
 	if err := cfg.Validate(); err != nil {
 		return spec, cfg, err
 	}
@@ -462,15 +490,24 @@ func (s *Service) RunBatch(reqs []RunRequest) []BatchItem {
 // ---------------------------------------------------------------------------
 // Design-space sweeps.
 
+// PolicySetting pairs an adaptation-policy name with a parameter string in
+// a phase-space sweep ({"name": "interval", "params": "interval=7500"}).
+type PolicySetting = sweep.PolicySetting
+
 // SweepRequest asks for a design-space sweep (paper Section 4).
 type SweepRequest struct {
-	// Space is "sync" (1,024 fully synchronous configurations) or
-	// "adaptive" (256 adaptive MCD configurations).
+	// Space is "sync" (1,024 fully synchronous configurations), "adaptive"
+	// (256 adaptive MCD configurations) or "phase" (Phase-Adaptive machines,
+	// one per Policies entry — the adaptation-policy axis).
 	Space string `json:"space"`
 	// Bench optionally restricts the sweep to one benchmark.
 	Bench string `json:"bench,omitempty"`
 	// Quick prunes the sync space to its direct-mapped I-cache points.
 	Quick bool `json:"quick,omitempty"`
+	// Policies are the policy settings of a "phase" sweep (names from
+	// GET /v1/policies). Empty defaults to every registered policy at its
+	// default parameters. Rejected on other spaces.
+	Policies []sweep.PolicySetting `json:"policies,omitempty"`
 	// Window is the instruction window per run (default 30,000).
 	Window int64 `json:"window,omitempty"`
 	// Workers is accepted for wire compatibility but ignored: the sweep's
@@ -488,8 +525,22 @@ type SweepRequest struct {
 func (r SweepRequest) normalize() (SweepRequest, error) {
 	switch r.Space {
 	case "sync", "adaptive":
+		if len(r.Policies) > 0 {
+			return r, fmt.Errorf("service: policies are a phase-space axis (got space %q)", r.Space)
+		}
+	case "phase":
+		if len(r.Policies) == 0 {
+			for _, name := range control.Names() {
+				r.Policies = append(r.Policies, sweep.PolicySetting{Name: name})
+			}
+		}
+		for _, p := range r.Policies {
+			if err := control.Validate(p.Name, p.Params); err != nil {
+				return r, fmt.Errorf("service: %w", err)
+			}
+		}
 	default:
-		return r, fmt.Errorf("service: unknown sweep space %q (want sync or adaptive)", r.Space)
+		return r, fmt.Errorf("service: unknown sweep space %q (want sync, adaptive or phase)", r.Space)
 	}
 	if r.Bench != "" {
 		if _, ok := workload.ByName(r.Bench); !ok {
@@ -551,13 +602,16 @@ func (s *Service) Sweep(req SweepRequest) (SweepResult, error) {
 			specs = []workload.Spec{spec}
 		}
 		var cfgs []core.Config
-		if n.Space == "sync" {
+		switch n.Space {
+		case "sync":
 			if n.Quick {
 				cfgs = sweep.QuickSyncSpace()
 			} else {
 				cfgs = sweep.SyncSpace()
 			}
-		} else {
+		case "phase":
+			cfgs = sweep.PhaseSpace(n.Policies)
+		default:
 			cfgs = sweep.AdaptiveSpace()
 		}
 
@@ -617,7 +671,11 @@ type SuiteRequest struct {
 	PLLScale      float64 `json:"pllscale,omitempty"`
 	Seed          int64   `json:"seed,omitempty"`
 	JitterFrac    float64 `json:"jitter,omitempty"`
-	Priority      int     `json:"priority,omitempty"`
+	// Policy and PolicyParams select the adaptation policy of the
+	// pipeline's Phase-Adaptive stages (default: the paper controllers).
+	Policy       string `json:"policy,omitempty"`
+	PolicyParams string `json:"policy_params,omitempty"`
+	Priority     int    `json:"priority,omitempty"`
 }
 
 // validate rejects parameter values the simulator would panic on or
@@ -631,6 +689,11 @@ func (r SuiteRequest) validate() error {
 	}
 	if r.PLLScale != 0 && !(r.PLLScale > 0) {
 		return fmt.Errorf("service: pll scale %v must be positive", r.PLLScale)
+	}
+	if r.Policy != "" || r.PolicyParams != "" {
+		if err := control.Validate(r.Policy, r.PolicyParams); err != nil {
+			return fmt.Errorf("service: %w", err)
+		}
 	}
 	return nil
 }
@@ -649,6 +712,8 @@ func (r SuiteRequest) options() experiment.Options {
 		o.Seed = r.Seed
 	}
 	o.JitterFrac = r.JitterFrac
+	o.Policy = r.Policy
+	o.PolicyParams = r.PolicyParams
 	return o
 }
 

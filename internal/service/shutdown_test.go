@@ -1,0 +1,119 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGracefulShutdownAgainstLiveListener exercises the SIGINT/SIGTERM path
+// of cmd/galsd against a real listener: a request in flight when Shutdown
+// starts must complete, the pool must be drained and closed afterwards, new
+// work must be refused, and the final cache-prune pass must have enforced
+// the configured byte bound.
+func TestGracefulShutdownAgainstLiveListener(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{CacheDir: dir, Workers: 2, CacheMaxBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// An in-flight request during shutdown: start it, give it a moment to
+	// reach the pool, then shut down concurrently.
+	inflight := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/run", "application/json",
+			strings.NewReader(`{"bench":"gcc","window":50000}`))
+		if err != nil {
+			inflight <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			inflight <- fmt.Errorf("in-flight run returned %d", resp.StatusCode)
+			return
+		}
+		var rr RunResult
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			inflight <- err
+			return
+		}
+		if rr.TimeFS <= 0 {
+			inflight <- fmt.Errorf("in-flight run produced no result: %+v", rr)
+			return
+		}
+		inflight <- nil
+	}()
+	// Wait until the server has actually accepted the request.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.pool.InFlight() == 0 && s.pool.Pending() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx, srv); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if err := <-serveDone; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight request not drained: %v", err)
+	}
+
+	// Stopped accepting: new connections must fail.
+	if _, err := (&net.Dialer{Timeout: time.Second}).Dial("tcp", ln.Addr().String()); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+	// Pool drained and closed: no pending or running cells, new work refused.
+	if p, f := s.pool.Pending(), s.pool.InFlight(); p != 0 || f != 0 {
+		t.Errorf("pool not drained: pending %d, in flight %d", p, f)
+	}
+	if _, err := s.Run(RunRequest{Bench: "gcc", Window: 1000}); err == nil {
+		t.Error("service accepted work after shutdown")
+	}
+	// Final prune enforced the 1-byte bound: no result blobs remain (lock
+	// and temp debris aside, which the prune skips while fresh).
+	var blobs int
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".json") {
+			blobs++
+		}
+		return nil
+	})
+	if blobs != 0 {
+		t.Errorf("%d cache blobs survived the shutdown prune with a 1-byte bound", blobs)
+	}
+}
+
+// TestShutdownWithoutServer: Shutdown with a nil server is Close plus the
+// prune pass (galsd before the listener ever started).
+func TestShutdownWithoutServer(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(context.Background(), nil); err != nil {
+		t.Fatalf("nil-server shutdown: %v", err)
+	}
+	if _, err := s.Run(RunRequest{Bench: "gcc", Window: 1000}); err == nil {
+		t.Error("service accepted work after shutdown")
+	}
+}

@@ -1,0 +1,221 @@
+package sweep
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"gals/internal/core"
+	"gals/internal/resultcache"
+	"gals/internal/timing"
+	"gals/internal/workload"
+)
+
+func TestPhaseSpaceCarriesPolicies(t *testing.T) {
+	settings := []PolicySetting{
+		{Name: "paper"},
+		{Name: "frozen"},
+		{Name: "interval", Params: "interval=7500,hysteresis=1"},
+	}
+	cfgs := PhaseSpace(settings)
+	if len(cfgs) != len(settings) {
+		t.Fatalf("PhaseSpace has %d configs, want %d", len(cfgs), len(settings))
+	}
+	for i, cfg := range cfgs {
+		if cfg.Mode != core.PhaseAdaptive {
+			t.Errorf("config %d mode %v", i, cfg.Mode)
+		}
+		if cfg.Policy != settings[i].Name || cfg.PolicyParams != settings[i].Params {
+			t.Errorf("config %d policy %q{%q}", i, cfg.Policy, cfg.PolicyParams)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("config %d invalid: %v", i, err)
+		}
+	}
+}
+
+// TestPolicySweepEndToEnd runs the policy axis through MeasureSummary like
+// any other design space: frozen must never beat paper on a phased
+// workload's per-app winner being well-defined, and every cell must be
+// finite.
+func TestPolicySweepEndToEnd(t *testing.T) {
+	specs := []workload.Spec{mustSpec(t, "apsi"), mustSpec(t, "art")}
+	cfgs := PhaseSpace([]PolicySetting{
+		{Name: "paper"},
+		{Name: "frozen"},
+		{Name: "interval", Params: "interval=7500"},
+	})
+	sum, err := MeasureSummary(specs, cfgs, Options{Window: 40_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Best < 0 {
+		t.Fatal("policy sweep produced no finite configuration")
+	}
+	for si, bi := range sum.PerApp {
+		if bi < 0 || sum.PerAppTimes[si] <= 0 {
+			t.Fatalf("benchmark %d has no winner", si)
+		}
+	}
+	// Distinct policies must actually produce distinct machines: frozen and
+	// paper cannot tie on a workload with reconfiguration opportunities.
+	times := Measure(specs, cfgs, Options{Window: 40_000})
+	if times[0][0] == times[1][0] {
+		t.Error("paper and frozen produced identical times on apsi")
+	}
+}
+
+// TestOptionsPolicyReachesPhaseStage pins that Options.Policy changes
+// MeasurePhase results (and their persist identity) without touching
+// configs that already carry a policy.
+func TestOptionsPolicyReachesPhaseStage(t *testing.T) {
+	specs := []workload.Spec{mustSpec(t, "apsi")}
+	paper, err := MeasurePhase(specs, Options{Window: 40_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen, err := MeasurePhase(specs, Options{Window: 40_000, Policy: "frozen"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozen[0].Stats.Reconfigs != 0 {
+		t.Errorf("frozen phase run reconfigured %d times", frozen[0].Stats.Reconfigs)
+	}
+	if paper[0].Stats.Reconfigs == 0 {
+		t.Error("paper phase run never reconfigured on apsi")
+	}
+	if paper[0].TimeFS == frozen[0].TimeFS {
+		t.Error("policy selection did not change the phase result")
+	}
+	// A config that carries its own policy wins over the sweep-level one.
+	cfg := Options{Window: 1000, Policy: "frozen"}.apply(
+		core.DefaultAdaptive(core.PhaseAdaptive).WithPolicy("paper", ""))
+	if cfg.Policy != "paper" {
+		t.Errorf("apply clobbered the config's own policy with %q", cfg.Policy)
+	}
+}
+
+func TestTopKSummaryMatchesFullRanking(t *testing.T) {
+	specs := workload.Suite()[:3]
+	cfgs := AdaptiveSpace()[:12]
+	o := Options{Window: 1500}
+	full, err := MeasureSummary(specs, cfgs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := o
+	ok.TopK = 5
+	top, err := MeasureSummary(specs, cfgs, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Scores != nil || top.Invalid != nil {
+		t.Error("top-K summary retained the full scores slice")
+	}
+	if len(top.Top) != 5 {
+		t.Fatalf("Top has %d entries, want 5", len(top.Top))
+	}
+	// The reference ranking: sort the full scores ascending, ties by index.
+	type rc struct {
+		ci    int
+		score float64
+	}
+	var ref []rc
+	for ci, s := range full.Scores {
+		if full.Invalid[ci] {
+			continue
+		}
+		ref = append(ref, rc{ci, s})
+	}
+	sort.Slice(ref, func(i, j int) bool {
+		if ref[i].score != ref[j].score {
+			return ref[i].score < ref[j].score
+		}
+		return ref[i].ci < ref[j].ci
+	})
+	for i, r := range top.Top {
+		if r.Config != ref[i].ci || r.Score != ref[i].score {
+			t.Fatalf("Top[%d] = %+v, want (%d, %v)", i, r, ref[i].ci, ref[i].score)
+		}
+	}
+	if top.Best != full.Best || !reflect.DeepEqual(top.BestTimes, full.BestTimes) ||
+		!reflect.DeepEqual(top.PerApp, full.PerApp) {
+		t.Error("top-K aggregation changed the winners")
+	}
+	if top.Top[0].Config != full.Best {
+		t.Error("Top[0] is not the best-overall configuration")
+	}
+	if got := full.TopOf(5); !reflect.DeepEqual(got, top.Top) {
+		t.Errorf("TopOf(5) = %v, want %v", got, top.Top)
+	}
+}
+
+func TestTopKServedFromPersistedFullSummary(t *testing.T) {
+	specs := workload.Suite()[:2]
+	cfgs := AdaptiveSpace()[:8]
+	o := Options{Window: 1500}
+
+	c, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := SetPersist(c)
+	defer SetPersist(prev)
+
+	full, err := MeasureSummary(specs, cfgs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := MeasureComputations()
+	ok := o
+	ok.TopK = 3
+	top, err := MeasureSummary(specs, cfgs, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MeasureComputations() != before {
+		t.Fatal("top-K request re-simulated despite a persisted full summary")
+	}
+	if !reflect.DeepEqual(top.Top, full.TopOf(3)) {
+		t.Error("derived top-K differs from the full summary's ranking")
+	}
+	// And the derived summary was persisted under its own key: a second
+	// request loads it directly even shape-checked.
+	again, err := MeasureSummary(specs, cfgs, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MeasureComputations() != before {
+		t.Fatal("second top-K request re-simulated")
+	}
+	if !reflect.DeepEqual(again.Top, top.Top) {
+		t.Error("persisted top-K summary differs")
+	}
+}
+
+func TestTopOfExcludesInvalidConfigs(t *testing.T) {
+	times := [][]timing.FS{
+		{100, 200},
+		{0, 300}, // disqualified: a non-positive run time
+		{50, 400},
+	}
+	s := Summarize(times)
+	top := s.TopOf(3)
+	if len(top) != 2 {
+		t.Fatalf("TopOf kept %d configs, want 2 (one invalid)", len(top))
+	}
+	for _, r := range top {
+		if r.Config == 1 {
+			t.Error("disqualified configuration ranked")
+		}
+	}
+}
+
+func mustSpec(t *testing.T, name string) workload.Spec {
+	t.Helper()
+	s, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("missing benchmark %q", name)
+	}
+	return s
+}

@@ -3,7 +3,9 @@
 // (one configuration's cells, in benchmark order — see runCells for why
 // that orientation is what lets the streaming accumulator close rows
 // early); the worker that admits a group drains it front-to-back while
-// idle workers steal single cells from the far end of a sibling's deque.
+// idle workers batch-steal half of a sibling's deque from its far end
+// (Cilk-style), so migrating work costs one lock acquisition per batch
+// rather than per cell.
 // One pool instance bounds TOTAL simulation parallelism: the service runs
 // every request — single runs, batches, sweeps, suite pipelines — through
 // its pool,
@@ -89,14 +91,25 @@ func (d *deque) popFront() cell {
 	}
 	return c
 }
-func (d *deque) popBack() cell {
-	c := d.buf[len(d.buf)-1]
-	d.buf[len(d.buf)-1].run = nil
-	d.buf = d.buf[:len(d.buf)-1]
-	if d.empty() {
-		d.buf, d.head = d.buf[:0], 0
+
+// stealHalfFrom moves the back half of v's cells (at least one) into d,
+// which must be empty, preserving their order — the classic Cilk batch
+// steal. One lock acquisition migrates the whole batch; the old design
+// moved one cell per steal, so fine-grained load paid one acquisition per
+// migrated cell. It returns the number of cells moved.
+func (d *deque) stealHalfFrom(v *deque) int {
+	n := (v.size() + 1) / 2
+	start := len(v.buf) - n
+	d.buf = append(d.buf[:0], v.buf[start:]...)
+	d.head = 0
+	for i := start; i < len(v.buf); i++ {
+		v.buf[i].run = nil
 	}
-	return c
+	v.buf = v.buf[:start]
+	if v.empty() {
+		v.buf, v.head = v.buf[:0], 0
+	}
+	return n
 }
 
 // pushFrontGroup prepends a group's cells so they run before anything the
@@ -134,6 +147,8 @@ type Pool struct {
 	inflight  atomic.Int64
 	completed atomic.Int64
 	rejected  atomic.Int64
+	steals    atomic.Int64 // steal events (one lock acquisition each)
+	stolen    atomic.Int64 // cells migrated by steals
 }
 
 // NewPool starts a pool of `workers` goroutines bounded at `depth` pending
@@ -187,6 +202,16 @@ func (p *Pool) Completed() int64 { return p.completed.Load() }
 // Rejected returns the number of Execute batches refused with ErrQueueFull.
 func (p *Pool) Rejected() int64 { return p.rejected.Load() }
 
+// Steals returns the number of steal events so far. Each steal is one lock
+// acquisition that migrates half the victim's deque; before batch stealing
+// it migrated a single cell, so StolenCells()/Steals() is the lock-traffic
+// amortization factor under fine-grained load.
+func (p *Pool) Steals() int64 { return p.steals.Load() }
+
+// StolenCells returns the number of cells that moved between workers via
+// steals.
+func (p *Pool) StolenCells() int64 { return p.stolen.Load() }
+
 // work is one worker's loop.
 func (p *Pool) work(id int) {
 	defer p.workers.Done()
@@ -213,25 +238,31 @@ func (p *Pool) work(id int) {
 
 // next picks worker id's next cell under p.mu: admit the top pending group
 // when it outranks the local deque (or the deque is empty), else continue
-// the local group, else steal from the fullest sibling.
+// the local group, else batch-steal half the fullest sibling's deque into
+// the local one and continue from its front. Stolen cells stay in a deque —
+// never in private worker state — so they remain visible to Pending, to
+// further thieves, and to front-admission preemption by higher-priority
+// groups between every cell.
 func (p *Pool) next(id int) (cell, bool) {
 	d := &p.deques[id]
 	if len(p.queue) > 0 && (d.empty() || p.queue[0].pri > d.front().pri) {
 		d.pushFrontGroup(heap.Pop(&p.queue).(*group))
 	}
-	if !d.empty() {
-		return d.popFront(), true
-	}
-	victim, best := -1, 0
-	for i := range p.deques {
-		if i != id && p.deques[i].size() > best {
-			victim, best = i, p.deques[i].size()
+	if d.empty() {
+		victim, best := -1, 0
+		for i := range p.deques {
+			if i != id && p.deques[i].size() > best {
+				victim, best = i, p.deques[i].size()
+			}
 		}
+		if victim < 0 {
+			return cell{}, false
+		}
+		moved := d.stealHalfFrom(&p.deques[victim])
+		p.steals.Add(1)
+		p.stolen.Add(int64(moved))
 	}
-	if victim >= 0 {
-		return p.deques[victim].popBack(), true
-	}
-	return cell{}, false
+	return d.popFront(), true
 }
 
 // Execute runs every cell of every group on the pool and returns when all

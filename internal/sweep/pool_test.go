@@ -224,3 +224,59 @@ func TestPoolHigherPriorityPreemptsQueuedGroup(t *testing.T) {
 		t.Fatalf("high-priority cell did not preempt the queued group: %v", order)
 	}
 }
+
+// TestPoolBatchStealAmortizesLockTraffic: under fine-grained load (one big
+// group of tiny cells), Cilk-style half-deque stealing migrates cells in
+// batches, so the lock acquisitions spent stealing stay far below the
+// number of cells that changed workers. The pre-batch design took exactly
+// one acquisition per stolen cell (StolenCells == Steals); the batch design
+// must amortize by a wide factor.
+func TestPoolBatchStealAmortizesLockTraffic(t *testing.T) {
+	const workers = 4
+	const cells = 4096
+	p := NewPool(workers, 0)
+	defer p.Close()
+
+	var ran atomic.Int64
+	group := make([]func(), cells)
+	for i := range group {
+		group[i] = func() { ran.Add(1) }
+	}
+	// One group: every cell lands on the admitting worker's deque, so all
+	// other workers' work arrives exclusively by stealing.
+	if err := p.Execute(0, [][]func(){group}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != cells {
+		t.Fatalf("ran %d cells, want %d", ran.Load(), cells)
+	}
+	steals, stolen := p.Steals(), p.StolenCells()
+	if stolen == 0 {
+		t.Skip("no steals happened (single-threaded scheduling); nothing to amortize")
+	}
+	if steals > stolen/4 {
+		t.Errorf("%d steal lock acquisitions for %d migrated cells: batch steal should amortize >= 4x (single-cell stealing would need %d)",
+			steals, stolen, stolen)
+	}
+	t.Logf("steals=%d stolen=%d (%.1f cells per steal acquisition)", steals, stolen, float64(stolen)/float64(steals))
+}
+
+// TestPoolStealPreservesOrderWithinBatch: a thief runs its stolen half in
+// the original submission order (recording locality depends on it).
+func TestPoolStealPreservesOrderWithinBatch(t *testing.T) {
+	d := &deque{}
+	v := &deque{}
+	for i := 0; i < 7; i++ {
+		i := i
+		v.buf = append(v.buf, cell{pri: 0, run: func() { _ = i }})
+	}
+	n := d.stealHalfFrom(v)
+	if n != 4 || d.size() != 4 || v.size() != 3 {
+		t.Fatalf("stole %d cells (thief %d, victim %d), want 4/4/3", n, d.size(), v.size())
+	}
+	// Victim keeps its front; nothing lost or duplicated.
+	total := d.size() + v.size()
+	if total != 7 {
+		t.Fatalf("cells lost in steal: %d", total)
+	}
+}

@@ -16,6 +16,7 @@
 package sweep
 
 import (
+	"container/heap"
 	"math"
 	"runtime"
 	"sync"
@@ -56,6 +57,20 @@ type Options struct {
 	// Priority orders this sweep's cells against other work sharing the
 	// pool (higher first). Result-neutral.
 	Priority int
+	// Policy and PolicyParams select the adaptation policy
+	// (internal/control registry) of Phase-Adaptive runs whose config does
+	// not already carry one — primarily the PhaseResults/MeasurePhase
+	// stage. "" keeps the paper controllers. Result-relevant: part of every
+	// persist key. To sweep policies against each other, put them in the
+	// configuration list instead (PhaseSpace).
+	Policy       string
+	PolicyParams string
+	// TopK, when > 0, makes MeasureSummary retain only the K best-scoring
+	// configurations (Summary.Top) instead of the full per-config Scores
+	// slice, so ranking memory stops scaling with generated design-space
+	// size. 0 keeps full scores. Result-relevant for the summary shape,
+	// neutral for Best/PerApp.
+	TopK int
 }
 
 // WithDefaults fills in zero fields: Window 30,000, Workers GOMAXPROCS,
@@ -138,22 +153,33 @@ func NewRecordingPool(window int64) *workload.Pool {
 func MeasureComputations() int64 { return measureComputes.Load() }
 
 // measureRequest is the canonical cache-key payload for one Measure call:
-// everything that can change the times matrix, nothing that can't.
+// everything that can change the returned object, nothing that can't.
+// Policy/PolicyParams change Phase-Adaptive results; TopK changes the shape
+// of a persisted summary (which configurations' scores are retained), so
+// summaries aggregated differently never alias.
 type measureRequest struct {
-	Specs      []workload.Spec
-	Cfgs       []core.Config
-	Window     int64
-	Seed       int64
-	JitterFrac float64
-	PLLScale   float64
+	Specs        []workload.Spec
+	Cfgs         []core.Config
+	Window       int64
+	Seed         int64
+	JitterFrac   float64
+	PLLScale     float64
+	Policy       string `json:",omitempty"`
+	PolicyParams string `json:",omitempty"`
+	TopK         int    `json:",omitempty"`
 }
 
 func (o Options) measureKey(kind string, specs []workload.Spec, cfgs []core.Config) string {
-	return resultcache.Key(kind, measureRequest{
+	req := measureRequest{
 		Specs: specs, Cfgs: cfgs,
 		Window: o.Window, Seed: o.Seed,
 		JitterFrac: o.JitterFrac, PLLScale: o.PLLScale,
-	})
+		Policy: o.Policy, PolicyParams: o.PolicyParams,
+	}
+	if kind == "sweepsum" {
+		req.TopK = o.TopK
+	}
+	return resultcache.Key(kind, req)
 }
 
 // pool returns the recorded-trace pool to run from: the caller-provided one
@@ -185,6 +211,11 @@ func (o Options) apply(cfg core.Config) core.Config {
 	cfg.Seed = o.Seed
 	cfg.JitterFrac = o.JitterFrac
 	cfg.PLLScale = o.PLLScale
+	// The sweep-level policy selection reaches Phase-Adaptive runs whose
+	// configuration does not already carry its own (PhaseSpace entries do).
+	if cfg.Mode == core.PhaseAdaptive && cfg.Policy == "" && cfg.PolicyParams == "" {
+		cfg.Policy, cfg.PolicyParams = o.Policy, o.PolicyParams
+	}
 	return cfg
 }
 
@@ -240,6 +271,29 @@ func AdaptiveSpace() []core.Config {
 	return out
 }
 
+// PolicySetting pairs a registered adaptation policy (internal/control)
+// with a parameter assignment in control.ParseParams syntax
+// ("key=value[,key=value...]"). It is also the JSON shape the service's
+// sweep endpoint accepts.
+type PolicySetting struct {
+	Name   string `json:"name"`
+	Params string `json:"params,omitempty"`
+}
+
+// PhaseSpace enumerates Phase-Adaptive machines — the base adaptive
+// configuration with the on-line controllers enabled — one per policy
+// setting, making the adaptation policy itself a sweepable design-space
+// axis alongside SyncSpace and AdaptiveSpace.
+func PhaseSpace(policies []PolicySetting) []core.Config {
+	out := make([]core.Config, 0, len(policies))
+	for _, p := range policies {
+		cfg := core.DefaultAdaptive(core.PhaseAdaptive)
+		cfg.Policy, cfg.PolicyParams = p.Name, p.Params
+		out = append(out, cfg)
+	}
+	return out
+}
+
 // cellChunk bounds the cells per submitted group, so a queued
 // higher-priority request is admitted after at most a chunk's worth of one
 // worker's backlog.
@@ -256,8 +310,9 @@ const cellChunk = 64
 // rows in flight) instead of holding every row open until the last
 // benchmark completes. Recording sharing is unaffected — the trace pool
 // hands every cell the same slab regardless of which group asked first —
-// and thieves stealing from a group's far end touch its later benchmarks,
-// so concurrent cold-start recording still spreads across workers.
+// and thieves batch-stealing a group's far half touch its later benchmarks
+// (in order), so concurrent cold-start recording still spreads across
+// workers.
 func runCells(specs []workload.Spec, cfgs []core.Config, o Options, sink func(ci, si int, res *core.Result)) error {
 	pool := o.pool()
 	exec, owned := o.executor()
@@ -348,9 +403,80 @@ type Summary struct {
 	PerAppTimes []timing.FS
 	// Scores[ci] is configuration ci's sum of log run times (the geomean
 	// ranking metric); Invalid[ci] marks configurations disqualified by a
-	// non-positive run time, whose Scores entry is meaningless.
+	// non-positive run time, whose Scores entry is meaningless. Both are
+	// nil when the sweep ran with Options.TopK > 0.
 	Scores  []float64
 	Invalid []bool
+	// Top holds, when Options.TopK > 0, the K best-scoring valid
+	// configurations in ascending score order (ties to the lower index) —
+	// the ranking report in O(K) memory instead of O(configs).
+	Top []RankedConfig `json:",omitempty"`
+}
+
+// RankedConfig is one entry of a top-K ranking: a configuration index and
+// its sum-of-log-run-times score.
+type RankedConfig struct {
+	Config int
+	Score  float64
+}
+
+// rankHeap is a max-heap by (score, config index): the root is the worst
+// retained entry, evicted when a better configuration arrives.
+type rankHeap []RankedConfig
+
+func (h rankHeap) Len() int { return len(h) }
+func (h rankHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score > h[j].Score
+	}
+	return h[i].Config > h[j].Config
+}
+func (h rankHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *rankHeap) Push(x any)   { *h = append(*h, x.(RankedConfig)) }
+func (h *rankHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// rankOf folds one valid (config, score) pair into a K-bounded heap.
+func rankOf(h *rankHeap, k int, r RankedConfig) {
+	if h.Len() < k {
+		heap.Push(h, r)
+		return
+	}
+	// Replace the worst retained entry when r outranks it (lower score
+	// wins; ties to the lower index, matching the full-scores sort).
+	w := (*h)[0]
+	if r.Score < w.Score || (r.Score == w.Score && r.Config < w.Config) {
+		(*h)[0] = r
+		heap.Fix(h, 0)
+	}
+}
+
+// sortedRanking drains a rank heap into ascending (score, index) order.
+func sortedRanking(h rankHeap) []RankedConfig {
+	out := make([]RankedConfig, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(RankedConfig)
+	}
+	return out
+}
+
+// TopOf computes the K best-scoring valid configurations from a
+// full-scores summary — the bridge that lets a cached full summary answer a
+// top-K request without re-simulating.
+func (s *Summary) TopOf(k int) []RankedConfig {
+	var h rankHeap
+	for ci, score := range s.Scores {
+		if s.Invalid[ci] {
+			continue
+		}
+		rankOf(&h, k, RankedConfig{Config: ci, Score: score})
+	}
+	return sortedRanking(h)
 }
 
 // summaryAcc folds completed cells into a Summary. A config's row buffer
@@ -362,21 +488,32 @@ type summaryAcc struct {
 	rows  map[int][]timing.FS
 	left  []int // cells outstanding per config
 	sum   *Summary
+
+	// bestScore mirrors Scores[sum.Best] so the winner comparison works
+	// when per-config scores are not retained.
+	bestScore float64
+	// topk > 0 folds scores into the K-bounded rank heap instead of the
+	// full Scores/Invalid slices.
+	topk int
+	rank rankHeap
 }
 
-func newSummaryAcc(nspecs, ncfgs int) *summaryAcc {
+func newSummaryAcc(nspecs, ncfgs, topk int) *summaryAcc {
 	a := &summaryAcc{
 		specs: nspecs,
 		rows:  make(map[int][]timing.FS),
 		left:  make([]int, ncfgs),
+		topk:  topk,
 		sum: &Summary{
 			NumSpecs: nspecs, NumCfgs: ncfgs,
 			Best:        -1,
 			PerApp:      make([]int, nspecs),
 			PerAppTimes: make([]timing.FS, nspecs),
-			Scores:      make([]float64, ncfgs),
-			Invalid:     make([]bool, ncfgs),
 		},
+	}
+	if topk <= 0 {
+		a.sum.Scores = make([]float64, ncfgs)
+		a.sum.Invalid = make([]bool, ncfgs)
 	}
 	for i := range a.left {
 		a.left[i] = nspecs
@@ -385,6 +522,14 @@ func newSummaryAcc(nspecs, ncfgs int) *summaryAcc {
 		a.sum.PerApp[i] = -1
 	}
 	return a
+}
+
+// finish seals the accumulator: the rank heap drains into Summary.Top.
+func (a *summaryAcc) finish() *Summary {
+	if a.topk > 0 {
+		a.sum.Top = sortedRanking(a.rank)
+	}
+	return a.sum
 }
 
 func (a *summaryAcc) add(ci, si int, t timing.FS) {
@@ -423,14 +568,21 @@ func (a *summaryAcc) fold(ci int, row []timing.FS) {
 		// persistence) and let Invalid carry the disqualification.
 		score = 0
 	}
-	s.Scores[ci] = score
-	s.Invalid[ci] = invalid
+	if a.topk > 0 {
+		if !invalid {
+			rankOf(&a.rank, a.topk, RankedConfig{Config: ci, Score: score})
+		}
+	} else {
+		s.Scores[ci] = score
+		s.Invalid[ci] = invalid
+	}
 	if invalid {
 		return
 	}
-	if s.Best == -1 || score < s.Scores[s.Best] ||
-		(score == s.Scores[s.Best] && ci < s.Best) {
+	if s.Best == -1 || score < a.bestScore ||
+		(score == a.bestScore && ci < s.Best) {
 		s.Best = ci
+		a.bestScore = score
 		s.BestTimes = append(s.BestTimes[:0], row...)
 	}
 }
@@ -443,11 +595,11 @@ func Summarize(times [][]timing.FS) *Summary {
 	if len(times) > 0 {
 		nspecs = len(times[0])
 	}
-	a := newSummaryAcc(nspecs, len(times))
+	a := newSummaryAcc(nspecs, len(times), 0)
 	for ci, row := range times {
 		a.fold(ci, row)
 	}
-	return a.sum
+	return a.finish()
 }
 
 // MeasureSummary runs every configuration on every benchmark like Measure,
@@ -462,31 +614,59 @@ func MeasureSummary(specs []workload.Spec, cfgs []core.Config, o Options) (*Summ
 	if store != nil {
 		key = o.measureKey("sweepsum", specs, cfgs)
 		var cached Summary
-		if store.Load(key, &cached) &&
-			cached.NumSpecs == len(specs) && cached.NumCfgs == len(cfgs) &&
-			len(cached.PerApp) == len(specs) && len(cached.Scores) == len(cfgs) {
+		if store.Load(key, &cached) && summaryShapeOK(&cached, len(specs), len(cfgs), o.TopK) {
 			return &cached, nil
+		}
+		if o.TopK > 0 {
+			// A persisted full-scores summary strictly subsumes a top-K one.
+			full := o
+			full.TopK = 0
+			var fs Summary
+			if store.Load(full.measureKey("sweepsum", specs, cfgs), &fs) &&
+				summaryShapeOK(&fs, len(specs), len(cfgs), 0) {
+				fs.Top = fs.TopOf(o.TopK)
+				fs.Scores, fs.Invalid = nil, nil
+				store.Store(key, &fs)
+				return &fs, nil
+			}
 		}
 		// A full matrix persisted by Measure answers the same question.
 		var times [][]timing.FS
 		if store.Load(o.measureKey("measure", specs, cfgs), &times) && len(times) == len(cfgs) {
 			sum := Summarize(times)
+			if o.TopK > 0 {
+				sum.Top = sum.TopOf(o.TopK)
+				sum.Scores, sum.Invalid = nil, nil
+			}
 			store.Store(key, sum)
 			return sum, nil
 		}
 	}
 	measureComputes.Add(1)
-	acc := newSummaryAcc(len(specs), len(cfgs))
+	acc := newSummaryAcc(len(specs), len(cfgs), o.TopK)
 	err := runCells(specs, cfgs, o, func(ci, si int, res *core.Result) {
 		acc.add(ci, si, res.TimeFS)
 	})
 	if err != nil {
 		return nil, err
 	}
+	sum := acc.finish()
 	if store != nil {
-		store.Store(key, acc.sum)
+		store.Store(key, sum)
 	}
-	return acc.sum, nil
+	return sum, nil
+}
+
+// summaryShapeOK validates a summary loaded from the persistent store
+// against the request's dimensions and aggregation mode.
+func summaryShapeOK(s *Summary, nspecs, ncfgs, topk int) bool {
+	if s.NumSpecs != nspecs || s.NumCfgs != ncfgs || len(s.PerApp) != nspecs {
+		return false
+	}
+	if topk > 0 {
+		return len(s.Scores) == 0
+	}
+	return len(s.Scores) == ncfgs
 }
 
 // BestOverall picks the configuration with the best (lowest) geometric-mean
