@@ -9,7 +9,7 @@ BENCHOUT  ?= BENCH_latest.txt
 MEMWINDOW ?= 60000
 MEMCACHE  ?= /tmp/gals-bench-mem-cache
 
-.PHONY: all build test test-short race vet parity bench bench-suite bench-mem bench-smoke ci
+.PHONY: all build test test-short race vet parity determinism bench bench-suite bench-mem bench-smoke ci
 
 all: build
 
@@ -35,6 +35,11 @@ vet:
 # traces and rendered figure6/table9/figure7 outputs.
 parity:
 	$(GO) test -run Parity -race ./internal/control/... ./internal/core/... ./internal/experiment/...
+
+# Learned-policy determinism gate (also a CI step): same seed + same
+# persisted weights artifact => bit-identical reconfiguration traces.
+determinism:
+	$(GO) test -run 'Determinism|Deterministic' -race ./internal/learn/...
 
 # Micro-benchmarks of the simulator's hot paths: fast enough to run on
 # every PR. Results land in $(BENCHOUT) for before/after comparison

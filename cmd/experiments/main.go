@@ -7,7 +7,9 @@
 //	experiments -all             # everything, including the sweeps
 //	experiments -all -full -window 100000 > results.txt
 //	experiments -run policies    # frozen-vs-paper adaptation benefit
+//	experiments -run controllers # paper vs feedback vs learned, per benchmark
 //	experiments -run figure6 -policy interval -policy-params interval=7500
+//	experiments -run figure6 -policy learned -policy-blob weights.json
 package main
 
 import (
@@ -36,8 +38,9 @@ func main() {
 		full    = flag.Bool("full", false, "sweep all 1,024 synchronous configurations (paper scale)")
 		pll     = flag.Float64("pllscale", 0.1, "PLL lock-time scale")
 		cache   = flag.String("cache", "", "persistent result cache directory (repeated invocations become incremental)")
-		policy  = flag.String("policy", "", "adaptation policy for the Phase-Adaptive stages (paper, interval, frozen); empty = paper")
+		policy  = flag.String("policy", "", "adaptation policy for the Phase-Adaptive stages (paper, interval, frozen, feedback, learned); empty = paper")
 		polPar  = flag.String("policy-params", "", "policy parameters as key=value[,key=value...]")
+		polBlob = flag.String("policy-blob", "", "weights-artifact file for blob-requiring policies (galsim -train-policy writes one; the controllers experiment trains its own when omitted)")
 	)
 	flag.Parse()
 
@@ -53,8 +56,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: -pllscale must be >= 0, got %g\n", *pll)
 		os.Exit(2)
 	}
+	blob := ""
+	if *polBlob != "" {
+		raw, err := os.ReadFile(*polBlob)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		blob = string(raw)
+	}
 	if *policy != "" || *polPar != "" {
-		if err := gals.ValidatePolicy(*policy, *polPar); err != nil {
+		if err := gals.ValidatePolicySelection(*policy, *polPar, blob); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+	} else if blob != "" {
+		// A bare -policy-blob feeds the controllers experiment's learned
+		// column (the Phase-Adaptive stages of other experiments keep the
+		// default paper policy), so validate it as a learned artifact.
+		if err := gals.ValidatePolicySelection("learned", "", blob); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(2)
 		}
@@ -73,6 +93,7 @@ func main() {
 	opts.PLLScale = *pll
 	opts.Policy = *policy
 	opts.PolicyParams = *polPar
+	opts.PolicyBlob = blob
 
 	var ids []string
 	switch {

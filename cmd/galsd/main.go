@@ -7,6 +7,7 @@
 // Usage:
 //
 //	galsd -addr :8347 -cache ~/.cache/gals
+//	galsd -auth-token s3cret          # or GALSD_TOKEN=s3cret; gates /v1/*
 //
 // Endpoints (see README.md for request bodies):
 //
@@ -41,6 +42,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
 		queue    = flag.Int("queue", 0, "pending-cell queue bound (0 = 65536)")
 		maxBytes = flag.Int64("cache-max-bytes", 0, "LRU-prune the cache under this many bytes at startup and after computed sweeps/suites (0 = never)")
+		token    = flag.String("auth-token", os.Getenv("GALSD_TOKEN"), "bearer token required on /v1/* endpoints (default $GALSD_TOKEN; empty disables auth)")
 	)
 	flag.Parse()
 
@@ -59,7 +61,7 @@ func main() {
 
 	svc, err := service.New(service.Config{
 		CacheDir: *cache, Workers: *workers, QueueDepth: *queue,
-		CacheMaxBytes: *maxBytes,
+		CacheMaxBytes: *maxBytes, AuthToken: *token,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "galsd:", err)

@@ -7,11 +7,18 @@
 //	galsim -bench em3d -mode sync -icache 64k1W -dcache 0 -iq 16 -fq 16
 //	galsim -bench art -mode phase -trace
 //	galsim -bench apsi -mode phase -policy interval -policy-params interval=7500
+//	galsim -train-policy weights.json -n 30000
+//	galsim -bench apsi -mode phase -policy learned -policy-blob weights.json
 //	galsim -list-policies
 //
 // Modes: sync (fully synchronous), program (Program-Adaptive MCD with the
 // given fixed configuration), phase (Phase-Adaptive MCD with the on-line
 // controllers enabled).
+//
+// -train-policy runs the learned-policy training pipeline (imitation of the
+// paper's controllers over recorded phase runs of the whole suite at the
+// given -n window and -seed) and writes the weights artifact to the given
+// file; -policy-blob feeds such an artifact to a blob-requiring policy.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 
 	"gals/internal/control"
 	"gals/internal/core"
+	"gals/internal/learn"
 	"gals/internal/timing"
 	"gals/internal/workload"
 )
@@ -42,13 +50,19 @@ func main() {
 		list    = flag.Bool("list", false, "list benchmark runs and exit")
 		policy  = flag.String("policy", "", "adaptation policy for phase mode (see -list-policies); empty = paper")
 		polPar  = flag.String("policy-params", "", "policy parameters as key=value[,key=value...]")
+		polBlob = flag.String("policy-blob", "", "weights-artifact file for blob-requiring policies (e.g. learned; see -train-policy)")
+		trainTo = flag.String("train-policy", "", "run the learned-policy training pipeline at the -n window and write the weights artifact to this file, then exit")
 		listPol = flag.Bool("list-policies", false, "list adaptation policies and exit")
 	)
 	flag.Parse()
 
 	if *listPol {
 		for _, in := range control.Infos() {
-			fmt.Printf("%-10s %s\n", in.Name, in.Description)
+			blob := ""
+			if in.RequiresBlob {
+				blob = " (requires a weights artifact: -policy-blob)"
+			}
+			fmt.Printf("%-10s %s%s\n", in.Name, in.Description, blob)
 			for _, p := range in.Params {
 				fmt.Printf("           %s (default %g): %s\n", p.Name, p.Default, p.Description)
 			}
@@ -74,6 +88,36 @@ func main() {
 	if !(*pll >= 0) {
 		fmt.Fprintf(os.Stderr, "galsim: -pllscale must be >= 0, got %g\n", *pll)
 		os.Exit(2)
+	}
+
+	if *trainTo != "" {
+		model, st, err := learn.Train(learn.TrainOptions{
+			Window: *n, Seed: *seed, PLLScale: *pll, JitterFrac: *jitter,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "galsim:", err)
+			os.Exit(1)
+		}
+		blob, err := model.Encode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "galsim:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*trainTo, []byte(blob), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "galsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trained %s (digest %s) from %d phase runs at window %d\n",
+			*trainTo, control.BlobDigest(blob)[:12], st.Benchmarks, *n)
+		for h := 0; h < learn.NumHeads; h++ {
+			fmt.Printf("  %-7s %6d samples, imitation accuracy %.1f%%\n",
+				learn.HeadNames[h], st.Samples[h], 100*st.Accuracy[h])
+		}
+		if st.Samples[learn.HeadICache] == 0 {
+			fmt.Printf("  note: no cache-head samples — train with -n >= %d (the accounting interval) so cache decisions are observed\n",
+				control.PaperCacheInterval)
+		}
+		return
 	}
 
 	spec, ok := workload.ByName(*bench)
@@ -117,6 +161,14 @@ func main() {
 	cfg.RecordTrace = *doTrace
 	cfg.Policy = *policy
 	cfg.PolicyParams = *polPar
+	if *polBlob != "" {
+		blob, err := os.ReadFile(*polBlob)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "galsim:", err)
+			os.Exit(1)
+		}
+		cfg.PolicyBlob = string(blob)
+	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "galsim:", err)
 		os.Exit(1)

@@ -32,6 +32,7 @@ import (
 
 	"gals/internal/control"
 	"gals/internal/core"
+	_ "gals/internal/learn" // registers the "learned" policy
 	"gals/internal/recstore"
 	"gals/internal/resultcache"
 	"gals/internal/sweep"
@@ -50,7 +51,7 @@ func main() {
 		fullmat  = flag.Bool("fullmatrix", false, "retain the full [config][benchmark] times matrix instead of streaming accumulators")
 		memstats = flag.Bool("memstats", false, "report peak heap and peak RSS after the sweep")
 		topk     = flag.Int("topk", 0, "retain only the K best configurations for the ranking report (memory stops scaling with design-space size; 0 = full scores)")
-		policies = flag.String("policies", "", `adaptation-policy sweep: settings as "name[:k=v,k=v]" separated by ';' (e.g. "paper;frozen;interval:interval=7500"); runs an extra Phase-Adaptive policy stage`)
+		policies = flag.String("policies", "", `adaptation-policy sweep: settings as "name[:k=v,k=v][@blobfile]" separated by ';' (e.g. "paper;frozen;interval:interval=7500;learned@weights.json"); runs an extra Phase-Adaptive policy stage`)
 	)
 	flag.Parse()
 
@@ -233,8 +234,9 @@ func main() {
 }
 
 // parsePolicies parses the -policies flag: settings separated by ';', each
-// "name" or "name:key=value,key=value", validated against the policy
-// registry.
+// "name", "name:key=value,key=value" or either form followed by
+// "@blobfile" (a weights-artifact file for blob-requiring policies),
+// validated against the policy registry.
 func parsePolicies(s string) ([]sweep.PolicySetting, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, nil
@@ -245,9 +247,20 @@ func parsePolicies(s string) ([]sweep.PolicySetting, error) {
 		if part == "" {
 			continue
 		}
+		var blobFile string
+		if at := strings.LastIndex(part, "@"); at >= 0 {
+			part, blobFile = part[:at], strings.TrimSpace(part[at+1:])
+		}
 		name, params, _ := strings.Cut(part, ":")
 		ps := sweep.PolicySetting{Name: strings.TrimSpace(name), Params: strings.TrimSpace(params)}
-		if err := control.Validate(ps.Name, ps.Params); err != nil {
+		if blobFile != "" {
+			blob, err := os.ReadFile(blobFile)
+			if err != nil {
+				return nil, err
+			}
+			ps.Blob = string(blob)
+		}
+		if err := control.ValidateSelection(ps.Name, ps.Params, ps.Blob); err != nil {
 			return nil, err
 		}
 		out = append(out, ps)

@@ -55,6 +55,7 @@ import (
 	"gals/internal/control"
 	"gals/internal/core"
 	"gals/internal/experiment"
+	"gals/internal/learn"
 	"gals/internal/recstore"
 	"gals/internal/resultcache"
 	"gals/internal/sweep"
@@ -107,9 +108,16 @@ type (
 	PolicyInfo = control.Info
 	// PolicyParamInfo describes one policy parameter.
 	PolicyParamInfo = control.ParamInfo
-	// PolicySetting pairs a policy name with a parameter assignment for
-	// policy-axis sweeps (sweep.PhaseSpace, POST /v1/sweep space "phase").
+	// PolicySetting pairs a policy name with a parameter assignment (and,
+	// for blob-requiring policies, a weights artifact) for policy-axis
+	// sweeps (sweep.PhaseSpace, POST /v1/sweep space "phase").
 	PolicySetting = sweep.PolicySetting
+	// PolicyModel is the learned policy's weights artifact in decoded form.
+	PolicyModel = learn.Model
+	// PolicyTrainOptions scale the learned-policy training pipeline.
+	PolicyTrainOptions = learn.TrainOptions
+	// PolicyTrainStats report one training-pipeline execution.
+	PolicyTrainStats = learn.TrainStats
 )
 
 // Machine modes.
@@ -139,9 +147,13 @@ func DefaultPhaseAdaptive() Config {
 // Policies lists the registered adaptation policies in registration order:
 // "paper" (the exact Section 3 controllers — the default), "interval" (the
 // same controllers with the decision interval and hysteresis as
-// parameters) and "frozen" (never reconfigures; the MCD-overhead-only
-// baseline). Select one on a configuration with Config.WithPolicy; the
-// selection and its parameters are part of every result-cache key.
+// parameters), "frozen" (never reconfigures; the MCD-overhead-only
+// baseline), "feedback" (a PI closed-loop controller with gains, setpoints
+// and anti-windup clamps as parameters) and "learned" (a deterministic
+// linear predictor whose weights are a trained blob artifact — see
+// TrainPolicy). Select one on a configuration with Config.WithPolicy; the
+// selection, its parameters and its artifact digest are part of every
+// result-cache key.
 func Policies() []PolicyInfo { return control.Infos() }
 
 // ValidatePolicy reports whether name/params select a registered adaptation
@@ -149,6 +161,43 @@ func Policies() []PolicyInfo { return control.Infos() }
 // default). Config.Validate applies the same check; this form lets CLIs and
 // services reject a selection before building machines.
 func ValidatePolicy(name, params string) error { return control.Validate(name, params) }
+
+// ValidatePolicySelection is ValidatePolicy extended with the blob
+// artifact: blob-requiring policies (learned) fail without one, non-blob
+// policies fail with one, and a malformed artifact fails its policy's
+// validation.
+func ValidatePolicySelection(name, params, blob string) error {
+	return control.ValidateSelection(name, params, blob)
+}
+
+// PolicyBlobDigest returns the canonical digest of a policy weights
+// artifact — the identity under which it enters cache and memo keys.
+func PolicyBlobDigest(blob string) string { return control.BlobDigest(blob) }
+
+// TrainPolicy runs the learned-policy training pipeline: the paper's
+// controllers are observed over recorded phase runs of the whole benchmark
+// suite and the "learned" policy's linear heads are fitted to imitate their
+// decisions. The returned blob is the canonical weights artifact — pass it
+// via Config.PolicyBlob (policy "learned"), PolicySetting.Blob, or the
+// service's policy_blob request fields. Training is deterministic: equal
+// options produce bit-identical artifacts.
+func TrainPolicy(o PolicyTrainOptions) (blob string, stats PolicyTrainStats, err error) {
+	m, stats, err := learn.Train(o)
+	if err != nil {
+		return "", stats, err
+	}
+	blob, err = m.Encode()
+	return blob, stats, err
+}
+
+// PolicyArtifact returns the weights artifact for the training options,
+// training at most once per identity: artifacts are memoized in-process and
+// persisted as sidecar entries in the persistent result cache when one is
+// installed (UsePersistentCache), so repeated evaluations — and other
+// processes sharing the cache directory — reuse one trained model.
+func PolicyArtifact(o PolicyTrainOptions) (string, error) {
+	return learn.Artifact(sweep.PersistStore(), o)
+}
 
 // Workloads returns the benchmark suite in the paper's Figure 6 order.
 func Workloads() []WorkloadSpec { return workload.Suite() }

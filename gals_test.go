@@ -48,8 +48,8 @@ func TestThreeModesRun(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 15 {
-		t.Errorf("got %d experiments, want 15", len(ids))
+	if len(ids) != 16 {
+		t.Errorf("got %d experiments, want 16", len(ids))
 	}
 	tab, err := RunExperiment("table1", DefaultExperimentOptions())
 	if err != nil {

@@ -26,10 +26,20 @@
 //   - "frozen": never reconfigures — a clean baseline that isolates the
 //     multiple-clock-domain overhead from any adaptation benefit (the
 //     comparison the paper's Table 9 discussion implies).
+//   - "feedback": a PI-style closed-loop controller (after the GALS-CMP
+//     feedback-control literature) that drives structure sizes and its own
+//     decision cadence from the error between observed cache pressure /
+//     issue-queue ILP and a setpoint, with gains and anti-windup clamps as
+//     sweepable parameters.
 //
-// Policy selection rides on core.Config (Policy / PolicyParams) and from
-// there through every layer: sweep axes, experiment options, the service's
-// request schemas and the galsd /v1/policies endpoint.
+// A fifth policy, "learned" (internal/learn), registers itself on import:
+// a deterministic linear predictor whose weights are a trained blob
+// artifact (core.Config.PolicyBlob) rather than float parameters.
+//
+// Policy selection rides on core.Config (Policy / PolicyParams /
+// PolicyBlob) and from there through every layer: sweep axes, experiment
+// options, the service's request schemas and the galsd /v1/policies
+// endpoint.
 package control
 
 import (
@@ -121,11 +131,21 @@ type IQObs struct {
 type Init struct {
 	// IntIQ and FPIQ are the initial issue-queue sizes.
 	IntIQ, FPIQ timing.IQSize
+	// ICache and DCache are the initial cache-domain configurations
+	// (closed-loop policies seed their control state from them; the paper's
+	// controllers re-derive absolutes each interval and ignore them).
+	ICache timing.ICacheConfig
+	DCache timing.DCacheConfig
 	// IQHysteresis is core.Config.IQHysteresis: the number of consecutive
 	// agreeing ILP intervals before a queue resize; values <= 0 mean the
 	// paper's default of 2. Policies with their own hysteresis parameter
 	// let the parameter override this.
 	IQHysteresis int
+	// Blob is core.Config.PolicyBlob: the structured artifact of policies
+	// whose decision state cannot be expressed as flat float parameters
+	// (e.g. the "learned" policy's trained weights). Already validated by
+	// the time NewController sees it.
+	Blob string
 }
 
 // Controller is one run's decision state, created by a Policy and bound to
@@ -135,7 +155,10 @@ type Init struct {
 // Controllers are not safe for concurrent use; a machine is single-threaded.
 type Controller interface {
 	// CacheInterval returns the accounting-cache decision interval in
-	// committed instructions; 0 disables cache decisions entirely.
+	// committed instructions; 0 disables cache decisions entirely. The
+	// machine re-reads it after every DecideCaches call, so a closed-loop
+	// policy may retune its own cadence between intervals (the paper's
+	// controllers return a constant).
 	CacheInterval() int64
 	// NeedsIQ reports whether the machine should run the per-instruction
 	// ILP tracker and deliver IQObs intervals. False disables issue-queue

@@ -10,7 +10,7 @@ import (
 )
 
 func TestRegistryBuiltins(t *testing.T) {
-	want := []string{"paper", "interval", "frozen"}
+	want := []string{"paper", "interval", "frozen", "feedback"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
 	}

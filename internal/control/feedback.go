@@ -1,0 +1,282 @@
+// The "feedback" policy: a PI-style closed-loop controller in the spirit of
+// the GALS feedback-control literature (PAPERS.md: *Control Loop Feedback
+// Mechanism for GALS CMP*). Where the paper's controllers re-derive an
+// absolute best configuration from each interval's accounting statistics,
+// the feedback controller regulates an error signal: the deviation of the
+// observed cache pressure (fraction of accesses not served by the fast A
+// partition, misses weighted by their relative cost) and of the observed
+// issue-queue ILP from a setpoint. Each structure carries a continuous
+// control level; every interval the level moves by kp*error + ki*integral,
+// with the integral clamped (anti-windup) and frozen while the level is
+// saturated, and the rounded level selects the configuration.
+//
+// The controller also closes the loop on its own cadence: intervals whose
+// errors all sit inside the deadband double the accounting interval (up to
+// 8x the base), and any excursion snaps it back — quiet phases are measured
+// lazily, transitions quickly. The machine re-reads CacheInterval after
+// every decision, which is what makes this legal.
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"gals/internal/timing"
+)
+
+// Feedback parameter defaults. Errors are relative to the setpoint, so one
+// set of gains covers both the cache and the queue loops.
+const (
+	feedbackKP            = 0.5
+	feedbackKI            = 0.1
+	feedbackClamp         = 2.0
+	feedbackCacheSetpoint = 0.05
+	feedbackILPSetpoint   = 6.0
+	feedbackDeadband      = 0.25
+	feedbackMaxStretch    = 8
+)
+
+// missWeight is the cache-pressure weight of a true miss relative to a
+// B-partition hit: a miss costs a next-level round trip, several times a B
+// probe. Fixed, not a parameter — it shapes the signal, not the loop.
+const missWeight = 4
+
+// feedbackPolicy registers from paper.go's init so the registry lists the
+// built-ins in presentation order (paper first).
+type feedbackPolicy struct{}
+
+func (feedbackPolicy) Info() Info {
+	return Info{
+		Name:        "feedback",
+		Description: "PI closed-loop controller: drives structure sizes and its own decision cadence from the error between observed cache pressure / issue-queue ILP and a setpoint",
+		Params: []ParamInfo{
+			{Name: "interval", Default: PaperCacheInterval,
+				Description: "base accounting-cache decision interval in committed instructions (0 freezes the cache loop); quiet phases stretch it up to 8x"},
+			{Name: "kp", Default: feedbackKP,
+				Description: "proportional gain on the relative error (<= 100)"},
+			{Name: "ki", Default: feedbackKI,
+				Description: "integral gain on the accumulated relative error (<= 100)"},
+			{Name: "clamp", Default: feedbackClamp,
+				Description: "anti-windup clamp: the error integral is held inside +/- this many relative-error units (<= 100)"},
+			{Name: "cache_setpoint", Default: feedbackCacheSetpoint,
+				Description: "marginal cache-pressure setpoint: the per-access pressure one upsizing step must absorb to be worth its frequency cost (0 < v <= 10)"},
+			{Name: "ilp_setpoint", Default: feedbackILPSetpoint,
+				Description: "target issue-queue ILP (instructions per dependence-chain step) the queue loops regulate toward (0 < v <= 64)"},
+			{Name: "deadband", Default: feedbackDeadband,
+				Description: "relative-error band treated as on-target; intervals with every loop inside it stretch the decision cadence (<= 10)"},
+		},
+	}
+}
+
+// ValidateParams applies the loop-stability bounds: gains, clamp and
+// deadband are bounded above, and setpoints must be strictly positive
+// (errors are measured relative to them).
+func (feedbackPolicy) ValidateParams(vals map[string]float64) error {
+	bounds := map[string]float64{
+		"kp": 100, "ki": 100, "clamp": 100, "deadband": 10,
+		"cache_setpoint": 10, "ilp_setpoint": 64, "interval": 1e9,
+	}
+	for name, hi := range bounds {
+		if v, ok := vals[name]; ok && v > hi {
+			return fmt.Errorf("parameter %s=%v above %v", name, v, hi)
+		}
+	}
+	for _, name := range []string{"cache_setpoint", "ilp_setpoint"} {
+		if v, ok := vals[name]; ok && v <= 0 {
+			return fmt.Errorf("parameter %s=%v must be positive (errors are relative to it)", name, v)
+		}
+	}
+	return nil
+}
+
+func (feedbackPolicy) NewController(params map[string]float64, init Init) Controller {
+	c := &feedbackCtl{
+		base:     int64(Param(params, "interval", PaperCacheInterval)),
+		kp:       Param(params, "kp", feedbackKP),
+		ki:       Param(params, "ki", feedbackKI),
+		clamp:    Param(params, "clamp", feedbackClamp),
+		cacheSP:  Param(params, "cache_setpoint", feedbackCacheSetpoint),
+		ilpSP:    Param(params, "ilp_setpoint", feedbackILPSetpoint),
+		deadband: Param(params, "deadband", feedbackDeadband),
+	}
+	c.interval = c.base
+	c.fe = loop{level: float64(init.ICache)}
+	c.ls = loop{level: float64(init.DCache)}
+	c.intQ = loop{level: float64(timing.IQIndex(init.IntIQ))}
+	c.fpQ = loop{level: float64(timing.IQIndex(init.FPIQ))}
+	return c
+}
+
+// loop is one structure's PI state: a continuous control level over the
+// four configuration indices and the clamped error integral.
+type loop struct {
+	level float64 // in [0, 3]; round(level) is the wanted config index
+	integ float64
+}
+
+// step advances the loop by one interval's relative error and returns the
+// wanted configuration index. Anti-windup is two-fold: the integral is
+// clamped to +/- clamp, and it does not accumulate while the level is
+// pinned at a bound with the error still pushing outward.
+func (l *loop) step(err, kp, ki, clamp float64) int {
+	saturated := (l.level <= 0 && err < 0) || (l.level >= 3 && err > 0)
+	if !saturated {
+		l.integ += err
+		if l.integ > clamp {
+			l.integ = clamp
+		} else if l.integ < -clamp {
+			l.integ = -clamp
+		}
+	}
+	l.level += kp*err + ki*l.integ
+	if l.level < 0 {
+		l.level = 0
+	} else if l.level > 3 {
+		l.level = 3
+	}
+	return int(math.Floor(l.level + 0.5))
+}
+
+// feedbackCtl is the per-run controller state.
+type feedbackCtl struct {
+	base     int64
+	interval int64
+	kp, ki   float64
+	clamp    float64
+	cacheSP  float64
+	ilpSP    float64
+	deadband float64
+
+	fe, ls, intQ, fpQ loop
+}
+
+func (c *feedbackCtl) CacheInterval() int64 { return c.interval }
+func (c *feedbackCtl) NeedsIQ() bool        { return true }
+
+// pressure computes the cache-pressure signal from reconstructed interval
+// counts: the fraction of accesses not served by the A partition, misses
+// weighted by their relative cost.
+func pressure(bHits, misses, accesses uint64) float64 {
+	if accesses == 0 {
+		return 0
+	}
+	return (float64(bHits) + missWeight*float64(misses)) / float64(accesses)
+}
+
+// relErr is the loop's error signal: the deviation of the observation from
+// the setpoint, in units of the setpoint.
+func relErr(observed, setpoint float64) float64 {
+	return (observed - setpoint) / setpoint
+}
+
+// marginalErr computes a structure's error signal from its pressure curve
+// p(config index): the pressure the next size up would absorb above the
+// setpoint (up-force) plus the shortfall of the pressure one size down
+// would re-admit below it (down-force). The dead zone — growing absorbs
+// less than the setpoint AND shrinking would re-admit more — is exactly
+// "this size is right", and a capacity-bound phase whose misses no size
+// absorbs generates no up-force at all (where a naive absolute-pressure
+// regulator would pin the structure at its largest, slowest size forever).
+func marginalErr(p func(int) float64, cur int, sp float64) float64 {
+	var e float64
+	if cur < 3 {
+		if up := (p(cur) - p(cur+1)) / sp; up > 1 {
+			e += up - 1
+		}
+	}
+	if cur > 0 {
+		if dn := (p(cur-1) - p(cur)) / sp; dn < 1 {
+			e += dn - 1
+		}
+	}
+	return e
+}
+
+// DecideCaches runs both cache-domain PI loops over the interval just ended
+// and retunes the decision cadence from the resulting errors.
+func (c *feedbackCtl) DecideCaches(obs CacheObs, buf []Reconfig) []Reconfig {
+	quiet := true
+	evaluated := false
+
+	if !obs.FEPending && obs.ICache.Accesses > 0 {
+		evaluated = true
+		p := func(idx int) float64 {
+			_, b, miss := obs.ICache.Reconstruct(idx+1, true)
+			return pressure(b, miss, obs.ICache.Accesses)
+		}
+		e := marginalErr(p, int(obs.ICfg), c.cacheSP)
+		if math.Abs(e) > c.deadband {
+			quiet = false
+		}
+		if want := c.fe.step(e, c.kp, c.ki, c.clamp); want != int(obs.ICfg) {
+			buf = append(buf, Reconfig{Kind: ICache, Target: want})
+		}
+	}
+
+	if !obs.LSPending && obs.DCacheL1.Accesses > 0 {
+		evaluated = true
+		acc := obs.DCacheL1.Accesses
+		_, _, curMiss := obs.DCacheL1.Reconstruct(obs.DCfg.Spec().Assoc, true)
+		p := func(idx int) float64 {
+			ways := timing.DCacheConfig(idx).Spec().Assoc
+			_, b1, m1 := obs.DCacheL1.Reconstruct(ways, true)
+			_, _, m2 := obs.L2.Reconstruct(ways, true)
+			// The L2 counters were collected under the current L1 miss
+			// stream; scale them to the candidate's, as the paper does, and
+			// fold the full-memory round trips into the same access base.
+			if curMiss > 0 {
+				m2 = uint64(float64(m2) * float64(m1) / float64(curMiss))
+			}
+			return pressure(b1, m1, acc) + missWeight*float64(m2)/float64(acc)
+		}
+		e := marginalErr(p, int(obs.DCfg), c.cacheSP)
+		if math.Abs(e) > c.deadband {
+			quiet = false
+		}
+		if want := c.ls.step(e, c.kp, c.ki, c.clamp); want != int(obs.DCfg) {
+			buf = append(buf, Reconfig{Kind: DCache, Target: want})
+		}
+	}
+
+	// Closed-loop cadence: on-target intervals decide half as often (up to
+	// 8x the base interval); any excursion snaps back to the base. An
+	// interval where neither loop could evaluate (reconfigs in flight, no
+	// accesses) is evidence of nothing — the cadence holds, so the
+	// follow-up measurement after a PLL lock still arrives at the base
+	// interval rather than a stretched one.
+	switch {
+	case !evaluated:
+	case quiet:
+		if c.interval < c.base*feedbackMaxStretch {
+			c.interval *= 2
+		}
+	default:
+		c.interval = c.base
+	}
+	return buf
+}
+
+// DecideIQs runs the two issue-queue PI loops on the completed ILP-tracking
+// interval. The observed ILP is the type's instruction count per
+// dependence-chain step in the largest tracked window — the same
+// measurement the paper's Choose scales by frequency, here regulated
+// against a setpoint instead of maximized.
+func (c *feedbackCtl) DecideIQs(obs IQObs, buf []Reconfig) []Reconfig {
+	s := obs.Samples[3]
+	if s.M == 0 {
+		return buf
+	}
+	if !obs.IntPending {
+		e := relErr(float64(s.IntCount)/float64(s.M), c.ilpSP)
+		if want := c.intQ.step(e, c.kp, c.ki, c.clamp); want != timing.IQIndex(obs.IntIQ) {
+			buf = append(buf, Reconfig{Kind: IntIQ, Target: int(timing.IQSizes()[want])})
+		}
+	}
+	if !obs.FPPending {
+		e := relErr(float64(s.FPCount)/float64(s.M), c.ilpSP)
+		if want := c.fpQ.step(e, c.kp, c.ki, c.clamp); want != timing.IQIndex(obs.FPIQ) {
+			buf = append(buf, Reconfig{Kind: FPIQ, Target: int(timing.IQSizes()[want])})
+		}
+	}
+	return buf
+}

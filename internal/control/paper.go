@@ -25,6 +25,7 @@ func init() {
 	Register(paperPolicy{})
 	Register(intervalPolicy{})
 	Register(frozenPolicy{})
+	Register(feedbackPolicy{})
 }
 
 // paperPolicy is the exact pre-extraction controller: Section 3.1 accounting

@@ -1,6 +1,8 @@
 package control
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strconv"
@@ -31,6 +33,12 @@ type Info struct {
 	Description string `json:"description"`
 	// Params lists the accepted parameters; policies reject unknown keys.
 	Params []ParamInfo `json:"params,omitempty"`
+	// RequiresBlob marks policies whose controllers are built from a
+	// structured artifact (core.Config.PolicyBlob) in addition to the flat
+	// float parameters — e.g. the "learned" policy's trained weights. Such
+	// policies cannot be selected without an artifact, and defaulting layers
+	// (a phase sweep with no explicit policy list) skip them.
+	RequiresBlob bool `json:"requires_blob,omitempty"`
 }
 
 var (
@@ -132,13 +140,35 @@ func FormatParams(p map[string]float64) string {
 	return b.String()
 }
 
-// resolve looks up the policy and parses+validates params against its
-// declared ParamInfos. The returned map holds only the explicitly given
-// keys — a policy must be able to tell "omitted" from "set to the declared
-// default", because some defaults resolve through Init (e.g. "interval"'s
-// hysteresis inherits Config.IQHysteresis when not given, exactly like
-// "paper").
-func resolve(name, params string) (Policy, map[string]float64, error) {
+// resolve looks up the policy and parses+validates params and the blob
+// artifact against its declared ParamInfos. The returned map holds only the
+// explicitly given keys — a policy must be able to tell "omitted" from "set
+// to the declared default", because some defaults resolve through Init
+// (e.g. "interval"'s hysteresis inherits Config.IQHysteresis when not
+// given, exactly like "paper").
+func resolve(name, params, blob string) (Policy, map[string]float64, error) {
+	p, got, err := resolveParams(name, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	info := p.Info()
+	switch bv, hasBV := p.(BlobValidator); {
+	case blob == "" && info.RequiresBlob:
+		return nil, nil, fmt.Errorf("control: policy %q requires a blob artifact (none given)", info.Name)
+	case blob != "" && !info.RequiresBlob && !hasBV:
+		return nil, nil, fmt.Errorf("control: policy %q takes no blob artifact", info.Name)
+	case blob != "" && hasBV:
+		if err := bv.ValidateBlob(blob); err != nil {
+			return nil, nil, fmt.Errorf("control: policy %q: %w", info.Name, err)
+		}
+	}
+	return p, got, nil
+}
+
+// resolveParams is resolve without the blob artifact rules: lookup, parse,
+// unknown-key rejection, generic bounds and the policy's own tighter
+// ParamValidator bounds.
+func resolveParams(name, params string) (Policy, map[string]float64, error) {
 	p, ok := Lookup(name)
 	if !ok {
 		return nil, nil, fmt.Errorf("control: unknown policy %q (have %v)", name, Names())
@@ -161,7 +191,40 @@ func resolve(name, params string) (Policy, map[string]float64, error) {
 	if err := validateValues(info, got); err != nil {
 		return nil, nil, err
 	}
+	if v, ok := p.(ParamValidator); ok {
+		if err := v.ValidateParams(got); err != nil {
+			return nil, nil, fmt.Errorf("control: policy %q: %w", info.Name, err)
+		}
+	}
 	return p, got, nil
+}
+
+// ParamValidator is an optional Policy extension applying bounds tighter
+// than the generic finite-and-non-negative rule — e.g. the feedback
+// policy's gain and setpoint ranges. It sees only the explicitly given
+// values.
+type ParamValidator interface {
+	ValidateParams(vals map[string]float64) error
+}
+
+// BlobValidator is the optional Policy extension for policies constructed
+// from a structured blob artifact (Info.RequiresBlob): it must reject any
+// blob NewController could not deterministically build a controller from.
+type BlobValidator interface {
+	ValidateBlob(blob string) error
+}
+
+// BlobDigest returns the canonical digest of a policy blob artifact (the
+// sha-256 hex of its bytes), or "" for an empty blob. Cache and memo key
+// payloads embed this digest rather than the artifact itself, so keys stay
+// sound — two runs agree on a key if and only if they agree on the exact
+// artifact bytes — without blobs inflating every request payload.
+func BlobDigest(blob string) string {
+	if blob == "" {
+		return ""
+	}
+	h := sha256.Sum256([]byte(blob))
+	return hex.EncodeToString(h[:])
 }
 
 func paramNames(ps []ParamInfo) []string {
@@ -197,19 +260,31 @@ func Param(params map[string]float64, name string, def float64) float64 {
 }
 
 // Validate reports whether name/params select a registered policy with a
-// well-formed parameter assignment. It is what core.Config.Validate calls.
+// well-formed parameter assignment and no blob artifact. Blob-requiring
+// policies fail here by construction; use ValidateSelection where an
+// artifact can legitimately appear.
 func Validate(name, params string) error {
-	_, _, err := resolve(name, params)
+	return ValidateSelection(name, params, "")
+}
+
+// ValidateSelection reports whether name/params/blob select a registered
+// policy with a well-formed parameter assignment and (when the policy
+// requires or accepts one) a well-formed blob artifact. It is what
+// core.Config.Validate calls.
+func ValidateSelection(name, params, blob string) error {
+	_, _, err := resolve(name, params, blob)
 	return err
 }
 
 // ResolveParams returns the declared parameter assignment — the policy's
 // Info defaults overlaid with the explicit values — for introspection and
-// reporting. Note a declared default can itself be indirect (the
-// "interval" policy's hysteresis inherits Config.IQHysteresis when not
-// explicitly given; 2 is the value that resolution bottoms out at).
+// reporting. It does not require a blob artifact even for blob-requiring
+// policies: the float parameters resolve independently of the artifact.
+// Note a declared default can itself be indirect (the "interval" policy's
+// hysteresis inherits Config.IQHysteresis when not explicitly given; 2 is
+// the value that resolution bottoms out at).
 func ResolveParams(name, params string) (map[string]float64, error) {
-	p, got, err := resolve(name, params)
+	p, got, err := resolveParams(name, params)
 	if err != nil {
 		return nil, err
 	}
@@ -221,9 +296,10 @@ func ResolveParams(name, params string) (map[string]float64, error) {
 }
 
 // New builds a controller for the named policy ("" selects DefaultPolicy)
-// with the given parameter string and construction state.
+// with the given parameter string and construction state (including any
+// blob artifact in Init.Blob).
 func New(name, params string, init Init) (Controller, error) {
-	p, full, err := resolve(name, params)
+	p, full, err := resolve(name, params, init.Blob)
 	if err != nil {
 		return nil, err
 	}

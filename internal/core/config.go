@@ -148,13 +148,22 @@ type Config struct {
 	// Policy names the adaptation policy driving PhaseAdaptive
 	// reconfiguration decisions; "" selects "paper", the exact Section 3
 	// controllers. See internal/control for the registry ("paper",
-	// "interval", "frozen") and gals.Policies for discovery. Valid only in
-	// PhaseAdaptive mode — the other modes take no decisions.
+	// "interval", "frozen", "feedback", plus "learned" from internal/learn)
+	// and gals.Policies for discovery. Valid only in PhaseAdaptive mode —
+	// the other modes take no decisions.
 	Policy string
 	// PolicyParams parameterizes the policy as "key=value[,key=value...]"
 	// (e.g. "interval=7500,hysteresis=1" for the "interval" policy).
 	// Omitted keys take the policy's declared defaults.
 	PolicyParams string
+	// PolicyBlob is the structured artifact of policies whose state is not
+	// expressible as flat floats — the "learned" policy's trained weights,
+	// produced by the training pipeline (internal/learn, galsim
+	// -train-policy) and persisted as a sidecar entry in the result cache.
+	// Its canonical digest (control.BlobDigest) is part of every cache and
+	// memo key a config reaches, so two runs share an entry only when they
+	// agree on the exact artifact bytes.
+	PolicyBlob string `json:",omitempty"`
 }
 
 // WithPolicy returns a copy of c selecting the named adaptation policy with
@@ -239,19 +248,24 @@ func (c Config) Label() string {
 
 // policyLabel renders the non-default policy selection for Label: "" for
 // the default paper controllers (so pre-existing labels are unchanged),
-// otherwise the name with any explicit parameters in braces.
+// otherwise the name with any explicit parameters in braces and, for
+// blob-carrying policies, a short artifact digest — two learned machines
+// with different weights must label differently.
 func (c Config) policyLabel() string {
 	name := c.Policy
-	if (name == "" || name == control.DefaultPolicy) && c.PolicyParams == "" {
+	if (name == "" || name == control.DefaultPolicy) && c.PolicyParams == "" && c.PolicyBlob == "" {
 		return ""
 	}
 	if name == "" {
 		name = control.DefaultPolicy
 	}
-	if c.PolicyParams == "" {
-		return name
+	if c.PolicyParams != "" {
+		name += "{" + c.PolicyParams + "}"
 	}
-	return name + "{" + c.PolicyParams + "}"
+	if c.PolicyBlob != "" {
+		name += "#" + control.BlobDigest(c.PolicyBlob)[:8]
+	}
+	return name
 }
 
 // Validate reports configuration errors.
@@ -279,10 +293,10 @@ func (c Config) Validate() error {
 		}
 	}
 	if c.Mode == PhaseAdaptive {
-		if err := control.Validate(c.Policy, c.PolicyParams); err != nil {
+		if err := control.ValidateSelection(c.Policy, c.PolicyParams, c.PolicyBlob); err != nil {
 			return err
 		}
-	} else if c.Policy != "" || c.PolicyParams != "" {
+	} else if c.Policy != "" || c.PolicyParams != "" || c.PolicyBlob != "" {
 		return fmt.Errorf("core: adaptation policy %q set on %s config (policies decide only in PhaseAdaptive mode)", c.Policy, c.Mode)
 	}
 	return nil

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"gals/internal/control"
+	"gals/internal/workload"
+)
+
+// forwarder is a pass-through controller wrapping another (the shape the
+// learned-policy training probe uses).
+type forwarder struct{ inner control.Controller }
+
+func (f forwarder) CacheInterval() int64 { return f.inner.CacheInterval() }
+func (f forwarder) NeedsIQ() bool        { return f.inner.NeedsIQ() }
+func (f forwarder) DecideCaches(o control.CacheObs, b []control.Reconfig) []control.Reconfig {
+	return f.inner.DecideCaches(o, b)
+}
+func (f forwarder) DecideIQs(o control.IQObs, b []control.Reconfig) []control.Reconfig {
+	return f.inner.DecideIQs(o, b)
+}
+
+// TestInjectedControllerMatchesRegistryRun pins the training-pipeline
+// contract: a machine driven by an explicitly injected (pass-through
+// wrapped) paper controller is bit-identical to the registry-built paper
+// machine — observing a policy's decisions must not perturb the run.
+func TestInjectedControllerMatchesRegistryRun(t *testing.T) {
+	spec, _ := workload.ByName("apsi")
+	cfg := DefaultAdaptive(PhaseAdaptive)
+	cfg.PLLScale = 0.1
+	cfg.RecordTrace = true
+
+	want := NewMachineSource(spec.NewTrace(), cfg).Run(40_000)
+
+	inner, err := control.New("paper", "", control.Init{
+		IntIQ: cfg.IntIQ, FPIQ: cfg.FPIQ, ICache: cfg.ICache, DCache: cfg.DCache,
+		IQHysteresis: cfg.IQHysteresis,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := NewMachineController(spec.NewTrace(), cfg, forwarder{inner}).Run(40_000)
+
+	if got.TimeFS != want.TimeFS {
+		t.Fatalf("injected run time %d != registry run time %d", got.TimeFS, want.TimeFS)
+	}
+	if !reflect.DeepEqual(got.Stats, want.Stats) {
+		t.Fatal("injected run statistics diverge from the registry run")
+	}
+}
+
+func TestInjectedControllerRejectsConflicts(t *testing.T) {
+	spec, _ := workload.ByName("gcc")
+	ctl, _ := control.New("frozen", "", control.Init{})
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	sync := DefaultSync()
+	mustPanic("non-phase mode", func() { NewMachineController(spec.NewTrace(), sync, ctl) })
+	named := DefaultAdaptive(PhaseAdaptive).WithPolicy("frozen", "")
+	mustPanic("config-selected policy", func() { NewMachineController(spec.NewTrace(), named, ctl) })
+	mustPanic("nil controller", func() { NewMachineController(spec.NewTrace(), DefaultAdaptive(PhaseAdaptive), nil) })
+}
+
+// cadenceCtl decides nothing but halves then doubles its own interval; the
+// machine must honour the new cadence after every decision.
+type cadenceCtl struct {
+	intervals []int64 // successive CacheInterval values to serve
+	calls     int
+}
+
+func (c *cadenceCtl) CacheInterval() int64 {
+	i := c.calls
+	if i >= len(c.intervals) {
+		i = len(c.intervals) - 1
+	}
+	return c.intervals[i]
+}
+func (c *cadenceCtl) NeedsIQ() bool { return false }
+func (c *cadenceCtl) DecideCaches(control.CacheObs, []control.Reconfig) []control.Reconfig {
+	c.calls++
+	return nil
+}
+func (c *cadenceCtl) DecideIQs(control.IQObs, []control.Reconfig) []control.Reconfig { return nil }
+
+// TestDynamicCacheInterval pins the closed-loop cadence mechanism: the
+// machine re-reads CacheInterval after each decision, so a policy that
+// stretches its interval gets proportionally fewer decisions.
+func TestDynamicCacheInterval(t *testing.T) {
+	spec, _ := workload.ByName("gcc")
+	cfg := DefaultAdaptive(PhaseAdaptive)
+	cfg.PLLScale = 0.1
+
+	// Fixed 1000-instruction cadence: ~40 decisions in 40K instructions.
+	fixed := &cadenceCtl{intervals: []int64{1000}}
+	NewMachineController(spec.NewTrace(), cfg, fixed).Run(40_000)
+	if fixed.calls != 40 {
+		t.Fatalf("fixed cadence decided %d times, want 40", fixed.calls)
+	}
+
+	// Self-stretching cadence: 1000, then 4000 from the first decision on.
+	stretching := &cadenceCtl{intervals: []int64{1000, 4000}}
+	NewMachineController(spec.NewTrace(), cfg, stretching).Run(40_000)
+	// One decision at 1000, then every 4000: 1 + floor(39000/4000) = 10.
+	if stretching.calls != 10 {
+		t.Fatalf("stretching cadence decided %d times, want 10", stretching.calls)
+	}
+}

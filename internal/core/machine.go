@@ -310,6 +310,65 @@ func NewMachine(spec workload.Spec, cfg Config) *Machine {
 // be positioned at the start of the stream and must not be shared with
 // another machine.
 func NewMachineSource(src InstSource, cfg Config) *Machine {
+	m := newMachine(src, cfg)
+	if cfg.Mode == PhaseAdaptive {
+		ctl, err := control.New(cfg.Policy, cfg.PolicyParams, m.controlInit())
+		if err != nil {
+			panic(err) // Validate() in newMachine rejects unknown policies/params
+		}
+		m.installController(ctl)
+	}
+	return m
+}
+
+// NewMachineController builds a PhaseAdaptive machine driven by an
+// explicitly constructed controller instead of the config's registry
+// selection — the hook behind the learned-policy training pipeline, which
+// wraps a registered policy's controller to observe its decisions. The
+// config's own Policy/PolicyParams/PolicyBlob must be empty (the injected
+// controller is the decision-maker; a config that also names one would give
+// the run two conflicting identities).
+func NewMachineController(src InstSource, cfg Config, ctl control.Controller) *Machine {
+	if cfg.Mode != PhaseAdaptive {
+		panic("core: NewMachineController requires PhaseAdaptive mode")
+	}
+	if cfg.Policy != "" || cfg.PolicyParams != "" || cfg.PolicyBlob != "" {
+		panic("core: NewMachineController config must not also select a registry policy")
+	}
+	if ctl == nil {
+		panic("core: NewMachineController requires a controller")
+	}
+	m := newMachine(src, cfg)
+	m.installController(ctl)
+	return m
+}
+
+// controlInit assembles the per-run construction state handed to the
+// policy layer.
+func (m *Machine) controlInit() control.Init {
+	return control.Init{
+		IntIQ:        m.cfg.IntIQ,
+		FPIQ:         m.cfg.FPIQ,
+		ICache:       m.cfg.ICache,
+		DCache:       m.cfg.DCache,
+		IQHysteresis: m.cfg.IQHysteresis,
+		Blob:         m.cfg.PolicyBlob,
+	}
+}
+
+// installController binds the run's decision state and the mechanism
+// bookkeeping it implies (decision cadence, ILP tracking hardware).
+func (m *Machine) installController(ctl control.Controller) {
+	m.ctl = ctl
+	m.cacheEvery = ctl.CacheInterval()
+	if ctl.NeedsIQ() {
+		m.tracker = queue.NewTracker()
+	}
+}
+
+// newMachine builds the mechanism: clocks, caches, windows and pools. The
+// PhaseAdaptive decision state is installed separately (installController).
+func newMachine(src InstSource, cfg Config) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -407,21 +466,6 @@ func NewMachineSource(src InstSource, cfg Config) *Machine {
 	m.fpFU = newFUPool(FPALUs)
 	m.fpMul = newFUPool(FPMulDivs)
 
-	if cfg.Mode == PhaseAdaptive {
-		ctl, err := control.New(cfg.Policy, cfg.PolicyParams, control.Init{
-			IntIQ:        cfg.IntIQ,
-			FPIQ:         cfg.FPIQ,
-			IQHysteresis: cfg.IQHysteresis,
-		})
-		if err != nil {
-			panic(err) // Validate() above rejects unknown policies/params
-		}
-		m.ctl = ctl
-		m.cacheEvery = ctl.CacheInterval()
-		if ctl.NeedsIQ() {
-			m.tracker = queue.NewTracker()
-		}
-	}
 	return m
 }
 

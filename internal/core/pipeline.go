@@ -247,6 +247,9 @@ func (m *Machine) step(in *isa.Inst) {
 		m.count-m.intervalStart >= m.cacheEvery {
 		m.cacheDecide(c)
 		m.intervalStart = m.count
+		// Closed-loop policies may retune their own cadence between
+		// intervals (the paper's controllers return a constant).
+		m.cacheEvery = m.ctl.CacheInterval()
 	}
 }
 

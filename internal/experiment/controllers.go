@@ -1,0 +1,166 @@
+// The "controllers" experiment: the adaptation-policy families
+// head-to-head. Where "policies" asks what one policy buys over the frozen
+// baseline, this experiment lines up the paper's open-loop interval
+// controllers, the closed-loop feedback controller and the learned
+// predictor on every benchmark — all four sharing one recorded trace per
+// benchmark and the frozen run as the common MCD-overhead baseline — and
+// then crosses the policy axis against initial structure sizes
+// (sweep.CrossPhaseSpace) to report how sensitive each family is to where
+// adaptation starts.
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"gals/internal/control"
+	"gals/internal/core"
+	"gals/internal/learn"
+	"gals/internal/sweep"
+	"gals/internal/timing"
+	"gals/internal/workload"
+)
+
+// controllerSettings are the compared policy families, frozen baseline
+// first. The learned entry's blob is filled per invocation.
+func controllerSettings(blob string) []sweep.PolicySetting {
+	return []sweep.PolicySetting{
+		{Name: "frozen"},
+		{Name: "paper"},
+		{Name: "feedback"},
+		{Name: "learned", Blob: blob},
+	}
+}
+
+// learnedArtifact resolves the weights artifact for the experiment's
+// options: an explicitly provided blob wins (supplied=true); otherwise the
+// training pipeline's sidecar for this window/seed (trained at most once
+// per cache directory, via the sweep layer's persistent store when one is
+// installed).
+func learnedArtifact(o Options) (blob string, supplied bool, err error) {
+	if o.PolicyBlob != "" {
+		return o.PolicyBlob, true, nil
+	}
+	blob, err = learn.Artifact(sweep.PersistStore(), learn.TrainOptions{
+		Window:     o.Window,
+		Seed:       o.Seed,
+		PLLScale:   o.PLLScale,
+		JitterFrac: o.JitterFrac,
+	})
+	return blob, false, err
+}
+
+// Controllers regenerates the adaptation-benefit comparison: per benchmark,
+// the percent run-time improvement of the paper, feedback and learned
+// policies over the frozen MCD baseline, with per-policy reconfiguration
+// totals and a start-sensitivity note from the policy x initial-size
+// product space.
+func Controllers(o Options) (*Table, error) {
+	workers, exec, pri := o.Workers, o.Exec, o.Priority
+	o = o.memoKey()
+	so := o.sweepOptions()
+	so.Workers, so.Exec, so.Priority = workers, exec, pri
+	// One recorded-trace pool for every run of every policy family; retired
+	// (slab references returned) once the experiment's cells finish.
+	so.Traces = sweep.NewRecordingPool(o.Window)
+	defer so.Traces.Retire()
+	specs := workload.Suite()
+
+	blob, supplied, err := learnedArtifact(o)
+	if err != nil {
+		return nil, err
+	}
+	settings := controllerSettings(blob)
+
+	// Per-benchmark runs of each family from the common base configuration.
+	runs := make([][]*core.Result, len(settings))
+	for i, ps := range settings {
+		pso := so
+		pso.Policy, pso.PolicyParams, pso.PolicyBlob = ps.Name, ps.Params, ps.Blob
+		rs, err := sweep.MeasurePhase(specs, pso)
+		if err != nil {
+			return nil, err
+		}
+		runs[i] = rs
+	}
+	frozen := runs[0]
+
+	t := &Table{
+		ID:    "controllers",
+		Title: "Adaptation benefit of the controller families over the frozen MCD baseline",
+		Header: []string{"benchmark", "t_frozen(us)",
+			"paper %", "feedback %", "learned %"},
+	}
+	means := make([]float64, len(settings))
+	reconfigs := make([]int64, len(settings))
+	for si, spec := range specs {
+		row := []any{spec.Name, fmt.Sprintf("%.2f", float64(frozen[si].TimeFS)/1e9)}
+		for pi := 1; pi < len(settings); pi++ {
+			imp := sweep.Improvement(frozen[si].TimeFS, runs[pi][si].TimeFS)
+			means[pi] += imp
+			row = append(row, fmt.Sprintf("%+.1f", imp))
+		}
+		for pi := range settings {
+			reconfigs[pi] += runs[pi][si].Stats.Reconfigs
+		}
+		t.AddRow(row...)
+	}
+	n := float64(len(specs))
+	t.Notes = append(t.Notes,
+		"frozen = Phase-Adaptive machine that never reconfigures: pure multiple-clock-domain overhead, no adaptation",
+		fmt.Sprintf("mean improvement over frozen: paper %+.1f%%, feedback %+.1f%%, learned %+.1f%%",
+			means[1]/n, means[2]/n, means[3]/n),
+		fmt.Sprintf("total reconfigurations: paper %d, feedback %d, learned %d",
+			reconfigs[1], reconfigs[2], reconfigs[3]),
+		learnedProvenance(blob, supplied, o),
+	)
+
+	// Start sensitivity: cross the policy axis against the largest/slowest
+	// initial configuration (the policy x config product space) and compare
+	// each family's geomean against its smallest-start geomean — which the
+	// per-benchmark runs above already measured, so only the large-start
+	// half of the product simulates.
+	large := core.DefaultAdaptive(core.PhaseAdaptive)
+	large.ICache = timing.ICache64K4W
+	large.DCache = timing.DCache256K8W
+	large.IntIQ, large.FPIQ = timing.IQ64, timing.IQ64
+	cross := sweep.CrossPhaseSpace(settings, []core.Config{large})
+	sum, err := sweep.MeasureSummary(specs, cross, so)
+	if err != nil {
+		return nil, err
+	}
+	for pi, ps := range settings {
+		smallScore, ok := 0.0, true
+		for si := range specs {
+			if tfs := runs[pi][si].TimeFS; tfs > 0 {
+				smallScore += math.Log(float64(tfs))
+			} else {
+				ok = false
+			}
+		}
+		if !ok || sum.Invalid[pi] {
+			continue
+		}
+		rel := geomeanUS(sum.Scores[pi], n)/geomeanUS(smallScore, n) - 1
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"start sensitivity %s: geomean %.2fus from the smallest start, %+.1f%% from the largest",
+			ps.Name, geomeanUS(smallScore, n), rel*100))
+	}
+	return t, nil
+}
+
+// geomeanUS converts a sum-of-log-femtosecond score over n benchmarks to a
+// geometric-mean run time in microseconds.
+func geomeanUS(score float64, n float64) float64 {
+	return math.Exp(score/n) / 1e9
+}
+
+// learnedProvenance renders the artifact note: a caller-supplied blob is of
+// unknown origin, a pipeline-trained one carries its training identity.
+func learnedProvenance(blob string, supplied bool, o Options) string {
+	if supplied {
+		return fmt.Sprintf("learned weights artifact %s (caller-supplied)", control.BlobDigest(blob)[:12])
+	}
+	return fmt.Sprintf("learned weights artifact %s (trained by imitation at window %d, seed %d)",
+		control.BlobDigest(blob)[:12], o.Window, o.Seed)
+}

@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"gals/internal/learn"
+	"gals/internal/resultcache"
+	"gals/internal/sweep"
+)
+
+// TestControllersExperiment runs the four-family comparison at a tiny
+// window: shape, per-policy columns, the trained-artifact provenance note
+// and the policy x start product-space notes.
+func TestControllersExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("controller comparison in -short mode")
+	}
+	o := Options{Window: 3_000, PLLScale: 0.1, Seed: 42}
+	tab, err := Run("controllers", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 40 {
+		t.Fatalf("controllers table has %d rows, want 40", len(tab.Rows))
+	}
+	if want := []string{"benchmark", "t_frozen(us)", "paper %", "feedback %", "learned %"}; len(tab.Header) != len(want) {
+		t.Fatalf("header %v, want %v", tab.Header, want)
+	}
+	rendered := tab.Render()
+	for _, want := range []string{
+		"mean improvement over frozen",
+		"total reconfigurations",
+		"learned weights artifact",
+		"start sensitivity frozen",
+		"start sensitivity learned",
+	} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}
+
+// TestControllersReusesSidecarArtifact: with a persistent store installed,
+// the experiment's training runs once; a repeat (memo dropped) loads the
+// sidecar instead of retraining.
+func TestControllersReusesSidecarArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("controller comparison in -short mode")
+	}
+	c, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := sweep.SetPersist(c)
+	defer sweep.SetPersist(prev)
+	learn.ResetArtifactMemo()
+	t.Cleanup(learn.ResetArtifactMemo)
+
+	o := Options{Window: 2_000, PLLScale: 0.1, Seed: 43}
+	before := learn.Trainings()
+	if _, err := Run("controllers", o); err != nil {
+		t.Fatal(err)
+	}
+	if learn.Trainings() != before+1 {
+		t.Fatalf("first controllers run trained %d times, want 1", learn.Trainings()-before)
+	}
+	learn.ResetArtifactMemo()
+	if _, err := Run("controllers", o); err != nil {
+		t.Fatal(err)
+	}
+	if learn.Trainings() != before+1 {
+		t.Fatal("second controllers run retrained despite the persisted sidecar artifact")
+	}
+}

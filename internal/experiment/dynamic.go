@@ -134,8 +134,11 @@ func RunSuite(o Options) (*SuiteResult, error) {
 	// sweep and the Phase-Adaptive runs; scoped to this computation so
 	// in-memory slabs (~megabytes per benchmark) are released once
 	// memoized. With a recording store installed (gals.UsePersistentCache,
-	// the service), the slabs are mmap'd files instead of heap.
+	// the service), the slabs are mmap'd files instead of heap, and
+	// retiring the pool on the way out returns its slab references so a
+	// multi-window run sequence cannot accumulate mappings.
 	so.Traces = sweep.NewRecordingPool(o.Window)
+	defer so.Traces.Retire()
 
 	syncCfgs := sweep.SyncSpace()
 	if !o.FullSyncSpace {
@@ -329,8 +332,10 @@ func PolicyCompare(o Options) (*Table, error) {
 	o = o.memoKey()
 	so := o.sweepOptions()
 	so.Workers, so.Exec, so.Priority = workers, exec, pri
-	// One recorded-trace pool for both policy runs of every benchmark.
+	// One recorded-trace pool for both policy runs of every benchmark,
+	// retired (slab references returned) when the comparison is done.
 	so.Traces = sweep.NewRecordingPool(o.Window)
+	defer so.Traces.Retire()
 	specs := workload.Suite()
 
 	polName := o.Policy

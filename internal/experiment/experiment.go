@@ -47,6 +47,10 @@ type Options struct {
 	// every cache key.
 	Policy       string
 	PolicyParams string
+	// PolicyBlob is the policy's structured weights artifact (the "learned"
+	// policy). Result-relevant like Policy. The "controllers" experiment
+	// trains one automatically when it is empty.
+	PolicyBlob string
 }
 
 // DefaultOptions match the calibration runs recorded in EXPERIMENTS.md.
@@ -55,7 +59,7 @@ func DefaultOptions() Options {
 }
 
 func (o Options) sweepOptions() sweep.Options {
-	return sweep.Options{
+	so := sweep.Options{
 		Window:       o.Window,
 		Workers:      o.Workers,
 		Seed:         o.Seed,
@@ -66,6 +70,13 @@ func (o Options) sweepOptions() sweep.Options {
 		Policy:       o.Policy,
 		PolicyParams: o.PolicyParams,
 	}
+	// A blob with no explicit policy selection parameterizes only the
+	// controllers experiment's learned column (learnedArtifact); the
+	// default paper stages must not inherit an artifact they cannot take.
+	if o.Policy != "" {
+		so.PolicyBlob = o.PolicyBlob
+	}
+	return so
 }
 
 // Table is one regenerated table or figure (figures are rendered as their
@@ -181,4 +192,5 @@ func init() {
 	register("table9", func(o Options) (*Table, error) { return Table9(o) })
 	register("figure7", func(o Options) (*Table, error) { return Figure7(o) })
 	register("policies", func(o Options) (*Table, error) { return PolicyCompare(o) })
+	register("controllers", func(o Options) (*Table, error) { return Controllers(o) })
 }

@@ -9,7 +9,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "figure2", "table2", "table3", "figure3", "figure4",
 		"table4", "table5", "table6", "table7", "table8",
-		"figure6", "table9", "figure7", "policies",
+		"figure6", "table9", "figure7", "policies", "controllers",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {

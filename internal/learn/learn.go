@@ -1,0 +1,349 @@
+// Package learn is the learned-adaptation subsystem: a deterministic
+// linear predictor that maps per-interval controller observations to
+// frequency/complexity decisions, plus the training pipeline that fits its
+// weights by imitating the paper's controllers over recorded phase runs
+// (after the learned-DFS literature in PAPERS.md: *A Unified Learning
+// Platform for Dynamic Frequency Scaling*).
+//
+// The model is four independent linear scoring heads — front-end cache,
+// D/L2 pair, integer queue, FP queue. Each head scores every candidate
+// configuration of its structure with a dot product over a fixed feature
+// vector derived from the same observation snapshot the paper's controllers
+// see (reconstructed accounting-cache counts, ILP-tracker samples, candidate
+// latencies and clock periods) and picks the argmax. Inference is pure
+// float arithmetic over the observation — no randomness, no wall clock — so
+// a run under a fixed weights artifact is bit-reproducible.
+//
+// The weights are not parameters in the registry's flat float sense: they
+// travel as a structured blob artifact (core.Config.PolicyBlob), produced
+// by Train/Artifact, persisted as a sidecar entry in the result cache
+// (kind "policyblob"), and keyed into every downstream cache and memo entry
+// by canonical digest. The "learned" policy registers itself in the
+// internal/control registry on import.
+package learn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"gals/internal/control"
+	"gals/internal/timing"
+)
+
+// ModelVersion is baked into every artifact. Bump it whenever the feature
+// extraction or the decision rule changes: old artifacts then fail
+// validation instead of silently driving different machines.
+const ModelVersion = 1
+
+// NumFeatures is the fixed per-candidate feature dimension shared by all
+// four heads.
+const NumFeatures = 8
+
+// NumCandidates is the number of configurations each head chooses among
+// (the four upsizing steps every resizable structure has).
+const NumCandidates = 4
+
+// Head indexes the four decision heads.
+const (
+	HeadICache = iota
+	HeadDCache
+	HeadIntIQ
+	HeadFPIQ
+	NumHeads
+)
+
+// HeadNames name the heads in Head order (reporting only).
+var HeadNames = [NumHeads]string{"icache", "dcache", "int-iq", "fp-iq"}
+
+// Model is the learned policy's weights artifact. Fields marshal in
+// declaration order, so Encode is canonical: equal models encode to equal
+// bytes, and an encode/decode round trip is the identity.
+type Model struct {
+	// Version pins the feature extraction this model was trained for.
+	Version int `json:"version"`
+	// Features is the per-candidate feature dimension (NumFeatures).
+	Features int `json:"features"`
+	// ICache, DCache, IntIQ and FPIQ are the per-head weight vectors.
+	ICache []float64 `json:"icache"`
+	DCache []float64 `json:"dcache"`
+	IntIQ  []float64 `json:"int_iq"`
+	FPIQ   []float64 `json:"fp_iq"`
+}
+
+// head returns the weight vector of the given head.
+func (m *Model) head(h int) []float64 {
+	switch h {
+	case HeadICache:
+		return m.ICache
+	case HeadDCache:
+		return m.DCache
+	case HeadIntIQ:
+		return m.IntIQ
+	default:
+		return m.FPIQ
+	}
+}
+
+// Encode renders the model as its canonical JSON artifact.
+func (m *Model) Encode() (string, error) {
+	blob, err := json.Marshal(m)
+	if err != nil {
+		return "", fmt.Errorf("learn: %w", err)
+	}
+	return string(blob), nil
+}
+
+// ParseModel decodes and validates a weights artifact: strict JSON, the
+// current version, and four finite weight vectors of the right dimension.
+func ParseModel(blob string) (*Model, error) {
+	dec := json.NewDecoder(strings.NewReader(blob))
+	dec.DisallowUnknownFields()
+	var m Model
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("learn: malformed weights artifact: %w", err)
+	}
+	if m.Version != ModelVersion {
+		return nil, fmt.Errorf("learn: weights artifact version %d, want %d", m.Version, ModelVersion)
+	}
+	if m.Features != NumFeatures {
+		return nil, fmt.Errorf("learn: weights artifact has %d features, want %d", m.Features, NumFeatures)
+	}
+	for h := 0; h < NumHeads; h++ {
+		w := m.head(h)
+		if len(w) != NumFeatures {
+			return nil, fmt.Errorf("learn: head %s has %d weights, want %d", HeadNames[h], len(w), NumFeatures)
+		}
+		for _, v := range w {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("learn: head %s has a non-finite weight", HeadNames[h])
+			}
+		}
+	}
+	return &m, nil
+}
+
+// feats is one observation's candidate feature matrix for one head.
+type feats [NumCandidates][NumFeatures]float64
+
+// argmax returns the candidate with the highest score under w; ties break
+// toward the lower (smaller, faster) index, matching the paper's tie rule.
+func argmax(w []float64, f *feats) int {
+	best, bestScore := 0, math.Inf(-1)
+	for c := 0; c < NumCandidates; c++ {
+		score := 0.0
+		for j := 0; j < NumFeatures; j++ {
+			score += w[j] * f[c][j]
+		}
+		if score > bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best
+}
+
+// nsOf converts a femtosecond quantity to nanoseconds — the scale that
+// keeps latency-derived features O(1).
+func nsOf(t timing.FS) float64 { return float64(t) / float64(timing.FemtosPerNano) }
+
+// ratioOf guards the per-access normalizations against an empty interval.
+func ratioOf(n, accesses uint64) float64 {
+	if accesses == 0 {
+		return 0
+	}
+	return float64(n) / float64(accesses)
+}
+
+// icacheFeatures builds the front-end head's candidate features from one
+// accounting interval: the candidate's reconstructed hit distribution, its
+// clock period, and the modeled miss cost — the same quantities the paper's
+// Section 3.1 cost model consumes, exposed as a feature basis instead of
+// being combined by a fixed formula.
+func icacheFeatures(obs control.CacheObs) feats {
+	var f feats
+	acc := obs.ICache.Accesses
+	missPenalty := timing.FS(obs.DCfg.Spec().L2ALat)*obs.LSPeriod + obs.FEPeriod + obs.LSPeriod
+	for c := 0; c < NumCandidates; c++ {
+		cand := timing.ICacheConfig(c)
+		a, b, miss := obs.ICache.Reconstruct(c+1, true)
+		f[c] = [NumFeatures]float64{
+			1,
+			ratioOf(a, acc),
+			ratioOf(b, acc),
+			ratioOf(miss, acc),
+			nsOf(cand.AdaptPeriod()),
+			float64(c-int(obs.ICfg)) / 3,
+			boolFeat(c == int(obs.ICfg)),
+			ratioOf(miss, acc) * nsOf(missPenalty),
+		}
+	}
+	return f
+}
+
+// dcacheFeatures builds the D/L2 head's candidate features. The L2 counters
+// are scaled to the candidate's L1 miss stream exactly as the paper's
+// controller scales them.
+func dcacheFeatures(obs control.CacheObs, l2LineBytes int) feats {
+	var f feats
+	acc := obs.DCacheL1.Accesses
+	_, _, curMiss := obs.DCacheL1.Reconstruct(obs.DCfg.Spec().Assoc, true)
+	memPenalty := timing.MemLatency(l2LineBytes) + 2*obs.LSPeriod
+	for c := 0; c < NumCandidates; c++ {
+		cand := timing.DCacheConfig(c)
+		ways := cand.Spec().Assoc
+		hasB := cand != timing.DCache256K8W
+		a1, b1, m1 := obs.DCacheL1.Reconstruct(ways, hasB)
+		_, _, m2 := obs.L2.Reconstruct(ways, hasB)
+		if curMiss > 0 {
+			m2 = uint64(float64(m2) * float64(m1) / float64(curMiss))
+		}
+		f[c] = [NumFeatures]float64{
+			1,
+			ratioOf(a1, acc),
+			ratioOf(b1, acc),
+			ratioOf(m1, acc),
+			nsOf(cand.AdaptPeriod()),
+			float64(c-int(obs.DCfg)) / 3,
+			boolFeat(c == int(obs.DCfg)),
+			ratioOf(m2, acc) * nsOf(memPenalty),
+		}
+	}
+	return f
+}
+
+// iqFeatures builds an issue-queue head's candidate features from the ILP
+// tracker's four window samples: fill fraction, raw ILP, the candidate
+// frequency, the paper's stifling condition and its frequency-scaled
+// effective-ILP score.
+func iqFeatures(obs control.IQObs, fp bool) feats {
+	var f feats
+	cur := obs.IntIQ
+	if fp {
+		cur = obs.FPIQ
+	}
+	curIdx := timing.IQIndex(cur)
+	for c := 0; c < NumCandidates; c++ {
+		s := obs.Samples[c]
+		count := s.IntCount
+		if fp {
+			count = s.FPCount
+		}
+		ilp := 0.0
+		if s.M > 0 {
+			ilp = float64(count) / float64(s.M)
+		}
+		freq := timing.IQFreqMHz(s.N)
+		f[c] = [NumFeatures]float64{
+			1,
+			float64(count) / float64(s.N),
+			ilp / 8,
+			freq / 1000,
+			boolFeat(c > 0 && count < s.N),
+			float64(c-curIdx) / 3,
+			boolFeat(c == curIdx),
+			s.EffectiveILP(fp, freq) / 1e4,
+		}
+	}
+	return f
+}
+
+func boolFeat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// iqObsUsable reports whether a completed ILP interval carries a usable
+// measurement (a zero chain depth means the tracker saw nothing). Shared by
+// inference and training so the learned controller decides on exactly the
+// intervals it was trained on.
+func iqObsUsable(obs control.IQObs) bool { return obs.Samples[3].M > 0 }
+
+// ---------------------------------------------------------------------------
+// The "learned" registry policy.
+
+func init() { control.Register(learnedPolicy{}) }
+
+type learnedPolicy struct{}
+
+func (learnedPolicy) Info() control.Info {
+	return control.Info{
+		Name:         "learned",
+		Description:  "deterministic linear predictor over controller observations, trained by imitation from recorded phase runs; weights travel as a blob artifact (see the training pipeline)",
+		RequiresBlob: true,
+		Params: []control.ParamInfo{
+			{Name: "interval", Default: control.PaperCacheInterval,
+				Description: "accounting-cache decision interval in committed instructions (0 freezes the cache heads)"},
+		},
+	}
+}
+
+// ValidateBlob rejects any artifact NewController could not build a
+// controller from, so malformed weights surface as request/config errors
+// rather than machine panics.
+func (learnedPolicy) ValidateBlob(blob string) error {
+	_, err := ParseModel(blob)
+	return err
+}
+
+func (learnedPolicy) NewController(params map[string]float64, init control.Init) control.Controller {
+	m, err := ParseModel(init.Blob)
+	if err != nil {
+		panic(err) // unreachable: the registry validated the blob
+	}
+	return &learnedCtl{
+		model:    m,
+		interval: int64(control.Param(params, "interval", control.PaperCacheInterval)),
+	}
+}
+
+// learnedCtl is the per-run inference state: the shared immutable model and
+// the decision cadence. All decision inputs come from the observation, so
+// the controller itself is stateless across intervals.
+type learnedCtl struct {
+	model    *Model
+	interval int64
+}
+
+func (c *learnedCtl) CacheInterval() int64 { return c.interval }
+func (c *learnedCtl) NeedsIQ() bool        { return true }
+
+func (c *learnedCtl) DecideCaches(obs control.CacheObs, buf []Reconfig) []Reconfig {
+	if !obs.FEPending && obs.ICache.Accesses > 0 {
+		f := icacheFeatures(obs)
+		if want := argmax(c.model.ICache, &f); want != int(obs.ICfg) {
+			buf = append(buf, Reconfig{Kind: control.ICache, Target: want})
+		}
+	}
+	if !obs.LSPending && obs.DCacheL1.Accesses > 0 {
+		f := dcacheFeatures(obs, obs.L2LineBytes)
+		if want := argmax(c.model.DCache, &f); want != int(obs.DCfg) {
+			buf = append(buf, Reconfig{Kind: control.DCache, Target: want})
+		}
+	}
+	return buf
+}
+
+func (c *learnedCtl) DecideIQs(obs control.IQObs, buf []Reconfig) []Reconfig {
+	if !iqObsUsable(obs) {
+		return buf
+	}
+	if !obs.IntPending {
+		f := iqFeatures(obs, false)
+		if want := argmax(c.model.IntIQ, &f); want != timing.IQIndex(obs.IntIQ) {
+			buf = append(buf, Reconfig{Kind: control.IntIQ, Target: int(timing.IQSizes()[want])})
+		}
+	}
+	if !obs.FPPending {
+		f := iqFeatures(obs, true)
+		if want := argmax(c.model.FPIQ, &f); want != timing.IQIndex(obs.FPIQ) {
+			buf = append(buf, Reconfig{Kind: control.FPIQ, Target: int(timing.IQSizes()[want])})
+		}
+	}
+	return buf
+}
+
+// Reconfig aliases the control type for local brevity.
+type Reconfig = control.Reconfig

@@ -7,9 +7,12 @@ import (
 	"os"
 )
 
-// mapPayload reports that mmap is unavailable on this platform; the caller
+// mapSlab reports that mmap is unavailable on this platform; the caller
 // falls back to reading the slab into heap, which is correct but loses the
 // file-backed-pages memory behaviour.
-func mapPayload(f *os.File, size int) ([]byte, error) {
+func mapSlab(f *os.File, size int) ([]byte, error) {
 	return nil, errors.New("recstore: mmap unavailable on this platform")
 }
+
+// unmapSlab is a no-op on platforms without mmap.
+func unmapSlab([]byte) {}

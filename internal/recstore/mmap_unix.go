@@ -7,16 +7,19 @@ import (
 	"syscall"
 )
 
-// mapPayload maps the whole slab file read-only and returns the payload
-// view past the header. The mapping lives for the process: recordings are
-// cached per store and shared by every pool, and the pages are file-backed,
-// so the kernel reclaims them under pressure without any heap involvement.
-// Unlinking a mapped file (cache pruning) is safe — established mappings
-// keep their pages.
-func mapPayload(f *os.File, size int) ([]byte, error) {
-	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
-	if err != nil {
-		return nil, err
-	}
-	return data[headerSize:], nil
+// mapSlab maps the whole slab file read-only and returns the full mapping
+// (header included; the caller slices the payload off). The mapping lives
+// until the store's refcount for the slab drops to zero (Release), at which
+// point it is unmapped; until then the pages are file-backed, so the kernel
+// reclaims them under pressure without any heap involvement. Unlinking a
+// mapped file (cache pruning) is safe — established mappings keep their
+// pages.
+func mapSlab(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// unmapSlab releases a mapping returned by mapSlab. The caller must
+// guarantee no live replay still reads it.
+func unmapSlab(data []byte) {
+	syscall.Munmap(data)
 }

@@ -3,10 +3,11 @@
 // windows (millions of instructions x 40 benchmarks) cost file-backed pages
 // instead of heap. It is the disk tier under workload.Pool: a backed pool
 // asks the store for each benchmark's recording, the store serves an
-// existing slab (one mmap per process, shared by every pool and replay) or
-// records it exactly once per directory — a lock file serializes recorders
-// across processes, so concurrent sweeps on one cache directory never
-// duplicate the generation work.
+// existing slab (one mmap per process at a time, shared by every pool and
+// replay, reference counted so retiring pools return their address space —
+// see Release) or records it exactly once per directory — a lock file
+// serializes recorders across processes, so concurrent sweeps on one cache
+// directory never duplicate the generation work.
 //
 // Layout: <dir>/<hh>/<hash>.rec, where <hash> is the sha-256 of the format
 // version, the window and the canonical spec JSON, and <hh> its first two
@@ -64,23 +65,41 @@ type Stats struct {
 	// Rerecorded counts corrupt or truncated files that were deleted and
 	// regenerated.
 	Rerecorded int64
+	// Released counts slab references dropped to zero (Release): the
+	// mapping, when one existed, was unmapped and the cache entry forgotten.
+	Released int64
 }
 
 // Store is an on-disk recording store. Create with Open. It implements
-// workload.Backing; all methods are safe for concurrent use.
+// workload.Backing and workload.Releaser; all methods are safe for
+// concurrent use.
+//
+// Slab lifetime is reference counted: every successful Recording call takes
+// one reference, every Release drops one, and the mapping is unmapped (the
+// entry forgotten) when the count reaches zero — so a retired trace pool
+// (workload.Pool.Retire) returns its windows' address space instead of
+// accumulating mappings across a multi-window corpus for the process
+// lifetime. A later Recording for the same slab simply remaps it.
 type Store struct {
 	dir string
 
 	mu      sync.Mutex
 	entries map[string]*entry
 
-	mapped, recorded, rerecorded atomic.Int64
+	mapped, recorded, rerecorded, released atomic.Int64
 }
 
 type entry struct {
 	once sync.Once
 	rec  *workload.Recording
-	err  error
+	// mapping is the full mmap (header included) backing rec, nil when the
+	// slab was heap-read instead.
+	mapping []byte
+	err     error
+
+	// refs and released are guarded by Store.mu.
+	refs     int
+	released bool
 }
 
 // Open creates (if needed) and returns a store rooted at dir.
@@ -103,6 +122,7 @@ func (st *Store) Stats() Stats {
 		Mapped:     st.mapped.Load(),
 		Recorded:   st.recorded.Load(),
 		Rerecorded: st.rerecorded.Load(),
+		Released:   st.released.Load(),
 	}
 }
 
@@ -131,7 +151,8 @@ func key(digest [32]byte, window int64) string {
 // Recording returns the benchmark's recording of exactly window
 // instructions, mapping an existing slab or recording one (once per
 // directory, across processes). The returned recording is shared: repeated
-// calls for the same (spec, window) return the same mapping. It implements
+// calls for the same (spec, window) return the same mapping, and each call
+// takes one slab reference, returned by Release. It implements
 // workload.Backing.
 func (st *Store) Recording(s workload.Spec, window int64) (*workload.Recording, error) {
 	if window <= 0 {
@@ -143,16 +164,66 @@ func (st *Store) Recording(s workload.Spec, window int64) (*workload.Recording, 
 	}
 	k := key(digest, window)
 
+	for {
+		st.mu.Lock()
+		e := st.entries[k]
+		if e == nil {
+			e = &entry{}
+			st.entries[k] = e
+		}
+		st.mu.Unlock()
+
+		e.once.Do(func() { e.rec, e.mapping, e.err = st.acquire(s, window, digest, k) })
+		if e.err != nil {
+			return nil, e.err
+		}
+		st.mu.Lock()
+		if e.released || st.entries[k] != e {
+			// Raced with a Release that dropped the last reference between
+			// our map lookup and now: remap through a fresh entry.
+			st.mu.Unlock()
+			continue
+		}
+		e.refs++
+		st.mu.Unlock()
+		return e.rec, nil
+	}
+}
+
+// Release returns one Recording reference for (spec, window). When the last
+// reference drops, the slab's mapping (if any) is unmapped and the cache
+// entry forgotten — the caller must guarantee that no replay created from
+// any of the released references is still live. Unbalanced or unknown
+// releases are ignored. It implements workload.Releaser, which is how a
+// retiring trace pool returns its slabs.
+func (st *Store) Release(s workload.Spec, window int64) {
+	digest, err := specDigest(s)
+	if err != nil {
+		return
+	}
+	k := key(digest, window)
+
 	st.mu.Lock()
 	e := st.entries[k]
-	if e == nil {
-		e = &entry{}
-		st.entries[k] = e
+	if e == nil || e.refs == 0 {
+		st.mu.Unlock()
+		return
 	}
+	if e.refs--; e.refs > 0 {
+		st.mu.Unlock()
+		return
+	}
+	delete(st.entries, k)
+	e.released = true
+	mapping := e.mapping
+	e.mapping = nil
+	e.rec = nil
 	st.mu.Unlock()
 
-	e.once.Do(func() { e.rec, e.err = st.acquire(s, window, digest, k) })
-	return e.rec, e.err
+	if mapping != nil {
+		unmapSlab(mapping)
+	}
+	st.released.Add(1)
 }
 
 // path maps a key hash to its slab file.
@@ -160,17 +231,18 @@ func (st *Store) path(k string) string {
 	return filepath.Join(st.dir, k[:2], k+".rec")
 }
 
-// acquire loads or records one slab.
-func (st *Store) acquire(s workload.Spec, window int64, digest [32]byte, k string) (*workload.Recording, error) {
+// acquire loads or records one slab, returning the recording and the full
+// mmap backing it (nil when the slab was heap-read).
+func (st *Store) acquire(s workload.Spec, window int64, digest [32]byte, k string) (*workload.Recording, []byte, error) {
 	p := st.path(k)
-	if rec, err := st.load(s, window, digest, p); err == nil {
+	if rec, mapping, err := st.load(s, window, digest, p); err == nil {
 		st.mapped.Add(1)
 		// Refresh the slab's mtime so a size-capped LRU prune
 		// (resultcache.Prune over the shared cache root) evicts cold slabs
 		// before ones this process is actively replaying.
 		now := time.Now()
 		os.Chtimes(p, now, now)
-		return rec, nil
+		return rec, mapping, nil
 	} else if !os.IsNotExist(err) {
 		// Anything on disk that is not a valid slab — truncated write from
 		// a crashed recorder, bit rot, a stale format — is deleted and
@@ -179,53 +251,63 @@ func (st *Store) acquire(s workload.Spec, window int64, digest [32]byte, k strin
 		st.rerecorded.Add(1)
 	}
 	if err := st.record(s, window, digest, p); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	st.recorded.Add(1)
-	rec, err := st.load(s, window, digest, p)
+	rec, mapping, err := st.load(s, window, digest, p)
 	if err != nil {
-		return nil, fmt.Errorf("recstore: freshly recorded slab unreadable: %w", err)
+		return nil, nil, fmt.Errorf("recstore: freshly recorded slab unreadable: %w", err)
 	}
-	return rec, nil
+	return rec, mapping, nil
 }
 
 // load validates and maps an existing slab file.
-func (st *Store) load(s workload.Spec, window int64, digest [32]byte, p string) (*workload.Recording, error) {
+func (st *Store) load(s workload.Spec, window int64, digest [32]byte, p string) (*workload.Recording, []byte, error) {
 	f, err := os.Open(p)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
 	fi, err := f.Stat()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	want := headerSize + window*workload.EncodedInstSize
 	if fi.Size() != want {
-		return nil, fmt.Errorf("recstore: %s is %d bytes, want %d", p, fi.Size(), want)
+		return nil, nil, fmt.Errorf("recstore: %s is %d bytes, want %d", p, fi.Size(), want)
 	}
 	var hdr [headerSize]byte
 	if _, err := f.ReadAt(hdr[:], 0); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if string(hdr[0:8]) != magic ||
 		binary.LittleEndian.Uint32(hdr[8:]) != formatVersion ||
 		binary.LittleEndian.Uint32(hdr[12:]) != workload.EncodedInstSize ||
 		int64(binary.LittleEndian.Uint64(hdr[16:])) != window ||
 		[32]byte(hdr[24:56]) != digest {
-		return nil, fmt.Errorf("recstore: %s has a stale or foreign header", p)
+		return nil, nil, fmt.Errorf("recstore: %s has a stale or foreign header", p)
 	}
-	raw, err := mapPayload(f, int(fi.Size()))
+	var mapping []byte
+	raw, err := mapSlab(f, int(fi.Size()))
 	if err != nil {
 		// No mmap on this platform (or the map failed): fall back to a
 		// plain read — correct, just heap-resident.
 		blob, rerr := os.ReadFile(p)
 		if rerr != nil {
-			return nil, rerr
+			return nil, nil, rerr
 		}
-		raw = blob[headerSize:]
+		raw = blob
+	} else {
+		mapping = raw
 	}
-	return workload.RecordingFromEncoded(s, raw)
+	rec, err := workload.RecordingFromEncoded(s, raw[headerSize:])
+	if err != nil {
+		if mapping != nil {
+			unmapSlab(mapping)
+		}
+		return nil, nil, err
+	}
+	return rec, mapping, nil
 }
 
 // record generates the slab under a cross-process lock: the first recorder

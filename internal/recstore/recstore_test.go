@@ -263,3 +263,78 @@ func TestDistinctWindowsDistinctSlabs(t *testing.T) {
 		}
 	}
 }
+
+// TestReleaseOnPoolRetire pins the mapping-lifetime contract: retiring a
+// backed trace pool returns its slab references, the store unmaps and
+// forgets the slab on the last one, and a later request simply remaps the
+// file — so a multi-window corpus cannot accumulate mappings forever.
+func TestReleaseOnPoolRetire(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := workload.ByName("gcc")
+	const window = 400
+
+	pool := workload.NewBackedPool(window, st)
+	rec := pool.Get(spec)
+	// Drain a replay fully before retirement (the quiescence contract: no
+	// replay may touch the slab after its last reference is released), and
+	// keep the decoded stream for the post-remap comparison.
+	first := make([]isa.Inst, window)
+	rp := rec.Replay()
+	for i := range first {
+		rp.Next(&first[i])
+	}
+	if got := st.Stats(); got.Released != 0 {
+		t.Fatalf("premature release: %+v", got)
+	}
+
+	// A second pool holds its own reference: one retirement must not unmap.
+	pool2 := workload.NewBackedPool(window, st)
+	pool2.Get(spec)
+	pool.Retire()
+	if got := st.Stats(); got.Released != 0 {
+		t.Fatalf("release with a live second reference: %+v", got)
+	}
+	pool2.Retire()
+	if got := st.Stats(); got.Released != 1 {
+		t.Fatalf("last reference did not release the slab: %+v", got)
+	}
+
+	// The slab is gone from the in-process cache, not from disk: the next
+	// request maps the existing file again, bit-identically.
+	before := st.Stats().Mapped
+	rec2 := pool.Get(spec)
+	if got := st.Stats(); got.Mapped != before+1 || got.Recorded != 1 {
+		t.Fatalf("post-release request did not remap the existing slab: %+v", got)
+	}
+	b := rec2.Replay()
+	var ib isa.Inst
+	for i := 0; i < window; i++ {
+		b.Next(&ib)
+		if first[i] != ib {
+			t.Fatalf("remapped slab diverges at instruction %d", i)
+		}
+	}
+	pool.Retire()
+}
+
+// TestReleaseIgnoresUnknownAndUnbalanced: releasing a never-acquired or
+// already-released slab is a no-op, never a panic or a counter skew.
+func TestReleaseIgnoresUnknownAndUnbalanced(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := workload.ByName("art")
+	st.Release(spec, 500) // never acquired
+	if _, err := st.Recording(spec, 500); err != nil {
+		t.Fatal(err)
+	}
+	st.Release(spec, 500)
+	st.Release(spec, 500) // unbalanced
+	if got := st.Stats(); got.Released != 1 {
+		t.Fatalf("unbalanced release skewed the counter: %+v", got)
+	}
+}

@@ -41,7 +41,15 @@ import (
 // shapes. The "paper" default is pinned bit-identical to v1 behaviour by
 // parity tests, but every key payload's encoding changed, so v1 entries are
 // orphaned wholesale rather than left to alias by accident.
-const SchemaVersion = "gals-results-v2"
+//
+// v3: the closed-loop/learned adaptation subsystem added blob policy
+// parameters (core.Config.PolicyBlob, keyed by canonical digest), the
+// "feedback" and "learned" policies, the "policyblob" sidecar kind for
+// trained weights, and the machine's dynamic decision cadence (the
+// controller's CacheInterval is re-read after every decision). The "paper"
+// default remains pinned bit-identical by parity tests; every key payload's
+// encoding changed again, so v2 entries are orphaned wholesale.
+const SchemaVersion = "gals-results-v3"
 
 // Store is the persistence interface consumed by the compute layers
 // (experiment's suite memo, sweep's measure matrices, the service's runs).

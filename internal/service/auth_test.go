@@ -1,0 +1,94 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestBearerTokenAuth pins the -auth-token contract: with a token
+// configured, every /v1/* endpoint answers 401 without the exact bearer
+// token, while /healthz stays open for liveness probes.
+func TestBearerTokenAuth(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, AuthToken: "s3cret"})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	get := func(path string, hdr map[string]string) int {
+		t.Helper()
+		req, err := http.NewRequest("GET", srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := get("/healthz", nil); got != http.StatusOK {
+		t.Errorf("/healthz without a token returned %d, want 200", got)
+	}
+	for name, hdr := range map[string]map[string]string{
+		"no header":    nil,
+		"wrong scheme": {"Authorization": "Basic s3cret"},
+		"wrong token":  {"Authorization": "Bearer nope"},
+		"near miss":    {"Authorization": "Bearer s3cretX"},
+	} {
+		if got := get("/v1/policies", hdr); got != http.StatusUnauthorized {
+			t.Errorf("%s: /v1/policies returned %d, want 401", name, got)
+		}
+	}
+	if got := get("/v1/policies", map[string]string{"Authorization": "Bearer s3cret"}); got != http.StatusOK {
+		t.Errorf("valid token returned %d, want 200", got)
+	}
+
+	// POST endpoints are behind the same gate.
+	resp, err := http.Post(srv.URL+"/v1/run", "application/json",
+		strings.NewReader(`{"bench":"gcc","window":1000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("unauthenticated /v1/run returned %d, want 401", resp.StatusCode)
+	}
+	req, _ := http.NewRequest("POST", srv.URL+"/v1/run",
+		strings.NewReader(`{"bench":"gcc","window":1000}`))
+	req.Header.Set("Authorization", "Bearer s3cret")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("authenticated /v1/run returned %d, want 200", resp2.StatusCode)
+	}
+	var out RunResult
+	if err := json.NewDecoder(resp2.Body).Decode(&out); err != nil || out.TimeFS <= 0 {
+		t.Errorf("authenticated run result malformed: %+v (%v)", out, err)
+	}
+}
+
+// TestNoTokenMeansOpen: an empty AuthToken keeps the historical open
+// behaviour.
+func TestNoTokenMeansOpen(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/policies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("open service returned %d, want 200", resp.StatusCode)
+	}
+}

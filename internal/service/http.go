@@ -1,10 +1,12 @@
 package service
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
+	"strings"
 
 	"gals/internal/control"
 	"gals/internal/workload"
@@ -25,6 +27,10 @@ import (
 //
 // All bodies are JSON. Validation failures return 400, unknown experiment
 // IDs 400, a full cell queue 503, all with {"error": "..."} bodies.
+//
+// When Config.AuthToken is set, every /v1/* endpoint requires
+// "Authorization: Bearer <token>" and answers 401 otherwise; /healthz stays
+// open so liveness probes need no credentials.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 
@@ -150,7 +156,29 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, res)
 	})
 
-	return mux
+	if s.cfg.AuthToken == "" {
+		return mux
+	}
+	return s.authenticate(mux)
+}
+
+// authenticate gates /v1/* behind the configured bearer token. The
+// comparison is constant time, so the token cannot be guessed byte by byte
+// from response latency.
+func (s *Service) authenticate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(tok), []byte(s.cfg.AuthToken)) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="galsd"`)
+			writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "missing or invalid bearer token"})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"gals/internal/control"
+	"gals/internal/learn"
 )
 
 func TestRunRequestPolicySelection(t *testing.T) {
@@ -67,12 +68,19 @@ func TestSweepPhaseSpacePolicies(t *testing.T) {
 		t.Fatalf("phase sweep produced no winners: %+v", res)
 	}
 
-	// Defaulted policies: every registered policy at default parameters.
+	// Defaulted policies: every registered policy at default parameters,
+	// minus blob-requiring ones (there is no artifact to default to).
 	all, err := s.Sweep(SweepRequest{Space: "phase", Bench: "gcc", Window: 5_000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := len(control.Names()); all.Configs != want {
+	want := 0
+	for _, in := range control.Infos() {
+		if !in.RequiresBlob {
+			want++
+		}
+	}
+	if all.Configs != want {
 		t.Errorf("defaulted phase sweep has %d configs, want %d", all.Configs, want)
 	}
 
@@ -136,5 +144,114 @@ func TestHTTPPoliciesEndpointAndPolicySweep(t *testing.T) {
 	}
 	if sres.Configs != 2 || sres.Best == "" {
 		t.Fatalf("phase sweep over HTTP: %+v", sres)
+	}
+}
+
+// httpPost posts a JSON body and returns the status code and decoded error
+// message (if any).
+func httpPost(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Error string `json:"error"`
+	}
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out.Error
+}
+
+// TestHTTPPolicyValidationSurfaces pins the satellite contract: unknown
+// policies, malformed blob artifacts and out-of-range feedback gains all
+// surface as 400s with an error body — never 500s, never a panic.
+func TestHTTPPolicyValidationSurfaces(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	cases := map[string]struct{ path, body, wantErr string }{
+		"unknown policy": {
+			"/v1/run", `{"bench":"gcc","policy":"nope"}`, "unknown policy"},
+		"policy on sync mode": {
+			"/v1/run", `{"bench":"gcc","mode":"sync","policy":"frozen"}`, "PhaseAdaptive"},
+		"malformed blob": {
+			"/v1/run", `{"bench":"gcc","policy":"learned","policy_blob":"not json"}`, "malformed weights artifact"},
+		"blob on blobless policy": {
+			"/v1/run", `{"bench":"gcc","policy":"paper","policy_blob":"{}"}`, "takes no blob"},
+		"learned without blob": {
+			"/v1/run", `{"bench":"gcc","policy":"learned"}`, "requires a blob"},
+		"feedback gain too high": {
+			"/v1/run", `{"bench":"gcc","policy":"feedback","policy_params":"kp=500"}`, "kp=500"},
+		"feedback negative gain": {
+			"/v1/run", `{"bench":"gcc","policy":"feedback","policy_params":"ki=-2"}`, "out of range"},
+		"feedback zero setpoint": {
+			"/v1/run", `{"bench":"gcc","policy":"feedback","policy_params":"ilp_setpoint=0"}`, "must be positive"},
+		"suite bad blob": {
+			"/v1/suite", `{"window":1000,"policy":"learned","policy_blob":"{"}`, "malformed weights artifact"},
+		"sweep bad policy blob": {
+			"/v1/sweep", `{"space":"phase","policies":[{"name":"learned","blob":"[]"}]}`, "malformed weights artifact"},
+		"experiment bad gains": {
+			"/v1/experiment", `{"id":"figure6","policy":"feedback","policy_params":"clamp=1e6"}`, "clamp"},
+	}
+	for name, c := range cases {
+		status, msg := httpPost(t, srv.URL+c.path, c.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%q), want 400", name, status, msg)
+			continue
+		}
+		if !strings.Contains(msg, c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", name, msg, c.wantErr)
+		}
+	}
+}
+
+// TestBlobParamsRoundTripThroughCache: a learned run keyed by its weights
+// artifact persists, is served from the cache on repetition, and never
+// aliases a run with different weights.
+func TestBlobParamsRoundTripThroughCache(t *testing.T) {
+	blob, err := learn.Artifact(nil, learn.TrainOptions{Window: 4_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := learn.ParseModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.IntIQ[0] += 1
+	blob2, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := newTestService(t, Config{Workers: 2, CacheDir: t.TempDir()})
+	req := RunRequest{Bench: "mesa", Window: 20_000, Policy: "learned", PolicyBlob: blob}
+	first, err := s.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first learned run reported cached")
+	}
+	again, err := s.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatal("identical learned run (same artifact bytes) missed the cache")
+	}
+	if again.TimeFS != first.TimeFS {
+		t.Fatal("cached learned result differs")
+	}
+
+	other := req
+	other.PolicyBlob = blob2
+	second, err := s.Run(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cached {
+		t.Fatal("different artifact bytes aliased the cached entry")
 	}
 }

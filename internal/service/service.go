@@ -62,6 +62,11 @@ type Config struct {
 	// many bytes (least-recently-used files first) at startup and after
 	// each computed sweep or suite.
 	CacheMaxBytes int64
+	// AuthToken, when non-empty, gates every /v1/* endpoint behind
+	// "Authorization: Bearer <token>" (compared in constant time). The
+	// /healthz liveness probe stays open. Empty disables authentication —
+	// the historical lab-service behaviour.
+	AuthToken string
 }
 
 // Service executes simulation requests. Create with New, stop with Close.
@@ -120,12 +125,22 @@ func New(cfg Config) (*Service, error) {
 	return s, nil
 }
 
-// Close stops the workers (accepted cells still finish) and restores the
-// persist hooks that were installed before this service took over (e.g.
-// one installed by gals.UsePersistentCache). Recording mmaps stay valid
-// for any still-referenced recordings; the kernel reclaims the pages.
+// Close stops the workers (accepted cells still finish), retires the
+// per-window trace pools — returning their slab references so the recording
+// store unmaps what no one else holds — and restores the persist hooks that
+// were installed before this service took over (e.g. one installed by
+// gals.UsePersistentCache).
 func (s *Service) Close() {
 	s.pool.Close()
+	// The workers are stopped: no cell can still be replaying, so retiring
+	// the pools (and unmapping their slabs) is safe.
+	s.poolMu.Lock()
+	pools := s.tracePools
+	s.tracePools = make(map[int64]*workload.Pool)
+	s.poolMu.Unlock()
+	for _, p := range pools {
+		p.Retire()
+	}
 	if s.cache != nil {
 		experiment.SetSuitePersist(s.prevSuite)
 		sweep.SetPersist(s.prevSweep)
@@ -243,6 +258,9 @@ type RunRequest struct {
 	// the paper controllers.
 	Policy       string `json:"policy,omitempty"`
 	PolicyParams string `json:"policy_params,omitempty"`
+	// PolicyBlob carries the policy's structured artifact (the "learned"
+	// policy's trained weights, as produced by the training pipeline).
+	PolicyBlob string `json:"policy_blob,omitempty"`
 	// Priority orders this request against others (higher first). It does
 	// not affect the result and is excluded from the cache key.
 	Priority int `json:"priority,omitempty"`
@@ -344,6 +362,7 @@ func (r RunRequest) machine() (workload.Spec, core.Config, error) {
 	cfg.PLLScale = r.PLLScale
 	cfg.Policy = r.Policy
 	cfg.PolicyParams = r.PolicyParams
+	cfg.PolicyBlob = r.PolicyBlob
 	if err := cfg.Validate(); err != nil {
 		return spec, cfg, err
 	}
@@ -376,15 +395,25 @@ func (s *Service) runOne(spec workload.Spec, cfg core.Config, window int64) *cor
 	return core.RunWorkload(spec, cfg, window)
 }
 
+// cacheKey returns the normalized request's persistent-cache key: Priority
+// zeroed (result-neutral) and the blob artifact replaced by its canonical
+// digest, so artifact size never inflates key payloads while distinct
+// artifacts can never alias.
+func (r RunRequest) cacheKey() string {
+	r.Priority = 0
+	if r.PolicyBlob != "" {
+		r.PolicyBlob = "digest:" + control.BlobDigest(r.PolicyBlob)
+	}
+	return resultcache.Key("run", r)
+}
+
 // Run executes (or serves from cache / an in-flight twin) one simulation.
 func (s *Service) Run(req RunRequest) (RunResult, error) {
 	n, err := req.normalize()
 	if err != nil {
 		return RunResult{}, err
 	}
-	keyReq := n
-	keyReq.Priority = 0
-	key := resultcache.Key("run", keyReq)
+	key := n.cacheKey()
 
 	v, err, shared := s.flight.Do(key, func() (any, error) {
 		var out RunResult
@@ -450,8 +479,7 @@ func (s *Service) RunBatch(reqs []RunRequest) []BatchItem {
 			run = append(run, i) // let Run report the error per item
 			continue
 		}
-		n.Priority = 0
-		key := resultcache.Key("run", n)
+		key := n.cacheKey()
 		if rep, ok := reps[key]; ok {
 			dups = append(dups, [2]int{i, rep})
 			continue
@@ -530,12 +558,18 @@ func (r SweepRequest) normalize() (SweepRequest, error) {
 		}
 	case "phase":
 		if len(r.Policies) == 0 {
-			for _, name := range control.Names() {
-				r.Policies = append(r.Policies, sweep.PolicySetting{Name: name})
+			// Every registered policy at default parameters — except
+			// blob-requiring ones, which cannot be defaulted (there is no
+			// artifact to default to).
+			for _, in := range control.Infos() {
+				if in.RequiresBlob {
+					continue
+				}
+				r.Policies = append(r.Policies, sweep.PolicySetting{Name: in.Name})
 			}
 		}
 		for _, p := range r.Policies {
-			if err := control.Validate(p.Name, p.Params); err != nil {
+			if err := control.ValidateSelection(p.Name, p.Params, p.Blob); err != nil {
 				return r, fmt.Errorf("service: %w", err)
 			}
 		}
@@ -593,6 +627,17 @@ func (s *Service) Sweep(req SweepRequest) (SweepResult, error) {
 	keyReq := n
 	keyReq.Priority = 0
 	keyReq.Workers = 0
+	if len(keyReq.Policies) > 0 {
+		// Key policy-axis artifacts by canonical digest, like every other
+		// blob-carrying key payload.
+		ps := append([]sweep.PolicySetting(nil), keyReq.Policies...)
+		for i := range ps {
+			if ps[i].Blob != "" {
+				ps[i].Blob = "digest:" + control.BlobDigest(ps[i].Blob)
+			}
+		}
+		keyReq.Policies = ps
+	}
 	key := resultcache.Key("sweepreq", keyReq)
 
 	v, err, shared := s.flight.Do(key, func() (any, error) {
@@ -672,9 +717,11 @@ type SuiteRequest struct {
 	Seed          int64   `json:"seed,omitempty"`
 	JitterFrac    float64 `json:"jitter,omitempty"`
 	// Policy and PolicyParams select the adaptation policy of the
-	// pipeline's Phase-Adaptive stages (default: the paper controllers).
+	// pipeline's Phase-Adaptive stages (default: the paper controllers);
+	// PolicyBlob carries a blob-requiring policy's artifact.
 	Policy       string `json:"policy,omitempty"`
 	PolicyParams string `json:"policy_params,omitempty"`
+	PolicyBlob   string `json:"policy_blob,omitempty"`
 	Priority     int    `json:"priority,omitempty"`
 }
 
@@ -690,8 +737,8 @@ func (r SuiteRequest) validate() error {
 	if r.PLLScale != 0 && !(r.PLLScale > 0) {
 		return fmt.Errorf("service: pll scale %v must be positive", r.PLLScale)
 	}
-	if r.Policy != "" || r.PolicyParams != "" {
-		if err := control.Validate(r.Policy, r.PolicyParams); err != nil {
+	if r.Policy != "" || r.PolicyParams != "" || r.PolicyBlob != "" {
+		if err := control.ValidateSelection(r.Policy, r.PolicyParams, r.PolicyBlob); err != nil {
 			return fmt.Errorf("service: %w", err)
 		}
 	}
@@ -714,6 +761,7 @@ func (r SuiteRequest) options() experiment.Options {
 	o.JitterFrac = r.JitterFrac
 	o.Policy = r.Policy
 	o.PolicyParams = r.PolicyParams
+	o.PolicyBlob = r.PolicyBlob
 	return o
 }
 
@@ -744,6 +792,9 @@ func (s *Service) Suite(req SuiteRequest) (SuiteSummary, error) {
 	o := req.options()
 	keyReq := o
 	keyReq.Workers = 0
+	if keyReq.PolicyBlob != "" {
+		keyReq.PolicyBlob = "digest:" + control.BlobDigest(keyReq.PolicyBlob)
+	}
 	key := resultcache.Key("suitereq", keyReq)
 
 	v, err, shared := s.flight.Do(key, func() (any, error) {

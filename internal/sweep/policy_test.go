@@ -219,3 +219,39 @@ func mustSpec(t *testing.T, name string) workload.Spec {
 	}
 	return s
 }
+
+// TestCrossPhaseSpaceProduct pins the policy x initial-configuration
+// product space: policy-major order, one Phase-Adaptive machine per pair,
+// and the one-base special case collapsing to PhaseSpace.
+func TestCrossPhaseSpaceProduct(t *testing.T) {
+	settings := []PolicySetting{{Name: "paper"}, {Name: "frozen"}}
+	small := core.DefaultAdaptive(core.PhaseAdaptive)
+	large := small
+	large.ICache = timing.ICache64K4W
+	large.DCache = timing.DCache256K8W
+	large.IntIQ, large.FPIQ = timing.IQ64, timing.IQ64
+
+	cfgs := CrossPhaseSpace(settings, []core.Config{small, large})
+	if len(cfgs) != 4 {
+		t.Fatalf("product space has %d configs, want 4", len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		wantPol := settings[i/2].Name
+		if cfg.Policy != wantPol || cfg.Mode != core.PhaseAdaptive {
+			t.Errorf("config %d: policy %q mode %v, want %q phase-adaptive", i, cfg.Policy, cfg.Mode, wantPol)
+		}
+		wantIQ := small.IntIQ
+		if i%2 == 1 {
+			wantIQ = timing.IQ64
+		}
+		if cfg.IntIQ != wantIQ {
+			t.Errorf("config %d: IntIQ %d, want %d", i, cfg.IntIQ, wantIQ)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("config %d invalid: %v", i, err)
+		}
+	}
+	if !reflect.DeepEqual(CrossPhaseSpace(settings, nil), PhaseSpace(settings)) {
+		t.Error("CrossPhaseSpace with no bases differs from PhaseSpace")
+	}
+}

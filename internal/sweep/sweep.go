@@ -22,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gals/internal/control"
 	"gals/internal/core"
 	"gals/internal/resultcache"
 	"gals/internal/timing"
@@ -65,6 +66,10 @@ type Options struct {
 	// configuration list instead (PhaseSpace).
 	Policy       string
 	PolicyParams string
+	// PolicyBlob is the policy's structured artifact (e.g. the "learned"
+	// policy's trained weights). Result-relevant: its canonical digest
+	// (control.BlobDigest) is part of every persist key.
+	PolicyBlob string
 	// TopK, when > 0, makes MeasureSummary retain only the K best-scoring
 	// configurations (Summary.Top) instead of the full per-config Scores
 	// slice, so ranking memory stops scaling with generated design-space
@@ -122,6 +127,12 @@ func persistStore() resultcache.Store {
 	return persist
 }
 
+// PersistStore returns the currently installed persistent result store (nil
+// when persistence is detached) — the store sidecar artifacts like the
+// learned policy's weights live in, so the training pipeline and the
+// experiment layer share the sweep layer's persistence without owning it.
+func PersistStore() resultcache.Store { return persistStore() }
+
 // SetRecordings installs a recording backing (typically an mmap-backed
 // recstore.Store) behind every trace pool the sweep layer creates: each
 // benchmark's instruction stream then lives in file-backed pages, recorded
@@ -154,27 +165,32 @@ func MeasureComputations() int64 { return measureComputes.Load() }
 
 // measureRequest is the canonical cache-key payload for one Measure call:
 // everything that can change the returned object, nothing that can't.
-// Policy/PolicyParams change Phase-Adaptive results; TopK changes the shape
-// of a persisted summary (which configurations' scores are retained), so
-// summaries aggregated differently never alias.
+// Policy/PolicyParams/PolicyBlob change Phase-Adaptive results (the blob
+// enters as its canonical digest, so keys stay small and two requests share
+// an entry only when they agree on the exact artifact bytes); TopK changes
+// the shape of a persisted summary (which configurations' scores are
+// retained), so summaries aggregated differently never alias. Config-level
+// blobs (PhaseSpace entries) are digested the same way via keyConfigs.
 type measureRequest struct {
-	Specs        []workload.Spec
-	Cfgs         []core.Config
-	Window       int64
-	Seed         int64
-	JitterFrac   float64
-	PLLScale     float64
-	Policy       string `json:",omitempty"`
-	PolicyParams string `json:",omitempty"`
-	TopK         int    `json:",omitempty"`
+	Specs            []workload.Spec
+	Cfgs             []core.Config
+	Window           int64
+	Seed             int64
+	JitterFrac       float64
+	PLLScale         float64
+	Policy           string `json:",omitempty"`
+	PolicyParams     string `json:",omitempty"`
+	PolicyBlobDigest string `json:",omitempty"`
+	TopK             int    `json:",omitempty"`
 }
 
 func (o Options) measureKey(kind string, specs []workload.Spec, cfgs []core.Config) string {
 	req := measureRequest{
-		Specs: specs, Cfgs: cfgs,
+		Specs: specs, Cfgs: keyConfigs(cfgs),
 		Window: o.Window, Seed: o.Seed,
 		JitterFrac: o.JitterFrac, PLLScale: o.PLLScale,
 		Policy: o.Policy, PolicyParams: o.PolicyParams,
+		PolicyBlobDigest: control.BlobDigest(o.PolicyBlob),
 	}
 	if kind == "sweepsum" {
 		req.TopK = o.TopK
@@ -182,14 +198,41 @@ func (o Options) measureKey(kind string, specs []workload.Spec, cfgs []core.Conf
 	return resultcache.Key(kind, req)
 }
 
+// keyConfigs canonicalizes a configuration list for key payloads: a config
+// carrying a blob artifact is keyed by the artifact's digest, not its
+// bytes, so a policy-axis sweep over learned machines doesn't embed whole
+// weight models in every request hash input.
+func keyConfigs(cfgs []core.Config) []core.Config {
+	blobbed := false
+	for i := range cfgs {
+		if cfgs[i].PolicyBlob != "" {
+			blobbed = true
+			break
+		}
+	}
+	if !blobbed {
+		return cfgs
+	}
+	out := append([]core.Config(nil), cfgs...)
+	for i := range out {
+		if out[i].PolicyBlob != "" {
+			out[i].PolicyBlob = "digest:" + control.BlobDigest(out[i].PolicyBlob)
+		}
+	}
+	return out
+}
+
 // pool returns the recorded-trace pool to run from: the caller-provided one
 // when it covers the window, otherwise a private pool sized to the window
-// (backed by the installed recording store, if any).
-func (o Options) pool() *workload.Pool {
+// (backed by the installed recording store, if any). owned reports that the
+// pool belongs to this call — the caller retires it once its cells finish,
+// returning any store-backed slab references instead of accumulating
+// mappings across windows.
+func (o Options) pool() (p *workload.Pool, owned bool) {
 	if o.Traces.Window() >= o.Window {
-		return o.Traces
+		return o.Traces, false
 	}
-	return NewRecordingPool(o.Window)
+	return NewRecordingPool(o.Window), true
 }
 
 // executor resolves the pool cells run on. The second return is non-nil
@@ -213,8 +256,8 @@ func (o Options) apply(cfg core.Config) core.Config {
 	cfg.PLLScale = o.PLLScale
 	// The sweep-level policy selection reaches Phase-Adaptive runs whose
 	// configuration does not already carry its own (PhaseSpace entries do).
-	if cfg.Mode == core.PhaseAdaptive && cfg.Policy == "" && cfg.PolicyParams == "" {
-		cfg.Policy, cfg.PolicyParams = o.Policy, o.PolicyParams
+	if cfg.Mode == core.PhaseAdaptive && cfg.Policy == "" && cfg.PolicyParams == "" && cfg.PolicyBlob == "" {
+		cfg.Policy, cfg.PolicyParams, cfg.PolicyBlob = o.Policy, o.PolicyParams, o.PolicyBlob
 	}
 	return cfg
 }
@@ -273,11 +316,13 @@ func AdaptiveSpace() []core.Config {
 
 // PolicySetting pairs a registered adaptation policy (internal/control)
 // with a parameter assignment in control.ParseParams syntax
-// ("key=value[,key=value...]"). It is also the JSON shape the service's
+// ("key=value[,key=value...]") and, for blob-requiring policies like
+// "learned", the weights artifact. It is also the JSON shape the service's
 // sweep endpoint accepts.
 type PolicySetting struct {
 	Name   string `json:"name"`
 	Params string `json:"params,omitempty"`
+	Blob   string `json:"blob,omitempty"`
 }
 
 // PhaseSpace enumerates Phase-Adaptive machines — the base adaptive
@@ -285,11 +330,28 @@ type PolicySetting struct {
 // setting, making the adaptation policy itself a sweepable design-space
 // axis alongside SyncSpace and AdaptiveSpace.
 func PhaseSpace(policies []PolicySetting) []core.Config {
-	out := make([]core.Config, 0, len(policies))
+	return CrossPhaseSpace(policies, nil)
+}
+
+// CrossPhaseSpace crosses the adaptation-policy axis against initial
+// machine configurations: the policy × config product space, one
+// Phase-Adaptive machine per (policy setting, base) pair in policy-major
+// order. Nil or empty bases default to the single base adaptive
+// configuration (making PhaseSpace the one-base special case); a base's
+// mode is forced to PhaseAdaptive and any policy selection it carries is
+// overwritten by the axis entry.
+func CrossPhaseSpace(policies []PolicySetting, bases []core.Config) []core.Config {
+	if len(bases) == 0 {
+		bases = []core.Config{core.DefaultAdaptive(core.PhaseAdaptive)}
+	}
+	out := make([]core.Config, 0, len(policies)*len(bases))
 	for _, p := range policies {
-		cfg := core.DefaultAdaptive(core.PhaseAdaptive)
-		cfg.Policy, cfg.PolicyParams = p.Name, p.Params
-		out = append(out, cfg)
+		for _, base := range bases {
+			cfg := base
+			cfg.Mode = core.PhaseAdaptive
+			cfg.Policy, cfg.PolicyParams, cfg.PolicyBlob = p.Name, p.Params, p.Blob
+			out = append(out, cfg)
+		}
 	}
 	return out
 }
@@ -314,7 +376,12 @@ const cellChunk = 64
 // (in order), so concurrent cold-start recording still spreads across
 // workers.
 func runCells(specs []workload.Spec, cfgs []core.Config, o Options, sink func(ci, si int, res *core.Result)) error {
-	pool := o.pool()
+	pool, ownedTraces := o.pool()
+	if ownedTraces {
+		// Execute returns only after every cell finished, so no replay is
+		// live when the private pool retires its slab references.
+		defer pool.Retire()
+	}
 	exec, owned := o.executor()
 	if owned != nil {
 		defer owned.Close()
@@ -744,7 +811,10 @@ func MeasurePhase(specs []workload.Spec, o Options) ([]*core.Result, error) {
 		}
 	}
 	measureComputes.Add(1)
-	pool := o.pool()
+	pool, ownedTraces := o.pool()
+	if ownedTraces {
+		defer pool.Retire()
+	}
 	exec, owned := o.executor()
 	if owned != nil {
 		defer owned.Close()

@@ -132,6 +132,15 @@ type Backing interface {
 	Recording(s Spec, window int64) (*Recording, error)
 }
 
+// Releaser is the optional Backing extension for stores whose recordings
+// hold per-acquisition resources (recstore's slab mappings): Release
+// returns one Recording reference, and the store reclaims the resource when
+// the last reference drops. Pool.Retire calls it for every recording the
+// pool obtained from its backing.
+type Releaser interface {
+	Release(s Spec, window int64)
+}
+
 // Pool shares recordings across concurrent simulation runs: each benchmark
 // is recorded at most once per pool, on first request. A nil *Pool reports
 // Window 0 and Size 0, so callers can treat "no pool" uniformly.
@@ -143,8 +152,9 @@ type Pool struct {
 }
 
 type poolEntry struct {
-	once sync.Once
-	rec  *Recording
+	once   sync.Once
+	rec    *Recording
+	backed bool // the recording came from (and is refcounted by) the backing
 }
 
 // NewPool creates a pool whose recordings cover window instructions.
@@ -188,6 +198,7 @@ func (p *Pool) Get(s Spec) *Recording {
 		if p.backing != nil {
 			if rec, err := p.backing.Recording(s, p.window); err == nil && rec.Len() == p.window {
 				e.rec = rec
+				e.backed = true
 				return
 			}
 		}
@@ -197,6 +208,32 @@ func (p *Pool) Get(s Spec) *Recording {
 		return s.Record(p.window)
 	}
 	return e.rec
+}
+
+// Retire drops the pool's recordings and, when the backing implements
+// Releaser, returns each backing-obtained recording's reference so the
+// store can reclaim its resources (recstore unmaps slabs on the last
+// reference). The caller must guarantee the pool is quiescent: no
+// concurrent Get, and no live Replay over any recording this pool handed
+// out. A retired pool remains usable — the next Get simply re-acquires.
+// A nil *Pool retires trivially.
+func (p *Pool) Retire() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	recs := p.recs
+	p.recs = make(map[string]*poolEntry)
+	p.mu.Unlock()
+	rel, ok := p.backing.(Releaser)
+	if !ok {
+		return
+	}
+	for _, e := range recs {
+		if e.backed && e.rec != nil {
+			rel.Release(e.rec.spec, p.window)
+		}
+	}
 }
 
 // Size returns the number of benchmarks recorded so far.
