@@ -9,7 +9,7 @@ BENCHOUT  ?= BENCH_latest.txt
 MEMWINDOW ?= 60000
 MEMCACHE  ?= /tmp/gals-bench-mem-cache
 
-.PHONY: all build test test-short race vet parity determinism bench bench-suite bench-mem bench-smoke ci
+.PHONY: all build test test-short race vet parity determinism chaos bench bench-suite bench-mem bench-smoke ci
 
 all: build
 
@@ -40,6 +40,14 @@ parity:
 # persisted weights artifact => bit-identical reconfiguration traces.
 determinism:
 	$(GO) test -run 'Determinism|Deterministic' -race ./internal/learn/...
+
+# Chaos gate (also a CI job): the fault-injection, cancellation and
+# degradation tests — corrupt caches recompute bit-identically, truncated
+# slabs re-record, saturation sheds with Retry-After, deadlines map to 504,
+# cancelled sweeps drain without leaking goroutines — all under the race
+# detector, since every one of these paths races teardown by design.
+chaos:
+	$(GO) test -race -run 'Chaos|Cancel|Inject' ./...
 
 # Micro-benchmarks of the simulator's hot paths: fast enough to run on
 # every PR. Results land in $(BENCHOUT) for before/after comparison

@@ -1,0 +1,221 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stub serves canned status codes in sequence, then 200s with body.
+func stub(t *testing.T, codes []int, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if int(n) <= len(codes) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(codes[n-1])
+			w.Write([]byte(`{"error": "transient"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"workload": "gcc", "config": "ok", "time_fs": 1}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func fastOpts(url string) Options {
+	return Options{
+		BaseURL:     url,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+		Rand:        func() float64 { return 1 }, // deterministic full backoff
+	}
+}
+
+func TestClientRetriesTransientStatuses(t *testing.T) {
+	for _, code := range []int{
+		http.StatusTooManyRequests,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout,
+	} {
+		srv, calls := stub(t, []int{code, code}, "")
+		c := New(fastOpts(srv.URL))
+		res, err := c.Run(context.Background(), RunRequest{Bench: "gcc"})
+		if err != nil {
+			t.Fatalf("status %d: Run = %v, want success after retries", code, err)
+		}
+		if res.Workload != "gcc" {
+			t.Fatalf("status %d: unexpected result %+v", code, res)
+		}
+		if got := calls.Load(); got != 3 {
+			t.Fatalf("status %d: server saw %d calls, want 3 (2 failures + success)", code, got)
+		}
+	}
+}
+
+func TestClientDoesNotRetryCallerErrors(t *testing.T) {
+	for _, code := range []int{http.StatusBadRequest, http.StatusUnauthorized} {
+		srv, calls := stub(t, []int{code, code, code}, "")
+		c := New(fastOpts(srv.URL))
+		_, err := c.Run(context.Background(), RunRequest{Bench: "gcc"})
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.StatusCode != code {
+			t.Fatalf("status %d: Run = %v, want APIError with that status", code, err)
+		}
+		if got := calls.Load(); got != 1 {
+			t.Fatalf("status %d: server saw %d calls, want exactly 1 (no retry)", code, got)
+		}
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	srv, _ := stub(t, []int{http.StatusServiceUnavailable}, "1")
+	opt := fastOpts(srv.URL)
+	c := New(opt)
+	start := time.Now()
+	if _, err := c.Run(context.Background(), RunRequest{Bench: "gcc"}); err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+	// Backoff would be ~1ms; Retry-After: 1 must floor the sleep at 1s.
+	if d := time.Since(start); d < time.Second {
+		t.Fatalf("retried after %v, want >= 1s from Retry-After", d)
+	}
+}
+
+func TestClientBackoffSchedule(t *testing.T) {
+	c := New(Options{BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second,
+		Rand: func() float64 { return 1 }})
+	// Full jitter with Rand()=1 yields the ceiling: base<<(k-1), capped.
+	for _, tc := range []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{1, 100 * time.Millisecond},
+		{2, 200 * time.Millisecond},
+		{3, 400 * time.Millisecond},
+		{5, time.Second}, // 1.6s capped at MaxBackoff
+		{40, time.Second},
+	} {
+		if got := c.backoff(tc.attempt, nil); got != tc.want {
+			t.Fatalf("backoff(%d) = %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+	// An APIError's Retry-After floors the jittered sleep.
+	ae := &APIError{StatusCode: 429, RetryAfter: 5 * time.Second}
+	if got := c.backoff(1, ae); got != 5*time.Second {
+		t.Fatalf("backoff with Retry-After = %v, want 5s", got)
+	}
+}
+
+func TestClientBreakerOpensAndRecovers(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	var calls atomic.Int64
+	counting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer counting.Close()
+
+	opt := fastOpts(counting.URL)
+	opt.MaxAttempts = 1
+	opt.BreakerThreshold = 2
+	opt.BreakerCooldown = 50 * time.Millisecond
+	c := New(opt)
+
+	for i := 0; i < 2; i++ {
+		if _, err := c.Run(context.Background(), RunRequest{Bench: "gcc"}); err == nil {
+			t.Fatal("Run succeeded against an all-503 server")
+		}
+	}
+	before := calls.Load()
+	if _, err := c.Run(context.Background(), RunRequest{Bench: "gcc"}); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Run with open breaker = %v, want ErrBreakerOpen", err)
+	}
+	if calls.Load() != before {
+		t.Fatal("open breaker still sent a request")
+	}
+
+	// After the cooldown one probe goes through (and fails, re-opening).
+	time.Sleep(60 * time.Millisecond)
+	if _, err := c.Run(context.Background(), RunRequest{Bench: "gcc"}); errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("breaker did not half-open after its cooldown")
+	}
+	if calls.Load() != before+1 {
+		t.Fatalf("half-open probe sent %d requests, want 1", calls.Load()-before)
+	}
+	if _, err := c.Run(context.Background(), RunRequest{Bench: "gcc"}); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+}
+
+func TestClientBudgetBoundsRetries(t *testing.T) {
+	srv, calls := stub(t, []int{503, 503, 503, 503, 503, 503, 503, 503}, "")
+	opt := fastOpts(srv.URL)
+	opt.BaseBackoff = 40 * time.Millisecond
+	opt.MaxBackoff = 40 * time.Millisecond
+	opt.Budget = 100 * time.Millisecond // room for ~2 sleeps, not 7
+	c := New(opt)
+	_, err := c.Run(context.Background(), RunRequest{Bench: "gcc"})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("Run = %v, want the last 503 (budget exhausted)", err)
+	}
+	if got := calls.Load(); got >= 8 {
+		t.Fatalf("server saw %d calls; budget did not bound retries", got)
+	}
+}
+
+func TestClientContextCancelStopsRetries(t *testing.T) {
+	srv, calls := stub(t, []int{503, 503, 503, 503, 503, 503, 503, 503}, "")
+	opt := fastOpts(srv.URL)
+	opt.BaseBackoff = time.Hour // cancellation must interrupt the sleep
+	opt.MaxBackoff = time.Hour
+	c := New(opt)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Run(ctx, RunRequest{Bench: "gcc"})
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the first attempt fail and the sleep start
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled Run did not return")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls after cancel, want 1", got)
+	}
+}
+
+func TestClientSendsBearerToken(t *testing.T) {
+	var got atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get("Authorization"))
+		w.Write([]byte(`{"status": "ok"}`))
+	}))
+	defer srv.Close()
+	c := New(Options{BaseURL: srv.URL, Token: "s3cret"})
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "Bearer s3cret" {
+		t.Fatalf("Authorization = %q, want Bearer s3cret", got.Load())
+	}
+}

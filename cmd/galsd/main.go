@@ -8,6 +8,10 @@
 //
 //	galsd -addr :8347 -cache ~/.cache/gals
 //	galsd -auth-token s3cret          # or GALSD_TOKEN=s3cret; gates /v1/*
+//	galsd -request-timeout 2m         # 504 any request that computes longer
+//	galsd -rate-limit 50 -rate-burst 100
+//	galsd -tls-cert cert.pem -tls-key key.pem
+//	galsd -fault-inject 'resultcache.read=corrupt:0.5'   # chaos drills
 //
 // Endpoints (see README.md for request bodies):
 //
@@ -32,17 +36,24 @@ import (
 	"syscall"
 	"time"
 
+	"gals/internal/faultinject"
 	"gals/internal/service"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8347", "listen address")
-		cache    = flag.String("cache", defaultCacheDir(), "persistent result cache directory (empty disables)")
-		workers  = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", 0, "pending-cell queue bound (0 = 65536)")
-		maxBytes = flag.Int64("cache-max-bytes", 0, "LRU-prune the cache under this many bytes at startup and after computed sweeps/suites (0 = never)")
-		token    = flag.String("auth-token", os.Getenv("GALSD_TOKEN"), "bearer token required on /v1/* endpoints (default $GALSD_TOKEN; empty disables auth)")
+		addr      = flag.String("addr", ":8347", "listen address")
+		cache     = flag.String("cache", defaultCacheDir(), "persistent result cache directory (empty disables)")
+		workers   = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "pending-cell queue bound (0 = 65536)")
+		maxBytes  = flag.Int64("cache-max-bytes", 0, "LRU-prune the cache under this many bytes at startup and after computed sweeps/suites (0 = never)")
+		token     = flag.String("auth-token", os.Getenv("GALSD_TOKEN"), "bearer token required on /v1/* endpoints (default $GALSD_TOKEN; empty disables auth)")
+		reqTO     = flag.Duration("request-timeout", 0, "per-request compute deadline; expiry cancels the request's cells and returns 504 (0 = unbounded)")
+		rateLimit = flag.Float64("rate-limit", 0, "per-client sustained rate on POST /v1/* in requests/second; excess gets 429 + Retry-After (0 = unlimited)")
+		rateBurst = flag.Int("rate-burst", 0, "rate-limit burst size (0 = ceil(rate-limit))")
+		tlsCert   = flag.String("tls-cert", "", "TLS certificate file; with -tls-key, serve HTTPS")
+		tlsKey    = flag.String("tls-key", "", "TLS private key file")
+		faults    = flag.String("fault-inject", os.Getenv("GALS_FAULTS"), "fault-injection spec, e.g. 'resultcache.read=corrupt:0.5,service.dispatch=error:0.1' (empty disables; see internal/faultinject)")
 	)
 	flag.Parse()
 
@@ -58,25 +69,63 @@ func main() {
 		fmt.Fprintf(os.Stderr, "galsd: -cache-max-bytes must be >= 0, got %d\n", *maxBytes)
 		os.Exit(2)
 	}
+	if *reqTO < 0 || *rateLimit < 0 || *rateBurst < 0 {
+		fmt.Fprintln(os.Stderr, "galsd: -request-timeout, -rate-limit and -rate-burst must be >= 0")
+		os.Exit(2)
+	}
+	if (*tlsCert == "") != (*tlsKey == "") {
+		fmt.Fprintln(os.Stderr, "galsd: -tls-cert and -tls-key must be set together")
+		os.Exit(2)
+	}
+	if err := faultinject.Enable(*faults); err != nil {
+		fmt.Fprintln(os.Stderr, "galsd:", err)
+		os.Exit(2)
+	}
+	if faultinject.Active() {
+		fmt.Fprintf(os.Stderr, "galsd: FAULT INJECTION ARMED (%s) — not for production service\n", *faults)
+	}
 
 	svc, err := service.New(service.Config{
 		CacheDir: *cache, Workers: *workers, QueueDepth: *queue,
 		CacheMaxBytes: *maxBytes, AuthToken: *token,
+		RequestTimeout: *reqTO, RateLimit: *rateLimit, RateBurst: *rateBurst,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "galsd:", err)
 		os.Exit(1)
 	}
 
+	// WriteTimeout caps how long a response may take to compute AND write,
+	// so it must sit above the compute deadline: -request-timeout plus
+	// headroom for serialization and slow readers. With no request timeout
+	// it stays unset — a suite request legitimately computes for minutes,
+	// and an unconditional cap would kill it mid-flight.
+	writeTO := time.Duration(0)
+	if *reqTO > 0 {
+		writeTO = *reqTO + 30*time.Second
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute, // a request body (batch of runs) is at most ~1 MiB: a minute is generous, a slow-loris gets cut
+		WriteTimeout:      writeTO,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("galsd: listening on %s (cache %q)\n", *addr, *cache)
+	go func() {
+		if *tlsCert != "" {
+			errc <- srv.ListenAndServeTLS(*tlsCert, *tlsKey)
+			return
+		}
+		errc <- srv.ListenAndServe()
+	}()
+	scheme := "http"
+	if *tlsCert != "" {
+		scheme = "https"
+	}
+	fmt.Printf("galsd: listening on %s (%s, cache %q)\n", *addr, scheme, *cache)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -49,6 +49,7 @@
 package gals
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 
@@ -220,6 +221,21 @@ func Run(spec WorkloadSpec, cfg Config, n int64) (*Result, error) {
 		return nil, fmt.Errorf("gals: non-positive window %d", n)
 	}
 	return core.RunWorkload(spec, cfg, n), nil
+}
+
+// RunContext is Run bounded by ctx: cancellation and deadline expiry are
+// observed between instruction quanta (every 10,000 instructions), well
+// under one accounting interval, and return ctx's error with no Result. A
+// run that completes is bit-identical to Run — a nil or never-cancelled
+// context adds no overhead and changes nothing.
+func RunContext(ctx context.Context, spec WorkloadSpec, cfg Config, n int64) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("gals: non-positive window %d", n)
+	}
+	return core.RunWorkloadContext(ctx, spec, cfg, n)
 }
 
 // RecordWorkload captures the first n instructions of spec's deterministic

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gals/internal/clock"
@@ -208,4 +209,16 @@ func RunWorkload(spec workload.Spec, cfg Config, n int64) *Result {
 // the same spec and configuration.
 func RunSource(src InstSource, cfg Config, n int64) *Result {
 	return NewMachineSource(src, cfg).Run(n)
+}
+
+// RunWorkloadContext is RunWorkload with cooperative cancellation; see
+// Machine.RunContext for the contract.
+func RunWorkloadContext(ctx context.Context, spec workload.Spec, cfg Config, n int64) (*Result, error) {
+	return NewMachine(spec, cfg).RunContext(ctx, n)
+}
+
+// RunSourceContext is RunSource with cooperative cancellation; see
+// Machine.RunContext for the contract.
+func RunSourceContext(ctx context.Context, src InstSource, cfg Config, n int64) (*Result, error) {
+	return NewMachineSource(src, cfg).RunContext(ctx, n)
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"gals/internal/cache"
 	"gals/internal/clock"
 	"gals/internal/isa"
@@ -413,10 +415,52 @@ func (m *Machine) Run(n int64) *Result {
 		m.trace.Next(&in)
 		m.step(&in)
 	}
+	return m.result()
+}
+
+func (m *Machine) result() *Result {
 	return &Result{
 		Workload: m.trace.Spec().Name,
 		Config:   m.cfg,
 		TimeFS:   m.lastCommit,
 		Stats:    m.stats,
 	}
+}
+
+// cancelQuantum is how many instructions RunContext executes between
+// cancellation checks: the default accounting interval, so a deadline adds
+// at most ~one adaptation decision's worth of work and the check amortizes
+// to one channel poll per 10k steps (unmeasurable against step cost).
+const cancelQuantum = 10_000
+
+// RunContext is Run with cooperative cancellation at quantum boundaries.
+// The instruction-level execution is the plain Run loop — a completed
+// RunContext result is bit-identical to Run's — and a ctx that can never be
+// cancelled delegates to Run outright. On cancellation the partial result
+// is discarded and ctx.Err() returned.
+func (m *Machine) RunContext(ctx context.Context, n int64) (*Result, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return m.Run(n), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var in isa.Inst
+	for done := int64(0); done < n; {
+		q := n - done
+		if q > cancelQuantum {
+			q = cancelQuantum
+		}
+		for i := int64(0); i < q; i++ {
+			m.trace.Next(&in)
+			m.step(&in)
+		}
+		done += q
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		default:
+		}
+	}
+	return m.result(), nil
 }

@@ -56,10 +56,10 @@ func learnedArtifact(o Options) (blob string, supplied bool, err error) {
 // totals and a start-sensitivity note from the policy x initial-size
 // product space.
 func Controllers(o Options) (*Table, error) {
-	workers, exec, pri := o.Workers, o.Exec, o.Priority
+	workers, exec, pri, ctx := o.Workers, o.Exec, o.Priority, o.Ctx
 	o = o.memoKey()
 	so := o.sweepOptions()
-	so.Workers, so.Exec, so.Priority = workers, exec, pri
+	so.Workers, so.Exec, so.Priority, so.Ctx = workers, exec, pri, ctx
 	// One recorded-trace pool for every run of every policy family; retired
 	// (slab references returned) once the experiment's cells finish.
 	so.Traces = sweep.NewRecordingPool(o.Window)

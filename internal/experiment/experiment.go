@@ -12,6 +12,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -41,6 +42,9 @@ type Options struct {
 	Exec *sweep.Pool `json:"-"`
 	// Priority orders the pipeline's cells on that pool. Result-neutral.
 	Priority int `json:"-"`
+	// Ctx bounds the pipeline's simulation work (see sweep.Options.Ctx).
+	// Result-neutral: excluded from the memo and every cache key.
+	Ctx context.Context `json:"-"`
 	// Policy and PolicyParams select the adaptation policy
 	// (internal/control registry) of the Phase-Adaptive stages; "" keeps
 	// the paper controllers. Result-relevant: part of the suite memo and
@@ -67,6 +71,7 @@ func (o Options) sweepOptions() sweep.Options {
 		PLLScale:     o.PLLScale,
 		Exec:         o.Exec,
 		Priority:     o.Priority,
+		Ctx:          o.Ctx,
 		Policy:       o.Policy,
 		PolicyParams: o.PolicyParams,
 	}

@@ -22,10 +22,12 @@ package recstore
 
 import (
 	"bufio"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -33,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gals/internal/faultinject"
 	"gals/internal/workload"
 )
 
@@ -57,14 +60,26 @@ const (
 // the service and cmd/sweep, so every entry point shares one slab corpus.
 const Subdir = "recordings"
 
+// ErrCorrupt marks a slab that exists on disk but cannot be served: wrong
+// size (a truncated write from a crashed recorder), a stale or foreign
+// header, or an undecodable payload. The store never surfaces it from
+// Recording — a corrupt slab is deleted and re-recorded — but load errors
+// wrap it so Stats.Corrupt can count the events and tests can assert the
+// degradation path with errors.Is.
+var ErrCorrupt = errors.New("recstore: corrupt slab")
+
 // Stats are a store's lifetime counters.
 type Stats struct {
 	// Mapped counts recordings served from existing files; Recorded counts
 	// recordings generated and written by this process.
 	Mapped, Recorded int64
-	// Rerecorded counts corrupt or truncated files that were deleted and
-	// regenerated.
+	// Rerecorded counts files that were deleted and regenerated for any
+	// reason (corruption, stale format, injected faults).
 	Rerecorded int64
+	// Corrupt counts slab loads rejected with ErrCorrupt specifically —
+	// the operator-facing "disk is damaging my slabs" signal, a subset of
+	// Rerecorded's triggers.
+	Corrupt int64
 	// Released counts slab references dropped to zero (Release): the
 	// mapping, when one existed, was unmapped and the cache entry forgotten.
 	Released int64
@@ -86,7 +101,7 @@ type Store struct {
 	mu      sync.Mutex
 	entries map[string]*entry
 
-	mapped, recorded, rerecorded, released atomic.Int64
+	mapped, recorded, rerecorded, corrupt, released atomic.Int64
 }
 
 type entry struct {
@@ -122,8 +137,18 @@ func (st *Store) Stats() Stats {
 		Mapped:     st.mapped.Load(),
 		Recorded:   st.recorded.Load(),
 		Rerecorded: st.rerecorded.Load(),
+		Corrupt:    st.corrupt.Load(),
 		Released:   st.released.Load(),
 	}
+}
+
+// Live returns the number of slab entries currently cached (each holding a
+// mapping or heap slab with a non-zero reference count, or mid-acquire).
+// Chaos tests assert it reaches zero after every pool retires.
+func (st *Store) Live() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.entries)
 }
 
 // specDigest canonicalizes a spec for identity checks. Spec is plain data,
@@ -155,6 +180,17 @@ func key(digest [32]byte, window int64) string {
 // takes one slab reference, returned by Release. It implements
 // workload.Backing.
 func (st *Store) Recording(s workload.Spec, window int64) (*workload.Recording, error) {
+	return st.RecordingContext(nil, s, window)
+}
+
+// RecordingContext is Recording bounded by ctx: a slab that has to be
+// generated observes cancellation while the stream is written (the temp
+// file is removed, nothing lands in the store), and a waiter on another
+// process's in-progress recording stops polling when ctx expires. A
+// cancelled acquisition never poisons the (spec, window): the entry is
+// forgotten and the next request records afresh. It implements
+// workload.ContextBacking; a nil ctx is Recording.
+func (st *Store) RecordingContext(ctx context.Context, s workload.Spec, window int64) (*workload.Recording, error) {
 	if window <= 0 {
 		return nil, fmt.Errorf("recstore: non-positive window %d", window)
 	}
@@ -173,8 +209,16 @@ func (st *Store) Recording(s workload.Spec, window int64) (*workload.Recording, 
 		}
 		st.mu.Unlock()
 
-		e.once.Do(func() { e.rec, e.mapping, e.err = st.acquire(s, window, digest, k) })
+		e.once.Do(func() { e.rec, e.mapping, e.err = st.acquire(ctx, s, window, digest, k) })
 		if e.err != nil {
+			// A failed acquire (disk hiccup, injected fault) must not
+			// poison the (spec, window) for the process lifetime: forget
+			// the entry so the next Recording call retries from disk.
+			st.mu.Lock()
+			if st.entries[k] == e {
+				delete(st.entries, k)
+			}
+			st.mu.Unlock()
 			return nil, e.err
 		}
 		st.mu.Lock()
@@ -233,7 +277,7 @@ func (st *Store) path(k string) string {
 
 // acquire loads or records one slab, returning the recording and the full
 // mmap backing it (nil when the slab was heap-read).
-func (st *Store) acquire(s workload.Spec, window int64, digest [32]byte, k string) (*workload.Recording, []byte, error) {
+func (st *Store) acquire(ctx context.Context, s workload.Spec, window int64, digest [32]byte, k string) (*workload.Recording, []byte, error) {
 	p := st.path(k)
 	if rec, mapping, err := st.load(s, window, digest, p); err == nil {
 		st.mapped.Add(1)
@@ -247,10 +291,13 @@ func (st *Store) acquire(s workload.Spec, window int64, digest [32]byte, k strin
 		// Anything on disk that is not a valid slab — truncated write from
 		// a crashed recorder, bit rot, a stale format — is deleted and
 		// regenerated rather than replayed.
+		if errors.Is(err, ErrCorrupt) {
+			st.corrupt.Add(1)
+		}
 		os.Remove(p)
 		st.rerecorded.Add(1)
 	}
-	if err := st.record(s, window, digest, p); err != nil {
+	if err := st.record(ctx, s, window, digest, p); err != nil {
 		return nil, nil, err
 	}
 	st.recorded.Add(1)
@@ -268,13 +315,18 @@ func (st *Store) load(s workload.Spec, window int64, digest [32]byte, p string) 
 		return nil, nil, err
 	}
 	defer f.Close()
+	// An injected open fault is indistinguishable from an unreadable slab:
+	// surface it as corruption so the delete-and-re-record path runs.
+	if ferr := faultinject.Err(faultinject.RecstoreOpen); ferr != nil {
+		return nil, nil, fmt.Errorf("%w: %w", ErrCorrupt, ferr)
+	}
 	fi, err := f.Stat()
 	if err != nil {
 		return nil, nil, err
 	}
 	want := headerSize + window*workload.EncodedInstSize
 	if fi.Size() != want {
-		return nil, nil, fmt.Errorf("recstore: %s is %d bytes, want %d", p, fi.Size(), want)
+		return nil, nil, fmt.Errorf("%w: %s is %d bytes, want %d", ErrCorrupt, p, fi.Size(), want)
 	}
 	var hdr [headerSize]byte
 	if _, err := f.ReadAt(hdr[:], 0); err != nil {
@@ -285,10 +337,16 @@ func (st *Store) load(s workload.Spec, window int64, digest [32]byte, p string) 
 		binary.LittleEndian.Uint32(hdr[12:]) != workload.EncodedInstSize ||
 		int64(binary.LittleEndian.Uint64(hdr[16:])) != window ||
 		[32]byte(hdr[24:56]) != digest {
-		return nil, nil, fmt.Errorf("recstore: %s has a stale or foreign header", p)
+		return nil, nil, fmt.Errorf("%w: %s has a stale or foreign header", ErrCorrupt, p)
 	}
 	var mapping []byte
 	raw, err := mapSlab(f, int(fi.Size()))
+	if err == nil {
+		if ferr := faultinject.Err(faultinject.RecstoreMap); ferr != nil {
+			unmapSlab(raw)
+			raw, err = nil, ferr
+		}
+	}
 	if err != nil {
 		// No mmap on this platform (or the map failed): fall back to a
 		// plain read — correct, just heap-resident.
@@ -305,7 +363,7 @@ func (st *Store) load(s workload.Spec, window int64, digest [32]byte, p string) 
 		if mapping != nil {
 			unmapSlab(mapping)
 		}
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	return rec, mapping, nil
 }
@@ -316,7 +374,7 @@ func (st *Store) load(s workload.Spec, window int64, digest [32]byte, p string) 
 // the lock behind — waiters treat a lock older than lockStale as abandoned
 // and record themselves (the rename is idempotent: every recorder writes
 // identical bytes).
-func (st *Store) record(s workload.Spec, window int64, digest [32]byte, p string) error {
+func (st *Store) record(ctx context.Context, s workload.Spec, window int64, digest [32]byte, p string) error {
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return fmt.Errorf("recstore: %w", err)
 	}
@@ -344,7 +402,7 @@ func (st *Store) record(s workload.Spec, window int64, digest [32]byte, p string
 				}
 			}
 		}()
-		err := st.write(s, window, digest, p)
+		err := st.write(ctx, s, window, digest, p)
 		close(stop)
 		<-refreshed
 		return err
@@ -357,17 +415,23 @@ func (st *Store) record(s workload.Spec, window int64, digest [32]byte, p string
 		if _, err := os.Stat(p); err == nil {
 			return nil
 		}
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
 		fi, err := os.Stat(lock)
 		if err != nil || time.Since(fi.ModTime()) > lockStale {
 			// Lock released without a slab, or abandoned: record ourselves.
-			return st.write(s, window, digest, p)
+			return st.write(ctx, s, window, digest, p)
 		}
 		time.Sleep(lockPoll)
 	}
 }
 
-// write streams the slab to a temp file and renames it into place.
-func (st *Store) write(s workload.Spec, window int64, digest [32]byte, p string) error {
+// write streams the slab to a temp file and renames it into place. A ctx
+// cancellation mid-stream aborts the write and removes the temp file.
+func (st *Store) write(ctx context.Context, s workload.Spec, window int64, digest [32]byte, p string) error {
 	tmp, err := os.CreateTemp(filepath.Dir(p), "."+filepath.Base(p)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("recstore: %w", err)
@@ -389,7 +453,10 @@ func (st *Store) write(s workload.Spec, window int64, digest [32]byte, p string)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("recstore: %w", err)
 	}
-	if err := s.RecordTo(w, window); err != nil {
+	if err := s.RecordToContext(ctx, w, window); err != nil {
+		if ctx != nil && errors.Is(err, ctx.Err()) {
+			return err
+		}
 		return fmt.Errorf("recstore: %w", err)
 	}
 	if err := w.Flush(); err != nil {

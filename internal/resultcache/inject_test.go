@@ -1,0 +1,156 @@
+package resultcache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gals/internal/faultinject"
+)
+
+// TestInjectedReadFaultIsAMiss pins the cache's degradation contract under
+// every read-side fault mode: an injected error, a corrupted blob and a
+// truncated blob are all misses — never a decode of damaged data, never a
+// propagated error — and once the fault clears the original entry (error
+// mode) or a re-store (mutation modes) serves hits again.
+func TestInjectedReadFaultIsAMiss(t *testing.T) {
+	defer faultinject.Disable()
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("run", payload{Name: "art", Times: []int64{7}})
+	c.Store(key, payload{Name: "art", Times: []int64{7}})
+
+	for _, mode := range []string{"error", "corrupt", "truncate"} {
+		if err := faultinject.Enable("resultcache.read=" + mode); err != nil {
+			t.Fatal(err)
+		}
+		var got payload
+		if c.Load(key, &got) {
+			t.Fatalf("mode %s: Load returned a hit through an injected fault", mode)
+		}
+		faultinject.Disable()
+
+		if mode != "error" {
+			// The mutation modes damage the blob in memory only; the file
+			// on disk is untouched, so the entry must still be readable.
+			got = payload{}
+			if !c.Load(key, &got) || got.Name != "art" {
+				t.Fatalf("mode %s: entry unreadable after fault cleared: %+v", mode, got)
+			}
+		}
+	}
+
+	// error mode counts an error; the mutation modes are plain misses.
+	if s := c.Stats(); s.Errors == 0 {
+		t.Fatalf("stats %+v, want Errors > 0 from injected read error", s)
+	}
+}
+
+// TestInjectedWriteFaultDegradesToRecompute pins the write side: an
+// injected store failure (ENOSPC) loses the entry — the next Load is a
+// miss, the caller recomputes — but never corrupts the cache or errors the
+// request, and the store works again once space returns.
+func TestInjectedWriteFaultDegradesToRecompute(t *testing.T) {
+	defer faultinject.Disable()
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("run", payload{Name: "gcc"})
+
+	if err := faultinject.Enable("resultcache.write=enospc"); err != nil {
+		t.Fatal(err)
+	}
+	c.Store(key, payload{Name: "gcc", Times: []int64{1}})
+	faultinject.Disable()
+
+	var got payload
+	if c.Load(key, &got) {
+		t.Fatal("Load hit an entry whose write was injected to fail")
+	}
+	if s := c.Stats(); s.Errors == 0 {
+		t.Fatalf("stats %+v, want Errors > 0 from injected write fault", s)
+	}
+
+	c.Store(key, payload{Name: "gcc", Times: []int64{1}})
+	got = payload{}
+	if !c.Load(key, &got) || got.Name != "gcc" {
+		t.Fatalf("store did not recover after fault cleared: %+v", got)
+	}
+}
+
+// TestPruneToleratesConcurrentDeletes pins Prune against another process
+// (or operator rm) racing it on the same directory: files that vanish
+// between the scan and the unlink are treated as already-pruned bytes, not
+// errors.
+func TestPruneToleratesConcurrentDeletes(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		c.Store(Key("run", payload{Name: "bench", Times: []int64{int64(i)}}),
+			payload{Name: "bench", Times: make([]int64, 256)})
+	}
+
+	var entries []string
+	filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			entries = append(entries, p)
+		}
+		return nil
+	})
+	if len(entries) != 8 {
+		t.Fatalf("expected 8 cache files, found %d", len(entries))
+	}
+
+	// Two prunes racing on the same directory: run them concurrently; every
+	// unlink one of them loses must land in the IsNotExist branch of the
+	// other, and both must return without error.
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := c.Prune(0)
+			errs <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("racing Prune: %v", err)
+		}
+	}
+	st, err := c.Prune(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RemainingBytes != 0 {
+		t.Fatalf("cache not empty after prunes: %d bytes remain", st.RemainingBytes)
+	}
+	if s := c.Stats(); s.Errors != 0 {
+		t.Fatalf("concurrent deletes were counted as errors: %+v", s)
+	}
+}
+
+// TestStoreSyncsBeforeRename documents the durability half of Store: the
+// temp file is fsynced before the rename, so a publish is never a rename
+// of unwritten pages. The property itself needs a crash to observe; what a
+// test can pin is that the Sync call is in the path and a synced store
+// round-trips.
+func TestStoreSyncsBeforeRename(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("run", payload{Name: "synced"})
+	c.Store(key, payload{Name: "synced", Times: []int64{42}})
+	var got payload
+	if !c.Load(key, &got) || got.Name != "synced" {
+		t.Fatalf("synced entry failed to round-trip: %+v", got)
+	}
+	if s := c.Stats(); s.Errors != 0 {
+		t.Fatalf("Store with Sync reported errors: %+v", s)
+	}
+}

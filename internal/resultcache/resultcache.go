@@ -29,6 +29,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"gals/internal/faultinject"
 )
 
 // SchemaVersion is mixed into every cache key. Bump it whenever a change
@@ -138,6 +140,11 @@ func (c *Cache) Load(key string, v any) bool {
 	if c == nil {
 		return false
 	}
+	if err := faultinject.Err(faultinject.ResultCacheRead); err != nil {
+		c.errs.Add(1)
+		c.misses.Add(1)
+		return false
+	}
 	blob, err := os.ReadFile(c.path(key))
 	if err != nil {
 		if !os.IsNotExist(err) {
@@ -146,6 +153,7 @@ func (c *Cache) Load(key string, v any) bool {
 		c.misses.Add(1)
 		return false
 	}
+	blob = faultinject.Mutate(faultinject.ResultCacheRead, blob)
 	if err := json.Unmarshal(blob, v); err != nil {
 		// Corrupt or schema-incompatible entry: treat as a miss; the
 		// caller's Store will overwrite it with a fresh blob.
@@ -167,6 +175,10 @@ func (c *Cache) Store(key string, v any) {
 	if c == nil {
 		return
 	}
+	if err := faultinject.Err(faultinject.ResultCacheWrite); err != nil {
+		c.errs.Add(1)
+		return
+	}
 	blob, err := json.Marshal(v)
 	if err != nil {
 		c.errs.Add(1)
@@ -183,8 +195,12 @@ func (c *Cache) Store(key string, v any) {
 		return
 	}
 	_, werr := tmp.Write(blob)
+	// Sync before the rename: without it a crash can publish an entry whose
+	// data blocks never hit the disk — Load would then read a valid-looking
+	// file of zeros instead of a missing one.
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		os.Remove(tmp.Name())
 		c.errs.Add(1)
 		return
@@ -270,6 +286,13 @@ func (c *Cache) Prune(maxBytes int64) (PruneStats, error) {
 			break
 		}
 		if err := os.Remove(f.path); err != nil {
+			if os.IsNotExist(err) {
+				// A concurrent Prune (another galsd on the same cache dir)
+				// or an operator's rm got there first; the bytes are gone
+				// either way.
+				st.RemainingBytes -= f.size
+				continue
+			}
 			c.errs.Add(1)
 			continue
 		}

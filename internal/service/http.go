@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"crypto/subtle"
 	"encoding/json"
 	"errors"
@@ -9,6 +10,7 @@ import (
 	"strings"
 
 	"gals/internal/control"
+	"gals/internal/faultinject"
 	"gals/internal/workload"
 )
 
@@ -64,7 +66,7 @@ func (s *Service) Handler() http.Handler {
 		if !readJSON(w, r, &req) {
 			return
 		}
-		res, err := s.Run(req)
+		res, err := s.Run(r.Context(), req)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -83,7 +85,7 @@ func (s *Service) Handler() http.Handler {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "empty batch"})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"results": s.RunBatch(req.Runs)})
+		writeJSON(w, http.StatusOK, map[string]any{"results": s.RunBatch(r.Context(), req.Runs)})
 	})
 
 	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
@@ -91,7 +93,7 @@ func (s *Service) Handler() http.Handler {
 		if !readJSON(w, r, &req) {
 			return
 		}
-		res, err := s.Sweep(req)
+		res, err := s.Sweep(r.Context(), req)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -104,7 +106,7 @@ func (s *Service) Handler() http.Handler {
 		if !readJSON(w, r, &req) {
 			return
 		}
-		res, err := s.Suite(req)
+		res, err := s.Suite(r.Context(), req)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -148,7 +150,7 @@ func (s *Service) Handler() http.Handler {
 		if !readJSON(w, r, &req) {
 			return
 		}
-		res, err := s.Experiment(req)
+		res, err := s.Experiment(r.Context(), req)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -156,10 +158,17 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, res)
 	})
 
-	if s.cfg.AuthToken == "" {
-		return mux
+	var h http.Handler = mux
+	if s.limiter != nil {
+		h = s.limit(h)
 	}
-	return s.authenticate(mux)
+	if s.cfg.AuthToken != "" {
+		// Authentication wraps admission control: a request is charged to
+		// its (already verified) token's bucket, and invalid credentials
+		// are rejected before they can consume anyone's tokens.
+		h = s.authenticate(h)
+	}
+	return h
 }
 
 // authenticate gates /v1/* behind the configured bearer token. The
@@ -191,9 +200,20 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// writeErr maps service errors onto the degradation contract: deadline
+// expiry is 504 (the server worked, the time budget ran out), transient
+// capacity and chaos conditions — queue full, pool closed, injected
+// dispatch fault, a caller-side cancellation — are 503 with a Retry-After
+// so well-behaved clients back off instead of hammering; everything else
+// is a caller mistake, 400 with no retry invitation.
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
-	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed),
+		errors.Is(err, faultinject.ErrInjected), errors.Is(err, context.Canceled):
+		w.Header().Set("Retry-After", "1")
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -14,11 +15,11 @@ import (
 func TestRunRequestPolicySelection(t *testing.T) {
 	s := newTestService(t, Config{Workers: 2})
 
-	paper, err := s.Run(RunRequest{Bench: "apsi", Window: 40_000})
+	paper, err := s.Run(context.Background(), RunRequest{Bench: "apsi", Window: 40_000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	frozen, err := s.Run(RunRequest{Bench: "apsi", Window: 40_000, Policy: "frozen"})
+	frozen, err := s.Run(context.Background(), RunRequest{Bench: "apsi", Window: 40_000, Policy: "frozen"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,13 +37,13 @@ func TestRunRequestPolicySelection(t *testing.T) {
 	}
 
 	// Policy validation surfaces as a request error.
-	if _, err := s.Run(RunRequest{Bench: "gcc", Policy: "nope"}); err == nil {
+	if _, err := s.Run(context.Background(), RunRequest{Bench: "gcc", Policy: "nope"}); err == nil {
 		t.Error("unknown policy accepted")
 	}
-	if _, err := s.Run(RunRequest{Bench: "gcc", Mode: "sync", Policy: "frozen"}); err == nil {
+	if _, err := s.Run(context.Background(), RunRequest{Bench: "gcc", Mode: "sync", Policy: "frozen"}); err == nil {
 		t.Error("policy on a sync-mode run accepted")
 	}
-	if _, err := s.Run(RunRequest{Bench: "gcc", Policy: "interval", PolicyParams: "bogus=1"}); err == nil {
+	if _, err := s.Run(context.Background(), RunRequest{Bench: "gcc", Policy: "interval", PolicyParams: "bogus=1"}); err == nil {
 		t.Error("unknown policy parameter accepted")
 	}
 }
@@ -50,7 +51,7 @@ func TestRunRequestPolicySelection(t *testing.T) {
 func TestSweepPhaseSpacePolicies(t *testing.T) {
 	s := newTestService(t, Config{Workers: 2})
 
-	res, err := s.Sweep(SweepRequest{
+	res, err := s.Sweep(context.Background(), SweepRequest{
 		Space: "phase", Bench: "apsi", Window: 30_000,
 		Policies: []PolicySetting{
 			{Name: "paper"},
@@ -70,7 +71,7 @@ func TestSweepPhaseSpacePolicies(t *testing.T) {
 
 	// Defaulted policies: every registered policy at default parameters,
 	// minus blob-requiring ones (there is no artifact to default to).
-	all, err := s.Sweep(SweepRequest{Space: "phase", Bench: "gcc", Window: 5_000})
+	all, err := s.Sweep(context.Background(), SweepRequest{Space: "phase", Bench: "gcc", Window: 5_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,10 +86,10 @@ func TestSweepPhaseSpacePolicies(t *testing.T) {
 	}
 
 	// Policies are a phase-space-only axis.
-	if _, err := s.Sweep(SweepRequest{Space: "sync", Policies: []PolicySetting{{Name: "paper"}}}); err == nil {
+	if _, err := s.Sweep(context.Background(), SweepRequest{Space: "sync", Policies: []PolicySetting{{Name: "paper"}}}); err == nil {
 		t.Error("policies accepted on a sync sweep")
 	}
-	if _, err := s.Sweep(SweepRequest{Space: "phase", Policies: []PolicySetting{{Name: "nope"}}}); err == nil {
+	if _, err := s.Sweep(context.Background(), SweepRequest{Space: "phase", Policies: []PolicySetting{{Name: "nope"}}}); err == nil {
 		t.Error("unknown policy accepted in a phase sweep")
 	}
 }
@@ -227,14 +228,14 @@ func TestBlobParamsRoundTripThroughCache(t *testing.T) {
 
 	s := newTestService(t, Config{Workers: 2, CacheDir: t.TempDir()})
 	req := RunRequest{Bench: "mesa", Window: 20_000, Policy: "learned", PolicyBlob: blob}
-	first, err := s.Run(req)
+	first, err := s.Run(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first.Cached {
 		t.Fatal("first learned run reported cached")
 	}
-	again, err := s.Run(req)
+	again, err := s.Run(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestBlobParamsRoundTripThroughCache(t *testing.T) {
 
 	other := req
 	other.PolicyBlob = blob2
-	second, err := s.Run(other)
+	second, err := s.Run(context.Background(), other)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token-bucket admission controller for the
+// compute endpoints: each client (bearer token, or remote host when
+// unauthenticated) accrues Config.RateLimit tokens per second up to a burst
+// cap, and a request that finds the bucket empty is refused with 429 and a
+// Retry-After telling the client when a token will exist. Hand-rolled (no
+// golang.org/x/time dependency); a single mutex is plenty at request rates.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	lastSweep time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst <= 0 {
+		burst = int(math.Ceil(rate))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &rateLimiter{
+		rate: rate, burst: float64(burst),
+		buckets: make(map[string]*bucket), lastSweep: time.Now(),
+	}
+}
+
+// allow takes one token from key's bucket, reporting success and, on
+// refusal, how long until the next token accrues.
+func (l *rateLimiter) allow(key string, now time.Time) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Forget buckets idle long enough to have refilled completely, so the
+	// map stays bounded by the recently active client set rather than
+	// growing with every token ever presented.
+	if now.Sub(l.lastSweep) > time.Minute {
+		full := time.Duration(l.burst / l.rate * float64(time.Second))
+		for k, b := range l.buckets {
+			if now.Sub(b.last) > full {
+				delete(l.buckets, k)
+			}
+		}
+		l.lastSweep = now
+	}
+	b := l.buckets[key]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// limit is the admission-control middleware: POST /v1/* (the endpoints that
+// consume simulation capacity) spends one token per request; reads —
+// /healthz, stats, the registries — stay free so an operator can observe a
+// saturated server.
+func (s *Service) limit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if ok, wait := s.limiter.allow(clientKey(r), time.Now()); !ok {
+			secs := int(math.Ceil(wait.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "rate limit exceeded"})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// clientKey identifies the caller for admission control: the bearer token
+// when one was presented (authentication has already run, so a present
+// token is a valid one), else the remote host — so one flooding token
+// cannot starve the others, closing the per-token rate-limit follow-up.
+func clientKey(r *http.Request) string {
+	if tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer "); ok && tok != "" {
+		return "tok:" + tok
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return "addr:" + r.RemoteAddr
+	}
+	return "addr:" + host
+}

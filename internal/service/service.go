@@ -32,10 +32,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gals/internal/control"
 	"gals/internal/core"
 	"gals/internal/experiment"
+	"gals/internal/faultinject"
 	"gals/internal/recstore"
 	"gals/internal/resultcache"
 	"gals/internal/sweep"
@@ -67,16 +69,31 @@ type Config struct {
 	// /healthz liveness probe stays open. Empty disables authentication —
 	// the historical lab-service behaviour.
 	AuthToken string
+	// RequestTimeout, when > 0, bounds every request's compute time: the
+	// request context expires after this duration, the request's queued
+	// cells are purged from the pool, running cells stop at their next
+	// accounting-interval boundary, and HTTP maps the expiry to 504. A
+	// client's timeout_ms can shorten the bound, never extend it. 0 leaves
+	// requests unbounded (the historical behaviour).
+	RequestTimeout time.Duration
+	// RateLimit, when > 0, is the sustained request rate (requests/second)
+	// each client — bearer token, or remote host when unauthenticated —
+	// may submit to the compute endpoints (POST /v1/*); excess requests
+	// are refused with 429 and a Retry-After header. RateBurst is the
+	// bucket size (default ceil(RateLimit), minimum 1).
+	RateLimit float64
+	RateBurst int
 }
 
 // Service executes simulation requests. Create with New, stop with Close.
 // All methods are safe for concurrent use.
 type Service struct {
-	cfg    Config
-	cache  *resultcache.Cache
-	recs   *recstore.Store
-	pool   *sweep.Pool
-	flight flightGroup
+	cfg     Config
+	cache   *resultcache.Cache
+	recs    *recstore.Store
+	pool    *sweep.Pool
+	flight  flightGroup
+	limiter *rateLimiter
 
 	// prevSuite/prevSweep/prevRecs are the persist hooks that were
 	// installed before this service took over; Close restores them.
@@ -119,6 +136,9 @@ func New(cfg Config) (*Service, error) {
 		s.prevSuite = experiment.SetSuitePersist(c)
 		s.prevSweep = sweep.SetPersist(c)
 		s.prevRecs = sweep.SetRecordings(rs)
+	}
+	if cfg.RateLimit > 0 {
+		s.limiter = newRateLimiter(cfg.RateLimit, cfg.RateBurst)
 	}
 	s.pool = sweep.NewPool(cfg.Workers, cfg.QueueDepth)
 	s.maybePrune()
@@ -225,6 +245,32 @@ func contain(fn func() error) (err error) {
 	return fn()
 }
 
+// dispatch gates every compute request: an injected dispatch fault (chaos
+// testing a refusing server — HTTP maps it to a retryable 503) rejects it
+// up front, then the request context is bounded by the server's
+// -request-timeout and the client's timeout_ms, whichever is shorter. The
+// returned cancel must be called (normally deferred) so abandoned work is
+// torn down as soon as the request finishes either way.
+func (s *Service) dispatch(ctx context.Context, timeoutMS int64) (context.Context, context.CancelFunc, error) {
+	if err := faultinject.Err(faultinject.ServiceDispatch); err != nil {
+		return nil, nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	d := s.cfg.RequestTimeout
+	if timeoutMS > 0 {
+		if c := time.Duration(timeoutMS) * time.Millisecond; d <= 0 || c < d {
+			d = c
+		}
+	}
+	if d <= 0 {
+		return ctx, func() {}, nil
+	}
+	bounded, cancel := context.WithTimeout(ctx, d)
+	return bounded, cancel, nil
+}
+
 // ---------------------------------------------------------------------------
 // Single runs.
 
@@ -264,6 +310,12 @@ type RunRequest struct {
 	// Priority orders this request against others (higher first). It does
 	// not affect the result and is excluded from the cache key.
 	Priority int `json:"priority,omitempty"`
+	// TimeoutMS, when > 0, bounds this request's compute time in
+	// milliseconds; the effective deadline is the shorter of this and the
+	// server's -request-timeout. Result-neutral: excluded from the cache
+	// key (a timed-out request caches nothing; a completed one is
+	// identical however long it was allowed to take).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // normalize resolves defaults and validates; the returned request is
@@ -308,6 +360,9 @@ func (r RunRequest) normalize() (RunRequest, error) {
 	}
 	if !(r.PLLScale > 0) {
 		return r, fmt.Errorf("service: pll scale %v must be positive", r.PLLScale)
+	}
+	if r.TimeoutMS < 0 {
+		return r, fmt.Errorf("service: negative timeout_ms %d", r.TimeoutMS)
 	}
 	if _, _, err := r.machine(); err != nil {
 		return r, err
@@ -387,12 +442,19 @@ type RunResult struct {
 
 // runOne executes one simulation, replaying the shared per-window recording
 // when the store is available (bit-identical to live generation) and
-// generating live otherwise.
-func (s *Service) runOne(spec workload.Spec, cfg core.Config, window int64) *core.Result {
+// generating live otherwise. Cancellation is observed while a cold
+// recording streams to the store (the slab is abandoned, not half-written)
+// and at accounting-interval boundaries during simulation; a cancelled run
+// returns ctx's error and no result.
+func (s *Service) runOne(ctx context.Context, spec workload.Spec, cfg core.Config, window int64) (*core.Result, error) {
 	if p := s.tracePool(window); p != nil {
-		return core.RunSource(p.Get(spec).Replay(), cfg, window)
+		rec, err := p.GetContext(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		return core.RunSourceContext(ctx, rec.Replay(), cfg, window)
 	}
-	return core.RunWorkload(spec, cfg, window)
+	return core.RunWorkloadContext(ctx, spec, cfg, window)
 }
 
 // cacheKey returns the normalized request's persistent-cache key: Priority
@@ -401,21 +463,31 @@ func (s *Service) runOne(spec workload.Spec, cfg core.Config, window int64) *cor
 // artifacts can never alias.
 func (r RunRequest) cacheKey() string {
 	r.Priority = 0
+	r.TimeoutMS = 0
 	if r.PolicyBlob != "" {
 		r.PolicyBlob = "digest:" + control.BlobDigest(r.PolicyBlob)
 	}
 	return resultcache.Key("run", r)
 }
 
-// Run executes (or serves from cache / an in-flight twin) one simulation.
-func (s *Service) Run(req RunRequest) (RunResult, error) {
+// Run executes (or serves from cache / an in-flight twin) one simulation,
+// bounded by ctx, the server request timeout and the request's timeout_ms.
+// A cancelled or expired run caches nothing and returns the context error;
+// an identical later request recomputes and is bit-identical to what an
+// unbounded run would have produced.
+func (s *Service) Run(ctx context.Context, req RunRequest) (RunResult, error) {
 	n, err := req.normalize()
 	if err != nil {
 		return RunResult{}, err
 	}
+	ctx, cancel, err := s.dispatch(ctx, n.TimeoutMS)
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer cancel()
 	key := n.cacheKey()
 
-	v, err, shared := s.flight.Do(key, func() (any, error) {
+	v, err, shared := s.flight.Do(ctx, key, func() (any, error) {
 		var out RunResult
 		if s.cache.Load(key, &out) {
 			out.Cached = true
@@ -426,7 +498,12 @@ func (s *Service) Run(req RunRequest) (RunResult, error) {
 			return RunResult{}, err
 		}
 		cell := func() {
-			res := s.runOne(spec, cfg, n.Window)
+			res, rerr := s.runOne(ctx, spec, cfg, n.Window)
+			if rerr != nil {
+				// Cancelled mid-run: ExecuteContext reports the batch's
+				// ctx error; nothing to deliver.
+				return
+			}
 			s.sims.Add(1)
 			out = RunResult{
 				Workload:     res.Workload,
@@ -437,7 +514,7 @@ func (s *Service) Run(req RunRequest) (RunResult, error) {
 				Stats:        res.Stats,
 			}
 		}
-		if err := s.pool.Execute(n.Priority, [][]func(){{cell}}); err != nil {
+		if err := s.pool.ExecuteContext(ctx, n.Priority, [][]func(){{cell}}); err != nil {
 			return RunResult{}, err
 		}
 		s.cache.Store(key, out)
@@ -468,7 +545,7 @@ type BatchItem struct {
 // in flight simultaneously), and distinct items sharing a benchmark and
 // window replay one recording via the per-window trace pool regardless of
 // which worker runs them.
-func (s *Service) RunBatch(reqs []RunRequest) []BatchItem {
+func (s *Service) RunBatch(ctx context.Context, reqs []RunRequest) []BatchItem {
 	out := make([]BatchItem, len(reqs))
 	reps := make(map[string]int) // normalized key -> representative index
 	dups := make([][2]int, 0)    // (duplicate index, representative index)
@@ -492,7 +569,7 @@ func (s *Service) RunBatch(reqs []RunRequest) []BatchItem {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r, err := s.Run(reqs[i])
+			r, err := s.Run(ctx, reqs[i])
 			if err != nil {
 				out[i].Error = err.Error()
 				return
@@ -548,6 +625,9 @@ type SweepRequest struct {
 	PLLScale   float64 `json:"pllscale,omitempty"`
 	// Priority orders the sweep against other jobs (result-neutral).
 	Priority int `json:"priority,omitempty"`
+	// TimeoutMS, when > 0, bounds the sweep's compute time in milliseconds
+	// (shorter of this and the server's -request-timeout). Result-neutral.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 func (r SweepRequest) normalize() (SweepRequest, error) {
@@ -592,6 +672,9 @@ func (r SweepRequest) normalize() (SweepRequest, error) {
 	if !(r.PLLScale > 0) {
 		return r, fmt.Errorf("service: pll scale %v must be positive", r.PLLScale)
 	}
+	if r.TimeoutMS < 0 {
+		return r, fmt.Errorf("service: negative timeout_ms %d", r.TimeoutMS)
+	}
 	return r, nil
 }
 
@@ -619,14 +702,20 @@ type SweepResult struct {
 // running best/mean accumulators (the full times matrix is never held).
 // The summary is persisted by the sweep layer, so repeating a sweep (even
 // from another process) reloads it instead of simulating.
-func (s *Service) Sweep(req SweepRequest) (SweepResult, error) {
+func (s *Service) Sweep(ctx context.Context, req SweepRequest) (SweepResult, error) {
 	n, err := req.normalize()
 	if err != nil {
 		return SweepResult{}, err
 	}
+	ctx, cancel, err := s.dispatch(ctx, n.TimeoutMS)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	defer cancel()
 	keyReq := n
 	keyReq.Priority = 0
 	keyReq.Workers = 0
+	keyReq.TimeoutMS = 0
 	if len(keyReq.Policies) > 0 {
 		// Key policy-axis artifacts by canonical digest, like every other
 		// blob-carrying key payload.
@@ -640,7 +729,7 @@ func (s *Service) Sweep(req SweepRequest) (SweepResult, error) {
 	}
 	key := resultcache.Key("sweepreq", keyReq)
 
-	v, err, shared := s.flight.Do(key, func() (any, error) {
+	v, err, shared := s.flight.Do(ctx, key, func() (any, error) {
 		specs := workload.Suite()
 		if n.Bench != "" {
 			spec, _ := workload.ByName(n.Bench)
@@ -667,6 +756,7 @@ func (s *Service) Sweep(req SweepRequest) (SweepResult, error) {
 				JitterFrac: n.JitterFrac, PLLScale: n.PLLScale,
 				Traces: s.tracePool(n.Window),
 				Exec:   s.pool, Priority: n.Priority,
+				Ctx: ctx,
 			}
 			sum, err := sweep.MeasureSummary(specs, cfgs, so)
 			if err != nil {
@@ -723,6 +813,10 @@ type SuiteRequest struct {
 	PolicyParams string `json:"policy_params,omitempty"`
 	PolicyBlob   string `json:"policy_blob,omitempty"`
 	Priority     int    `json:"priority,omitempty"`
+	// TimeoutMS, when > 0, bounds the pipeline's compute time in
+	// milliseconds (shorter of this and the server's -request-timeout).
+	// Result-neutral: never part of a cache key.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // validate rejects parameter values the simulator would panic on or
@@ -741,6 +835,9 @@ func (r SuiteRequest) validate() error {
 		if err := control.ValidateSelection(r.Policy, r.PolicyParams, r.PolicyBlob); err != nil {
 			return fmt.Errorf("service: %w", err)
 		}
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("service: negative timeout_ms %d", r.TimeoutMS)
 	}
 	return nil
 }
@@ -785,10 +882,15 @@ type SuiteSummary struct {
 // Suite runs (or serves from the memo / persistent cache) the evaluation
 // pipeline behind Figure 6, Table 9 and Figure 7. The pipeline's cells run
 // on the service's shared pool at the request's priority.
-func (s *Service) Suite(req SuiteRequest) (SuiteSummary, error) {
+func (s *Service) Suite(ctx context.Context, req SuiteRequest) (SuiteSummary, error) {
 	if err := req.validate(); err != nil {
 		return SuiteSummary{}, err
 	}
+	ctx, cancel, err := s.dispatch(ctx, req.TimeoutMS)
+	if err != nil {
+		return SuiteSummary{}, err
+	}
+	defer cancel()
 	o := req.options()
 	keyReq := o
 	keyReq.Workers = 0
@@ -797,11 +899,12 @@ func (s *Service) Suite(req SuiteRequest) (SuiteSummary, error) {
 	}
 	key := resultcache.Key("suitereq", keyReq)
 
-	v, err, shared := s.flight.Do(key, func() (any, error) {
+	v, err, shared := s.flight.Do(ctx, key, func() (any, error) {
 		var r *experiment.SuiteResult
 		if err := contain(func() (err error) {
 			o.Exec = s.pool
 			o.Priority = req.Priority
+			o.Ctx = ctx
 			r, err = experiment.RunSuite(o)
 			return err
 		}); err != nil {
@@ -841,16 +944,22 @@ type ExperimentRequest struct {
 }
 
 // Experiment regenerates one of the paper's tables or figures.
-func (s *Service) Experiment(req ExperimentRequest) (*experiment.Table, error) {
+func (s *Service) Experiment(ctx context.Context, req ExperimentRequest) (*experiment.Table, error) {
 	if req.ID == "" {
 		return nil, fmt.Errorf("service: missing experiment id")
 	}
 	if err := req.SuiteRequest.validate(); err != nil {
 		return nil, err
 	}
+	ctx, cancel, err := s.dispatch(ctx, req.TimeoutMS)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
 	o := req.SuiteRequest.options()
 	o.Exec = s.pool
 	o.Priority = req.Priority
+	o.Ctx = ctx
 	var t *experiment.Table
 	if err := contain(func() (err error) {
 		t, err = experiment.Run(req.ID, o)
@@ -871,9 +980,11 @@ type Stats struct {
 	Workers  int   `json:"workers"`
 	Queued   int   `json:"queued"`
 	InFlight int64 `json:"in_flight"`
-	// Completed counts finished cells; Rejected counts queue-full refusals.
+	// Completed counts finished cells; Rejected counts queue-full refusals;
+	// Purged counts cells removed unrun when their request was cancelled.
 	Completed int64 `json:"completed"`
 	Rejected  int64 `json:"rejected"`
+	Purged    int64 `json:"purged"`
 	// Simulations counts single-run simulations this service executed
 	// (cache hits and deduped joins don't increment it).
 	Simulations int64 `json:"simulations"`
@@ -899,6 +1010,7 @@ func (s *Service) Stats() Stats {
 		InFlight:          s.pool.InFlight(),
 		Completed:         s.pool.Completed(),
 		Rejected:          s.pool.Rejected(),
+		Purged:            s.pool.Purged(),
 		Simulations:       s.sims.Load(),
 		DedupHits:         s.dedups.Load(),
 		SuiteComputations: experiment.SuiteComputations(),

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -57,7 +58,7 @@ func TestRunAndPersistentCacheAcrossServices(t *testing.T) {
 	req := RunRequest{Bench: "gcc", Mode: "phase", Window: 3_000}
 
 	s1 := newTestService(t, Config{CacheDir: dir, Workers: 2})
-	r1, err := s1.Run(req)
+	r1, err := s1.Run(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestRunAndPersistentCacheAcrossServices(t *testing.T) {
 		t.Fatalf("cold run executed %d simulations, want 1", got)
 	}
 	// Same request again within the same service: persistent hit, no sim.
-	r1b, err := s1.Run(req)
+	r1b, err := s1.Run(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestRunAndPersistentCacheAcrossServices(t *testing.T) {
 
 	// A fresh service on the same directory models a second process.
 	s2 := newTestService(t, Config{CacheDir: dir, Workers: 2})
-	r2, err := s2.Run(req)
+	r2, err := s2.Run(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestRunAndPersistentCacheAcrossServices(t *testing.T) {
 		t.Fatalf("second process ran %d simulations, want 0", got)
 	}
 	// Priority must not split the cache key.
-	r3, err := s2.Run(RunRequest{Bench: "gcc", Mode: "phase", Window: 3_000, Priority: 9})
+	r3, err := s2.Run(context.Background(), RunRequest{Bench: "gcc", Mode: "phase", Window: 3_000, Priority: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestConcurrentIdenticalRunsDedupeToOneSimulation(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = s.Run(req)
+			results[i], errs[i] = s.Run(context.Background(), req)
 		}(i)
 	}
 	wg.Wait()
@@ -152,7 +153,7 @@ func TestSuiteSecondInvocationServedFromDisk(t *testing.T) {
 
 	s1 := newTestService(t, Config{CacheDir: dir})
 	before := s1.Stats().SuiteComputations
-	sum1, err := s1.Suite(req)
+	sum1, err := s1.Suite(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestSuiteSecondInvocationServedFromDisk(t *testing.T) {
 	// the same directory.
 	experiment.ResetSuiteMemo()
 	s2 := newTestService(t, Config{CacheDir: dir})
-	sum2, err := s2.Suite(req)
+	sum2, err := s2.Suite(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestSuiteSecondInvocationServedFromDisk(t *testing.T) {
 		t.Fatalf("persistent suite differs:\n%+v\nvs\n%+v", sum1, sum2)
 	}
 	// The figure6 experiment derives from the same restored memo entry.
-	tbl, err := s2.Experiment(ExperimentRequest{ID: "figure6", SuiteRequest: req})
+	tbl, err := s2.Experiment(context.Background(), ExperimentRequest{ID: "figure6", SuiteRequest: req})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,10 +207,10 @@ func TestSuiteRequestValidation(t *testing.T) {
 		{Window: -100},
 		{PLLScale: -1},
 	} {
-		if _, err := s.Suite(req); err == nil {
+		if _, err := s.Suite(context.Background(), req); err == nil {
 			t.Errorf("Suite(%+v) succeeded, want validation error", req)
 		}
-		if _, err := s.Experiment(ExperimentRequest{ID: "figure6", SuiteRequest: req}); err == nil {
+		if _, err := s.Experiment(context.Background(), ExperimentRequest{ID: "figure6", SuiteRequest: req}); err == nil {
 			t.Errorf("Experiment(%+v) succeeded, want validation error", req)
 		}
 	}
@@ -255,7 +256,7 @@ func TestSharedPoolBoundsMixedLoad(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := s.Sweep(SweepRequest{Space: "adaptive", Bench: "art", Window: 700})
+			res, err := s.Sweep(context.Background(), SweepRequest{Space: "adaptive", Bench: "art", Window: 700})
 			if err != nil {
 				errc <- err
 				return
@@ -271,7 +272,7 @@ func TestSharedPoolBoundsMixedLoad(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			bench := []string{"gcc", "art", "gcc"}[i%3]
-			r, err := s.Run(RunRequest{Bench: bench, Window: 2_000, Priority: i % 2 * 10})
+			r, err := s.Run(context.Background(), RunRequest{Bench: bench, Window: 2_000, Priority: i % 2 * 10})
 			if err != nil {
 				errc <- err
 				return
@@ -282,7 +283,7 @@ func TestSharedPoolBoundsMixedLoad(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		items := s.RunBatch([]RunRequest{
+		items := s.RunBatch(context.Background(), []RunRequest{
 			{Bench: "em3d", Window: 1_500},
 			{Bench: "em3d", Window: 1_500}, // same recording lane
 			{Bench: "apsi", Window: 1_500},
@@ -330,7 +331,7 @@ func TestSharedPoolBoundsMixedLoad(t *testing.T) {
 func TestCachePruneEndpointAndCap(t *testing.T) {
 	dir := t.TempDir()
 	s := newTestService(t, Config{CacheDir: dir, Workers: 2})
-	if _, err := s.Run(RunRequest{Bench: "gcc", Window: 2_000}); err != nil {
+	if _, err := s.Run(context.Background(), RunRequest{Bench: "gcc", Window: 2_000}); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())
@@ -349,7 +350,7 @@ func TestCachePruneEndpointAndCap(t *testing.T) {
 		t.Fatalf("prune: %d %+v", resp.StatusCode, st)
 	}
 	// Pruned result is recomputed, not an error.
-	r, err := s.Run(RunRequest{Bench: "gcc", Window: 2_000})
+	r, err := s.Run(context.Background(), RunRequest{Bench: "gcc", Window: 2_000})
 	if err != nil || r.TimeFS <= 0 {
 		t.Fatalf("run after prune: %v %+v", err, r)
 	}
@@ -386,7 +387,7 @@ func TestPoolSurvivesPanickingCellThroughService(t *testing.T) {
 		!strings.Contains(err.Error(), "boom") {
 		t.Fatalf("panicking cell returned %v, want wrapped panic", err)
 	}
-	if r, err := s.Run(RunRequest{Bench: "gcc", Window: 1_000}); err != nil || r.TimeFS <= 0 {
+	if r, err := s.Run(context.Background(), RunRequest{Bench: "gcc", Window: 1_000}); err != nil || r.TimeFS <= 0 {
 		t.Fatalf("service dead after cell panic: %v %+v", err, r)
 	}
 }
@@ -442,7 +443,7 @@ func TestQueueFullSurfacesAs503(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	_, err := s.Run(RunRequest{Bench: "gcc", Window: 1_000})
+	_, err := s.Run(context.Background(), RunRequest{Bench: "gcc", Window: 1_000})
 	if err != ErrQueueFull {
 		t.Fatalf("overflowing run returned %v, want ErrQueueFull", err)
 	}
@@ -461,7 +462,7 @@ func TestQueueFullSurfacesAs503(t *testing.T) {
 
 func TestRunBatchShapesAndErrors(t *testing.T) {
 	s := newTestService(t, Config{CacheDir: t.TempDir(), Workers: 2})
-	items := s.RunBatch([]RunRequest{
+	items := s.RunBatch(context.Background(), []RunRequest{
 		{Bench: "gcc", Window: 2_000},
 		{Bench: "does-not-exist"},
 		{Bench: "gcc", Window: 2_000}, // identical to the first: shared/cached
@@ -489,7 +490,7 @@ func TestRunBatchShapesAndErrors(t *testing.T) {
 // itself reuses the first result.
 func TestRunBatchDedupsWithoutCache(t *testing.T) {
 	s := newTestService(t, Config{Workers: 2}) // no CacheDir
-	items := s.RunBatch([]RunRequest{
+	items := s.RunBatch(context.Background(), []RunRequest{
 		{Bench: "gcc", Window: 2_000},
 		{Bench: "gcc", Window: 2_000, Priority: 5}, // same result, other priority
 		{Bench: "gcc", Window: 2_000},
@@ -629,7 +630,7 @@ func TestSweepSmallAdaptiveSpace(t *testing.T) {
 		t.Skip("sweep in -short mode")
 	}
 	s := newTestService(t, Config{CacheDir: t.TempDir()})
-	res, err := s.Sweep(SweepRequest{Space: "adaptive", Bench: "art", Window: 1_000})
+	res, err := s.Sweep(context.Background(), SweepRequest{Space: "adaptive", Bench: "art", Window: 1_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -639,7 +640,7 @@ func TestSweepSmallAdaptiveSpace(t *testing.T) {
 	before := s.Stats().SweepComputations
 
 	// Same sweep again: the measure layer serves the matrix from disk.
-	res2, err := s.Sweep(SweepRequest{Space: "adaptive", Bench: "art", Window: 1_000})
+	res2, err := s.Sweep(context.Background(), SweepRequest{Space: "adaptive", Bench: "art", Window: 1_000})
 	if err != nil {
 		t.Fatal(err)
 	}

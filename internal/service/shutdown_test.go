@@ -86,7 +86,7 @@ func TestGracefulShutdownAgainstLiveListener(t *testing.T) {
 	if p, f := s.pool.Pending(), s.pool.InFlight(); p != 0 || f != 0 {
 		t.Errorf("pool not drained: pending %d, in flight %d", p, f)
 	}
-	if _, err := s.Run(RunRequest{Bench: "gcc", Window: 1000}); err == nil {
+	if _, err := s.Run(context.Background(), RunRequest{Bench: "gcc", Window: 1000}); err == nil {
 		t.Error("service accepted work after shutdown")
 	}
 	// Final prune enforced the 1-byte bound: no result blobs remain (lock
@@ -113,7 +113,7 @@ func TestShutdownWithoutServer(t *testing.T) {
 	if err := s.Shutdown(context.Background(), nil); err != nil {
 		t.Fatalf("nil-server shutdown: %v", err)
 	}
-	if _, err := s.Run(RunRequest{Bench: "gcc", Window: 1000}); err == nil {
+	if _, err := s.Run(context.Background(), RunRequest{Bench: "gcc", Window: 1000}); err == nil {
 		t.Error("service accepted work after shutdown")
 	}
 }

@@ -1,6 +1,9 @@
 package service
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // flightGroup deduplicates concurrent work by key: while a call for a key
 // is in flight, later callers for the same key wait for — and share — its
@@ -16,31 +19,41 @@ type flightGroup struct {
 }
 
 type flightCall struct {
-	wg  sync.WaitGroup
-	val any
-	err error
+	done chan struct{} // closed when val/err are final
+	val  any
+	err  error
 }
 
 // Do runs fn once per key among concurrent callers. shared reports whether
 // this caller joined an existing flight (true for every caller but the one
-// that executed fn).
-func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+// that executed fn). A joiner whose ctx expires stops waiting and returns
+// its own ctx error — its deadline must not be extended by an earlier
+// caller's longer one — while the flight itself keeps running under the
+// initiating caller's context.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (any, error)) (val any, err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*flightCall)
 	}
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()
-		c.wg.Wait()
-		return c.val, c.err, true
+		var done <-chan struct{}
+		if ctx != nil {
+			done = ctx.Done()
+		}
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-done:
+			return nil, ctx.Err(), true
+		}
 	}
-	c := &flightCall{}
-	c.wg.Add(1)
+	c := &flightCall{done: make(chan struct{})}
 	g.m[key] = c
 	g.mu.Unlock()
 
 	c.val, c.err = fn()
-	c.wg.Done()
+	close(c.done)
 
 	g.mu.Lock()
 	delete(g.m, key)

@@ -16,6 +16,7 @@ package sweep
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -36,10 +37,20 @@ var ErrClosed = errors.New("sweep: pool closed")
 // sweep (40,960 cells), so a single paper-scale request never self-rejects.
 const DefaultQueueDepth = 1 << 16
 
+// batch ties every cell of one Execute call together so cancellation can
+// find and discharge them wherever they sit (priority heap or a worker's
+// deque). cancelled is also checked by cells a worker has already popped,
+// covering the race where a cell leaves the queue just as the purge runs.
+type batch struct {
+	wg        sync.WaitGroup
+	cancelled atomic.Bool
+}
+
 // cell is one queued unit of work with the priority of its batch.
 type cell struct {
 	pri int
 	run func()
+	b   *batch
 }
 
 // group is a submitted batch of cells awaiting admission to a worker.
@@ -112,6 +123,32 @@ func (d *deque) stealHalfFrom(v *deque) int {
 	return n
 }
 
+// purgeBatch removes the batch's cells from the deque in place, preserving
+// the order of everything else, and returns how many it removed.
+func (d *deque) purgeBatch(b *batch) int {
+	if d.empty() {
+		return 0
+	}
+	n := 0
+	w := d.head
+	for i := d.head; i < len(d.buf); i++ {
+		if d.buf[i].b == b {
+			n++
+			continue
+		}
+		d.buf[w] = d.buf[i]
+		w++
+	}
+	for i := w; i < len(d.buf); i++ {
+		d.buf[i] = cell{}
+	}
+	d.buf = d.buf[:w]
+	if d.empty() {
+		d.buf, d.head = d.buf[:0], 0
+	}
+	return n
+}
+
 // pushFrontGroup prepends a group's cells so they run before anything the
 // deque already holds (they were admitted because they outrank it).
 func (d *deque) pushFrontGroup(g *group) {
@@ -147,6 +184,7 @@ type Pool struct {
 	inflight  atomic.Int64
 	completed atomic.Int64
 	rejected  atomic.Int64
+	purged    atomic.Int64 // cells removed unrun by cancellation
 	steals    atomic.Int64 // steal events (one lock acquisition each)
 	stolen    atomic.Int64 // cells migrated by steals
 }
@@ -201,6 +239,9 @@ func (p *Pool) Completed() int64 { return p.completed.Load() }
 
 // Rejected returns the number of Execute batches refused with ErrQueueFull.
 func (p *Pool) Rejected() int64 { return p.rejected.Load() }
+
+// Purged returns the number of cells removed unrun by context cancellation.
+func (p *Pool) Purged() int64 { return p.purged.Load() }
 
 // Steals returns the number of steal events so far. Each steal is one lock
 // acquisition that migrates half the victim's deque; before batch stealing
@@ -274,6 +315,24 @@ func (p *Pool) next(id int) (cell, bool) {
 // inside a cell (the nested batch could wait forever for the worker it is
 // occupying).
 func (p *Pool) Execute(pri int, groups [][]func()) error {
+	return p.ExecuteContext(context.Background(), pri, groups)
+}
+
+// ExecuteContext is Execute bounded by ctx: when ctx is cancelled the
+// batch's still-queued cells are purged from the scheduler (their lanes
+// freed immediately for other batches) and cells already on a worker are
+// left to finish — a cell is an opaque func, so it is the cell's own job to
+// observe the same ctx and return early. ExecuteContext always waits for
+// its running cells before returning, so caller-owned resources (trace
+// pools, accumulators) are safe to tear down as soon as it returns; the
+// return is ctx.Err() when the batch was cut short.
+func (p *Pool) ExecuteContext(ctx context.Context, pri int, groups [][]func()) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	total := 0
 	for _, g := range groups {
 		total += len(g)
@@ -282,13 +341,13 @@ func (p *Pool) Execute(pri int, groups [][]func()) error {
 		return nil
 	}
 
-	var wg sync.WaitGroup
-	wg.Add(total)
+	b := &batch{}
+	b.wg.Add(total)
 	var panicMu sync.Mutex
 	var panicked any
 	wrap := func(fn func()) func() {
 		return func() {
-			defer wg.Done()
+			defer b.wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
 					panicMu.Lock()
@@ -298,6 +357,9 @@ func (p *Pool) Execute(pri int, groups [][]func()) error {
 					panicMu.Unlock()
 				}
 			}()
+			if b.cancelled.Load() {
+				return
+			}
 			fn()
 		}
 	}
@@ -306,7 +368,7 @@ func (p *Pool) Execute(pri int, groups [][]func()) error {
 	if p.closed {
 		p.mu.Unlock()
 		// Account for cells that will never run.
-		wg.Add(-total)
+		b.wg.Add(-total)
 		return ErrClosed
 	}
 	// The depth bound is about queuing behind other work, not about batch
@@ -315,7 +377,7 @@ func (p *Pool) Execute(pri int, groups [][]func()) error {
 	// a loaded pool sheds anything that doesn't fit.
 	if p.pending > 0 && p.pending+total > p.depth {
 		p.mu.Unlock()
-		wg.Add(-total)
+		b.wg.Add(-total)
 		p.rejected.Add(1)
 		return ErrQueueFull
 	}
@@ -326,7 +388,7 @@ func (p *Pool) Execute(pri int, groups [][]func()) error {
 		g := &group{pri: pri, seq: p.seq, cells: make([]cell, len(fns))}
 		p.seq++
 		for i, fn := range fns {
-			g.cells[i] = cell{pri: pri, run: wrap(fn)}
+			g.cells[i] = cell{pri: pri, run: wrap(fn), b: b}
 		}
 		heap.Push(&p.queue, g)
 	}
@@ -334,13 +396,74 @@ func (p *Pool) Execute(pri int, groups [][]func()) error {
 	p.mu.Unlock()
 	p.cond.Broadcast()
 
-	wg.Wait()
+	var watcher chan struct{}
+	var finished chan struct{}
+	if ctx.Done() != nil {
+		watcher = make(chan struct{})
+		finished = make(chan struct{})
+		go func() {
+			defer close(watcher)
+			select {
+			case <-ctx.Done():
+				p.purge(b)
+			case <-finished:
+			}
+		}()
+	}
+
+	b.wg.Wait()
+	if watcher != nil {
+		close(finished)
+		<-watcher // the purge (if any) completed; no goroutine outlives us
+	}
 	panicMu.Lock()
 	defer panicMu.Unlock()
 	if panicked != nil {
 		return fmt.Errorf("sweep: cell panicked: %v", panicked)
 	}
-	return nil
+	return ctx.Err()
+}
+
+// purge removes the batch's queued cells from the priority heap and every
+// worker deque, discharging their WaitGroup slots so ExecuteContext's wait
+// ends as soon as the batch's running cells drain.
+func (p *Pool) purge(b *batch) {
+	b.cancelled.Store(true)
+	p.mu.Lock()
+	removed := 0
+	kept := p.queue[:0]
+	for _, g := range p.queue {
+		w := 0
+		for _, c := range g.cells {
+			if c.b == b {
+				removed++
+				continue
+			}
+			g.cells[w] = c
+			w++
+		}
+		for i := w; i < len(g.cells); i++ {
+			g.cells[i] = cell{}
+		}
+		g.cells = g.cells[:w]
+		if w > 0 {
+			kept = append(kept, g)
+		}
+	}
+	for i := len(kept); i < len(p.queue); i++ {
+		p.queue[i] = nil
+	}
+	p.queue = kept
+	heap.Init(&p.queue)
+	for i := range p.deques {
+		removed += p.deques[i].purgeBatch(b)
+	}
+	p.pending -= removed
+	p.mu.Unlock()
+	p.purged.Add(int64(removed))
+	for i := 0; i < removed; i++ {
+		b.wg.Done()
+	}
 }
 
 // Close drains already-accepted cells, then stops the workers. Subsequent

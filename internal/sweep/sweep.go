@@ -17,6 +17,7 @@ package sweep
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -76,6 +77,12 @@ type Options struct {
 	// size. 0 keeps full scores. Result-relevant for the summary shape,
 	// neutral for Best/PerApp.
 	TopK int
+	// Ctx bounds the sweep: on cancellation queued cells are purged from
+	// the executor, running cells stop at their next accounting-interval
+	// boundary, and MeasureSummary/MeasurePhase return ctx's error without
+	// persisting the partial aggregate. Result-neutral (a completed sweep
+	// is bit-identical with or without a Ctx); nil means no bound.
+	Ctx context.Context `json:"-"`
 }
 
 // WithDefaults fills in zero fields: Window 30,000, Workers GOMAXPROCS,
@@ -386,6 +393,10 @@ func runCells(specs []workload.Spec, cfgs []core.Config, o Options, sink func(ci
 	if owned != nil {
 		defer owned.Close()
 	}
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	groups := make([][]func(), 0, len(cfgs)*(len(specs)/cellChunk+1))
 	for ci := range cfgs {
 		ci := ci
@@ -398,15 +409,24 @@ func runCells(specs []workload.Spec, cfgs []core.Config, o Options, sink func(ci
 			for si := start; si < end; si++ {
 				si := si
 				cells = append(cells, func() {
-					src := pool.Get(specs[si]).Replay()
-					res := core.RunSource(src, o.apply(cfgs[ci]), o.Window)
+					rec, err := pool.GetContext(ctx, specs[si])
+					if err != nil {
+						return // cancelled mid-recording: deliver nothing
+					}
+					// A nil-Done ctx takes core's uninstrumented fast
+					// path, so ctx-less sweeps cost exactly what they
+					// did; a cancelled cell delivers nothing.
+					res, err := core.RunSourceContext(ctx, rec.Replay(), o.apply(cfgs[ci]), o.Window)
+					if err != nil {
+						return
+					}
 					sink(ci, si, res)
 				})
 			}
 			groups = append(groups, cells)
 		}
 	}
-	return exec.Execute(o.Priority, groups)
+	return exec.ExecuteContext(ctx, o.Priority, groups)
 }
 
 // Measure runs every configuration on every benchmark and returns the run
@@ -819,6 +839,10 @@ func MeasurePhase(specs []workload.Spec, o Options) ([]*core.Result, error) {
 	if owned != nil {
 		defer owned.Close()
 	}
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]*core.Result, len(specs))
 	groups := make([][]func(), len(specs))
 	for i := range specs {
@@ -826,10 +850,18 @@ func MeasurePhase(specs []workload.Spec, o Options) ([]*core.Result, error) {
 		groups[i] = []func(){func() {
 			cfg := o.apply(core.DefaultAdaptive(core.PhaseAdaptive))
 			cfg.RecordTrace = true
-			out[i] = core.RunSource(pool.Get(specs[i]).Replay(), cfg, o.Window)
+			rec, err := pool.GetContext(ctx, specs[i])
+			if err != nil {
+				return // cancelled mid-recording: deliver nothing
+			}
+			res, err := core.RunSourceContext(ctx, rec.Replay(), cfg, o.Window)
+			if err != nil {
+				return
+			}
+			out[i] = res
 		}}
 	}
-	if err := exec.Execute(o.Priority, groups); err != nil {
+	if err := exec.ExecuteContext(ctx, o.Priority, groups); err != nil {
 		return nil, err
 	}
 	if store != nil {

@@ -7,6 +7,7 @@
 package workload
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -53,8 +54,21 @@ func decodeInst(src []byte, in *isa.Inst) {
 // slab: peak memory is one buffer, independent of n. The byte stream is
 // exactly what RecordingFromEncoded replays.
 func (s Spec) RecordTo(w io.Writer, n int64) error {
+	return s.RecordToContext(nil, w, n)
+}
+
+// RecordToContext is RecordTo bounded by ctx: cancellation is observed once
+// per buffer flush (4096 instructions), so a deadline aborts a paper-scale
+// recording within microseconds rather than after the full stream. A nil or
+// never-cancellable ctx costs one nil check per flush — the encoded bytes
+// are identical either way.
+func (s Spec) RecordToContext(ctx context.Context, w io.Writer, n int64) error {
 	if n <= 0 {
 		return fmt.Errorf("workload: non-positive recording length %d", n)
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
 	}
 	tr := s.NewTrace()
 	var in isa.Inst
@@ -63,6 +77,13 @@ func (s Spec) RecordTo(w io.Writer, n int64) error {
 		tr.Next(&in)
 		buf = appendInst(buf, &in)
 		if len(buf) == cap(buf) {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			if _, err := w.Write(buf); err != nil {
 				return err
 			}

@@ -1,8 +1,11 @@
 package workload
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"gals/internal/isa"
 )
@@ -72,5 +75,85 @@ func TestPoolConcurrentAccess(t *testing.T) {
 	}
 	if pool.Size() != len(specs) {
 		t.Fatalf("pool recorded %d benchmarks, want %d", pool.Size(), len(specs))
+	}
+}
+
+// TestPoolCancelledCaptureDoesNotPoison pins the graceful-degradation
+// contract on the pool itself: a leader whose ctx expires mid-capture gets
+// the ctx error, the entry is forgotten rather than poisoned, and the next
+// requester records afresh — bit-identical to an uncancelled capture.
+func TestPoolCancelledCaptureDoesNotPoison(t *testing.T) {
+	const window = 50_000
+	spec := Suite()[0]
+	pool := NewPool(window)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pool.GetContext(ctx, spec); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GetContext with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if pool.Size() != 0 {
+		t.Fatalf("pool retained %d entries after a cancelled capture, want 0", pool.Size())
+	}
+
+	rec, err := pool.GetContext(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("GetContext after recovery: %v", err)
+	}
+	want := spec.Record(window)
+	rp, wp := rec.Replay(), want.Replay()
+	var got, ref isa.Inst
+	for i := 0; i < window; i++ {
+		rp.Next(&got)
+		wp.Next(&ref)
+		if got != ref {
+			t.Fatalf("recovered recording diverges at %d", i)
+		}
+	}
+}
+
+// gatedBacking blocks every Recording call until release is closed, then
+// fails so the pool degrades to an in-memory capture — a deterministic way
+// to hold a leader's capture in flight for exactly as long as a test needs.
+type gatedBacking struct{ release chan struct{} }
+
+func (g gatedBacking) Recording(s Spec, window int64) (*Recording, error) {
+	<-g.release
+	return nil, errors.New("gated backing has no slabs")
+}
+
+// TestPoolCancelledWaiterLeavesLeaderAlone cancels a waiter while another
+// goroutine's capture is deterministically held in flight (gated backing):
+// the waiter returns its own ctx error promptly, and the leader's recording
+// still lands shared in the pool.
+func TestPoolCancelledWaiterLeavesLeaderAlone(t *testing.T) {
+	const window = 2_000
+	spec := Suite()[0]
+	gate := gatedBacking{release: make(chan struct{})}
+	pool := NewBackedPool(window, gate)
+
+	leaderDone := make(chan *Recording, 1)
+	go func() {
+		leaderDone <- pool.Get(spec)
+	}()
+	// Wait until the leader has registered its in-flight entry.
+	for pool.Size() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := pool.GetContext(ctx, spec); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter = %v, want DeadlineExceeded", err)
+	}
+
+	close(gate.release)
+	rec := <-leaderDone
+	again, err := pool.GetContext(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("GetContext after leader finished: %v", err)
+	}
+	if again != rec {
+		t.Fatalf("leader's recording was not retained as the shared entry")
 	}
 }

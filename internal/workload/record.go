@@ -13,6 +13,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -36,12 +37,41 @@ func (s Spec) Record(n int64) *Recording {
 	if n <= 0 {
 		panic(fmt.Sprintf("workload: non-positive recording length %d", n))
 	}
+	rec, _ := s.RecordContext(nil, n)
+	return rec
+}
+
+// RecordContext is Record bounded by ctx: cancellation is observed every
+// 4096 instructions, and a cancelled capture returns ctx's error with no
+// recording. A nil or never-cancellable ctx cannot fail (for positive n) and
+// produces exactly what Record does.
+func (s Spec) RecordContext(ctx context.Context, n int64) (*Recording, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: non-positive recording length %d", n)
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+		select {
+		case <-done:
+			// Check before committing n*40 bytes of heap to a doomed capture.
+			return nil, ctx.Err()
+		default:
+		}
+	}
 	tr := s.NewTrace()
 	insts := make([]isa.Inst, n)
 	for i := range insts {
+		if done != nil && i&4095 == 4095 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		tr.Next(&insts[i])
 	}
-	return &Recording{spec: s, insts: insts, count: n}
+	return &Recording{spec: s, insts: insts, count: n}, nil
 }
 
 // Spec returns the benchmark description.
@@ -141,6 +171,14 @@ type Releaser interface {
 	Release(s Spec, window int64)
 }
 
+// ContextBacking is the optional Backing extension for stores that can
+// abandon an in-progress recording when the requester's deadline expires
+// (recstore aborts the slab stream and removes the temp file).
+// Pool.GetContext prefers it when the caller's ctx is cancellable.
+type ContextBacking interface {
+	RecordingContext(ctx context.Context, s Spec, window int64) (*Recording, error)
+}
+
 // Pool shares recordings across concurrent simulation runs: each benchmark
 // is recorded at most once per pool, on first request. A nil *Pool reports
 // Window 0 and Size 0, so callers can treat "no pool" uniformly.
@@ -152,8 +190,9 @@ type Pool struct {
 }
 
 type poolEntry struct {
-	once   sync.Once
+	done   chan struct{} // closed once rec/err is settled
 	rec    *Recording
+	err    error
 	backed bool // the recording came from (and is refcounted by) the backing
 }
 
@@ -187,27 +226,88 @@ func (p *Pool) Window() int64 {
 // colliding with the registry), Get falls back to a private, unshared
 // recording so results stay correct — at full recording cost per call.
 func (p *Pool) Get(s Spec) *Recording {
-	p.mu.Lock()
-	e := p.recs[s.Name]
-	if e == nil {
-		e = &poolEntry{}
-		p.recs[s.Name] = e
+	rec, err := p.GetContext(nil, s)
+	if err != nil {
+		// Unreachable: with no cancellable ctx, a backing failure degrades
+		// to in-memory recording, which cannot fail for a valid pool window.
+		panic(fmt.Sprintf("workload: pool record failed without a context: %v", err))
 	}
-	p.mu.Unlock()
-	e.once.Do(func() {
-		if p.backing != nil {
-			if rec, err := p.backing.Recording(s, p.window); err == nil && rec.Len() == p.window {
-				e.rec = rec
-				e.backed = true
-				return
+	return rec
+}
+
+// GetContext is Get bounded by ctx: a first-use capture (backing stream or
+// in-memory recording) observes cancellation while it runs, and a waiter on
+// someone else's in-progress capture stops waiting when its own ctx expires.
+// A cancelled capture never poisons the pool — the entry is forgotten and
+// the next requester records afresh. A nil ctx is Get.
+func (p *Pool) GetContext(ctx context.Context, s Spec) (*Recording, error) {
+	for {
+		p.mu.Lock()
+		e := p.recs[s.Name]
+		if e == nil {
+			// Leader: capture outside the pool lock, then settle the entry.
+			e = &poolEntry{done: make(chan struct{})}
+			p.recs[s.Name] = e
+			p.mu.Unlock()
+			rec, backed, err := p.capture(ctx, s)
+			p.mu.Lock()
+			if err != nil {
+				if p.recs[s.Name] == e {
+					delete(p.recs, s.Name)
+				}
+				e.err = err
+				close(e.done)
+				p.mu.Unlock()
+				return nil, err
+			}
+			e.rec, e.backed = rec, backed
+			close(e.done)
+			p.mu.Unlock()
+		} else {
+			p.mu.Unlock()
+			if ctx != nil {
+				select {
+				case <-e.done:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			} else {
+				<-e.done
+			}
+			if e.err != nil {
+				// The leader's capture was cancelled (its deadline, not
+				// ours) and the entry forgotten: take over as leader.
+				continue
 			}
 		}
-		e.rec = s.Record(p.window)
-	})
-	if !reflect.DeepEqual(e.rec.spec, s) {
-		return s.Record(p.window)
+		if !reflect.DeepEqual(e.rec.spec, s) {
+			return s.RecordContext(ctx, p.window)
+		}
+		return e.rec, nil
 	}
-	return e.rec
+}
+
+// capture obtains one recording for s: from the backing when available (and
+// not itself cancelled), degrading to an in-memory capture on backing
+// errors. Only ctx cancellation makes capture fail.
+func (p *Pool) capture(ctx context.Context, s Spec) (rec *Recording, backed bool, err error) {
+	if p.backing != nil {
+		if cb, ok := p.backing.(ContextBacking); ok && ctx != nil {
+			rec, err = cb.RecordingContext(ctx, s, p.window)
+		} else {
+			rec, err = p.backing.Recording(s, p.window)
+		}
+		if err == nil && rec.Len() == p.window {
+			return rec, true, nil
+		}
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, false, cerr
+			}
+		}
+	}
+	rec, err = s.RecordContext(ctx, p.window)
+	return rec, false, err
 }
 
 // Retire drops the pool's recordings and, when the backing implements
