@@ -9,7 +9,7 @@ BENCHOUT  ?= BENCH_latest.txt
 MEMWINDOW ?= 60000
 MEMCACHE  ?= /tmp/gals-bench-mem-cache
 
-.PHONY: all build test test-short race vet parity determinism chaos bench bench-suite bench-mem bench-smoke ci
+.PHONY: all build test test-short race vet parity determinism chaos obs bench bench-suite bench-mem bench-smoke ci
 
 all: build
 
@@ -48,6 +48,17 @@ determinism:
 # detector, since every one of these paths races teardown by design.
 chaos:
 	$(GO) test -race -run 'Chaos|Cancel|Inject' ./...
+
+# Observability smoke (also a CI job): build galsd + galsload, then have
+# galsload launch the daemon, drive a short mixed closed loop against it,
+# scrape /metrics back and assert the instrumented loop is live (histogram
+# populated, cache hits observed, cells completed). Exercises the whole
+# metrics/trace/access-log stack end-to-end over real HTTP.
+obs:
+	mkdir -p bin
+	$(GO) build -o bin/galsd ./cmd/galsd
+	$(GO) build -o bin/galsload ./cmd/galsload
+	./bin/galsload -launch -galsd-bin ./bin/galsd -duration 3s -concurrency 4 -assert
 
 # Micro-benchmarks of the simulator's hot paths: fast enough to run on
 # every PR. Results land in $(BENCHOUT) for before/after comparison

@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gals/internal/experiment"
@@ -38,7 +39,7 @@ type (
 	SweepResult  = service.SweepResult
 	SuiteRequest = service.SuiteRequest
 	SuiteSummary = service.SuiteSummary
-	Stats        = service.Stats
+	ServerStats  = service.Stats
 )
 
 // ErrBreakerOpen is returned without touching the network while the
@@ -113,6 +114,81 @@ type Client struct {
 	mu        sync.Mutex
 	fails     int       // consecutive failed calls
 	openUntil time.Time // breaker open until then (zero = closed)
+
+	st clientCounters
+}
+
+// ClientStats is a snapshot of one Client's per-outcome counters: what the
+// retry/breaker machinery actually did, from the caller's side of the
+// wire. Read it with Client.Stats.
+type ClientStats struct {
+	// Calls counts API calls issued; Successes and Failures their final
+	// outcomes (a call that succeeded on its third attempt is one Call,
+	// one Success, two Retries).
+	Calls, Successes, Failures int64
+	// Attempts counts HTTP exchanges; Retries the attempts beyond each
+	// call's first.
+	Attempts, Retries int64
+	// RateLimited, Unavailable and Timeouts count 429, 503 and 504
+	// responses (per attempt, not per call); OtherAPIErrors the remaining
+	// non-2xx statuses; TransportErrors failures with no HTTP status at
+	// all (refused connections, resets).
+	RateLimited, Unavailable, Timeouts int64
+	OtherAPIErrors, TransportErrors    int64
+	// BreakerOpens counts closed-to-open transitions; BreakerFastFails
+	// calls refused with ErrBreakerOpen while open.
+	BreakerOpens, BreakerFastFails int64
+}
+
+type clientCounters struct {
+	calls, successes, failures         atomic.Int64
+	attempts, retries                  atomic.Int64
+	rateLimited, unavailable, timeouts atomic.Int64
+	otherAPI, transport                atomic.Int64
+	breakerOpens, breakerFastFails     atomic.Int64
+}
+
+// Stats snapshots the client-side outcome counters. (Server-side counters
+// are a network call away via ServerStats.)
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Calls:            c.st.calls.Load(),
+		Successes:        c.st.successes.Load(),
+		Failures:         c.st.failures.Load(),
+		Attempts:         c.st.attempts.Load(),
+		Retries:          c.st.retries.Load(),
+		RateLimited:      c.st.rateLimited.Load(),
+		Unavailable:      c.st.unavailable.Load(),
+		Timeouts:         c.st.timeouts.Load(),
+		OtherAPIErrors:   c.st.otherAPI.Load(),
+		TransportErrors:  c.st.transport.Load(),
+		BreakerOpens:     c.st.breakerOpens.Load(),
+		BreakerFastFails: c.st.breakerFastFails.Load(),
+	}
+}
+
+// note classifies one attempt's failure into the outcome counters.
+func (c *Client) note(err error) {
+	if err == nil {
+		return
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			c.st.transport.Add(1)
+		}
+		return
+	}
+	switch ae.StatusCode {
+	case http.StatusTooManyRequests:
+		c.st.rateLimited.Add(1)
+	case http.StatusServiceUnavailable:
+		c.st.unavailable.Add(1)
+	case http.StatusGatewayTimeout:
+		c.st.timeouts.Add(1)
+	default:
+		c.st.otherAPI.Add(1)
+	}
 }
 
 // New builds a Client, resolving Options defaults.
@@ -152,9 +228,10 @@ func (c *Client) Health(ctx context.Context) error {
 	return c.once(ctx, http.MethodGet, "/healthz", nil, &out)
 }
 
-// Stats fetches GET /v1/stats.
-func (c *Client) Stats(ctx context.Context) (Stats, error) {
-	var out Stats
+// ServerStats fetches GET /v1/stats — the server's counters, as opposed
+// to the local Stats snapshot.
+func (c *Client) ServerStats(ctx context.Context) (ServerStats, error) {
+	var out ServerStats
 	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
 	return out, err
 }
@@ -203,7 +280,10 @@ func (c *Client) Experiment(ctx context.Context, req service.ExperimentRequest) 
 
 // do runs one API call under the full retry discipline.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	c.st.calls.Add(1)
 	if err := c.breakerAllow(); err != nil {
+		c.st.breakerFastFails.Add(1)
+		c.st.failures.Add(1)
 		return err
 	}
 
@@ -229,12 +309,17 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			case <-ctx.Done():
 				t.Stop()
 				c.breakerRecord(false)
+				c.st.failures.Add(1)
 				return ctx.Err()
 			}
+			c.st.retries.Add(1)
 		}
+		c.st.attempts.Add(1)
 		lastErr = c.attempt(ctx, method, path, body, out)
+		c.note(lastErr)
 		if lastErr == nil {
 			c.breakerRecord(true)
+			c.st.successes.Add(1)
 			return nil
 		}
 		if !retryable(lastErr) || ctx.Err() != nil {
@@ -242,19 +327,30 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 	}
 	c.breakerRecord(false)
+	c.st.failures.Add(1)
 	return lastErr
 }
 
 // once is do without retries, for probes.
 func (c *Client) once(ctx context.Context, method, path string, in, out any) error {
+	c.st.calls.Add(1)
 	var body []byte
 	if in != nil {
 		var err error
 		if body, err = json.Marshal(in); err != nil {
+			c.st.failures.Add(1)
 			return fmt.Errorf("client: encoding request: %w", err)
 		}
 	}
-	return c.attempt(ctx, method, path, body, out)
+	c.st.attempts.Add(1)
+	err := c.attempt(ctx, method, path, body, out)
+	c.note(err)
+	if err != nil {
+		c.st.failures.Add(1)
+	} else {
+		c.st.successes.Add(1)
+	}
+	return err
 }
 
 // attempt performs one HTTP exchange.
@@ -364,6 +460,9 @@ func (c *Client) breakerRecord(ok bool) {
 	}
 	c.fails++
 	if c.fails >= c.opt.BreakerThreshold {
+		if c.openUntil.IsZero() {
+			c.st.breakerOpens.Add(1)
+		}
 		c.openUntil = time.Now().Add(c.opt.BreakerCooldown)
 	}
 }

@@ -219,3 +219,53 @@ func TestClientSendsBearerToken(t *testing.T) {
 		t.Fatalf("Authorization = %q, want Bearer s3cret", got.Load())
 	}
 }
+
+// TestClientStatsCounters drives the retry machinery against a stub and
+// checks the local per-outcome counters tell the true story.
+func TestClientStatsCounters(t *testing.T) {
+	srv, _ := stub(t, []int{429, 503, 504}, "")
+	cl := New(fastOpts(srv.URL))
+	if _, err := cl.Run(context.Background(), RunRequest{Bench: "gcc"}); err != nil {
+		t.Fatalf("run after retries: %v", err)
+	}
+	st := cl.Stats()
+	if st.Calls != 1 || st.Successes != 1 || st.Failures != 0 {
+		t.Errorf("calls/successes/failures = %d/%d/%d, want 1/1/0", st.Calls, st.Successes, st.Failures)
+	}
+	if st.Attempts != 4 || st.Retries != 3 {
+		t.Errorf("attempts/retries = %d/%d, want 4/3", st.Attempts, st.Retries)
+	}
+	if st.RateLimited != 1 || st.Unavailable != 1 || st.Timeouts != 1 {
+		t.Errorf("429/503/504 = %d/%d/%d, want 1/1/1", st.RateLimited, st.Unavailable, st.Timeouts)
+	}
+	if st.TransportErrors != 0 || st.BreakerOpens != 0 || st.BreakerFastFails != 0 {
+		t.Errorf("unexpected transport/breaker counters: %+v", st)
+	}
+}
+
+// TestClientStatsBreaker pins the breaker-side counters: opens count
+// transitions, fast-fails count refused calls.
+func TestClientStatsBreaker(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(srv.Close)
+	opt := fastOpts(srv.URL)
+	opt.MaxAttempts = 1
+	opt.BreakerThreshold = 2
+	opt.BreakerCooldown = time.Hour
+	cl := New(opt)
+	for i := 0; i < 4; i++ {
+		cl.Run(context.Background(), RunRequest{Bench: "gcc"})
+	}
+	st := cl.Stats()
+	if st.BreakerOpens != 1 {
+		t.Errorf("breaker opens = %d, want 1", st.BreakerOpens)
+	}
+	if st.BreakerFastFails != 2 {
+		t.Errorf("breaker fast fails = %d, want 2 (calls 3 and 4)", st.BreakerFastFails)
+	}
+	if st.Failures != 4 || st.Unavailable != 2 {
+		t.Errorf("failures/503s = %d/%d, want 4/2", st.Failures, st.Unavailable)
+	}
+}

@@ -27,8 +27,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -54,6 +57,9 @@ func main() {
 		tlsCert   = flag.String("tls-cert", "", "TLS certificate file; with -tls-key, serve HTTPS")
 		tlsKey    = flag.String("tls-key", "", "TLS private key file")
 		faults    = flag.String("fault-inject", os.Getenv("GALS_FAULTS"), "fault-injection spec, e.g. 'resultcache.read=corrupt:0.5,service.dispatch=error:0.1' (empty disables; see internal/faultinject)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+		accessLog = flag.Bool("access-log", false, "write one JSON access-log line per request to stderr")
+		traceDir  = flag.String("trace-dir", "", "dump a span-trace JSON file per run/sweep/suite request into this directory")
 	)
 	flag.Parse()
 
@@ -85,10 +91,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "galsd: FAULT INJECTION ARMED (%s) — not for production service\n", *faults)
 	}
 
+	var logW io.Writer
+	if *accessLog {
+		logW = os.Stderr
+	}
 	svc, err := service.New(service.Config{
 		CacheDir: *cache, Workers: *workers, QueueDepth: *queue,
 		CacheMaxBytes: *maxBytes, AuthToken: *token,
 		RequestTimeout: *reqTO, RateLimit: *rateLimit, RateBurst: *rateBurst,
+		EnablePprof: *pprofOn, AccessLog: logW, TraceDir: *traceDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "galsd:", err)
@@ -113,19 +124,42 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
+	// Listen before serving so the ACTUAL bound address can be announced:
+	// with -addr :0 the kernel picks the port, and tools that spawn a
+	// throwaway galsd (galsload -launch) parse it from the startup line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		svc.Close()
+		fmt.Fprintln(os.Stderr, "galsd:", err)
+		os.Exit(1)
+	}
 	errc := make(chan error, 1)
 	go func() {
 		if *tlsCert != "" {
-			errc <- srv.ListenAndServeTLS(*tlsCert, *tlsKey)
+			errc <- srv.ServeTLS(ln, *tlsCert, *tlsKey)
 			return
 		}
-		errc <- srv.ListenAndServe()
+		errc <- srv.Serve(ln)
 	}()
 	scheme := "http"
 	if *tlsCert != "" {
 		scheme = "https"
 	}
-	fmt.Printf("galsd: listening on %s (%s, cache %q)\n", *addr, scheme, *cache)
+	fmt.Printf("galsd: listening on %s (%s, cache %q)\n", ln.Addr(), scheme, *cache)
+
+	// One structured line with the effective configuration, so a log
+	// aggregator (or a human reading journald) sees exactly what this
+	// instance is running with — including what the defaults resolved to.
+	summary, _ := json.Marshal(map[string]any{
+		"msg": "galsd started", "addr": ln.Addr().String(), "scheme": scheme,
+		"cache": *cache, "workers": *workers, "queue": *queue,
+		"cache_max_bytes": *maxBytes, "auth": *token != "",
+		"request_timeout": reqTO.String(), "rate_limit": *rateLimit,
+		"rate_burst": *rateBurst, "pprof": *pprofOn,
+		"access_log": *accessLog, "trace_dir": *traceDir,
+		"fault_injection": faultinject.Active(),
+	})
+	fmt.Println(string(summary))
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,342 @@
+// Command galsload is a closed-loop load-smoke driver for galsd: a fixed
+// number of workers issue a mixed stream of warm runs (a small set of
+// repeating requests that dedup and hit the cache), cold runs (unique
+// seeds that always simulate) and quick design-space sweeps, then the
+// driver reports exact client-side p50/p95/p99 latency and — the point of
+// the exercise — scrapes GET /metrics and checks that the server's own
+// histograms and counters tell the same story.
+//
+// Usage:
+//
+//	galsload -addr http://localhost:8347 -concurrency 8 -duration 10s
+//	galsload -launch -galsd-bin ./bin/galsd     # spawn a throwaway server
+//	galsload -requests 200 -assert              # CI smoke: fail on silence
+//
+// With -assert, the exit status is non-zero unless the scrape shows
+// non-zero request-latency series, cache hits and completed cells —
+// the "is observability actually wired" smoke test behind `make obs`.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gals/client"
+	"gals/internal/metrics"
+)
+
+// warmSet is the repeating request mix: small windows (smoke, not
+// benchmark), distinct benchmarks and modes so the server exercises
+// record, replay, sync and adaptive paths.
+var warmSet = []client.RunRequest{
+	{Bench: "adpcm encode", Mode: "phase"},
+	{Bench: "adpcm decode", Mode: "program"},
+	{Bench: "epic encode", Mode: "sync"},
+	{Bench: "jpeg compress", Mode: "phase"},
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://localhost:8347", "galsd base URL")
+		token       = flag.String("token", os.Getenv("GALSD_TOKEN"), "bearer token (default $GALSD_TOKEN)")
+		concurrency = flag.Int("concurrency", 8, "closed-loop workers")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to drive load (ignored when -requests > 0)")
+		requests    = flag.Int("requests", 0, "total request budget (0 = drive for -duration)")
+		coldFrac    = flag.Float64("cold-frac", 0.25, "fraction of runs issued with a unique seed (always simulate)")
+		sweepFrac   = flag.Float64("sweep-frac", 0.05, "fraction of requests that are quick phase-space sweeps")
+		window      = flag.Int64("window", 20_000, "instruction window per run")
+		seed        = flag.Int64("seed", 1, "base seed for the request mix")
+		launch      = flag.Bool("launch", false, "spawn a throwaway galsd (-galsd-bin) on a random port with a temp cache")
+		galsdBin    = flag.String("galsd-bin", "galsd", "galsd binary for -launch")
+		assert      = flag.Bool("assert", false, "exit non-zero unless the /metrics scrape shows non-zero latency, cache-hit and completed-cell series")
+	)
+	flag.Parse()
+
+	if *concurrency < 1 || *coldFrac < 0 || *coldFrac > 1 || *sweepFrac < 0 || *sweepFrac > 1 {
+		fmt.Fprintln(os.Stderr, "galsload: bad flags: need -concurrency >= 1 and fractions in [0,1]")
+		os.Exit(2)
+	}
+
+	base := *addr
+	if *launch {
+		var stop func()
+		var err error
+		base, stop, err = launchServer(*galsdBin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "galsload:", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+
+	cl := client.New(client.Options{BaseURL: base, Token: *token})
+	if err := waitHealthy(cl, 10*time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, "galsload:", err)
+		os.Exit(1)
+	}
+
+	lat := drive(cl, driveConfig{
+		concurrency: *concurrency, duration: *duration, requests: *requests,
+		coldFrac: *coldFrac, sweepFrac: *sweepFrac, window: *window, seed: *seed,
+	})
+
+	ok := report(os.Stdout, cl, base, lat, *assert)
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+type driveConfig struct {
+	concurrency int
+	duration    time.Duration
+	requests    int
+	coldFrac    float64
+	sweepFrac   float64
+	window      int64
+	seed        int64
+}
+
+type latencies struct {
+	mu    sync.Mutex
+	runs  []time.Duration // client-side latency of successful requests
+	fails int
+}
+
+func (l *latencies) add(d time.Duration, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err != nil {
+		l.fails++
+		return
+	}
+	l.runs = append(l.runs, d)
+}
+
+// drive runs the closed loop: each worker issues its next request as soon
+// as the previous one completes, so offered load adapts to server capacity
+// instead of queueing unboundedly.
+func drive(cl *client.Client, cfg driveConfig) *latencies {
+	lat := &latencies{}
+	var issued atomic.Int64
+	var coldSeq atomic.Int64
+	budget := int64(cfg.requests)
+	deadline := time.Now().Add(cfg.duration)
+
+	// splitmix-style per-request mixing keeps the mix deterministic for a
+	// given -seed without sharing one locked RNG across workers.
+	frac := func(n int64) float64 {
+		z := uint64(n)*0x9e3779b97f4a7c15 + uint64(cfg.seed)
+		z ^= z >> 33
+		z *= 0xff51afd7ed558ccd
+		z ^= z >> 33
+		return float64(z%1_000_000) / 1_000_000
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := issued.Add(1)
+				if budget > 0 && n > budget {
+					return
+				}
+				if budget <= 0 && time.Now().After(deadline) {
+					return
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				start := time.Now()
+				var err error
+				switch r := frac(n); {
+				case r < cfg.sweepFrac:
+					_, err = cl.Sweep(ctx, client.SweepRequest{
+						Space: "phase", Bench: "adpcm encode",
+						Window: cfg.window, Seed: cfg.seed,
+					})
+				case r < cfg.sweepFrac+cfg.coldFrac:
+					req := warmSet[int(n)%len(warmSet)]
+					req.Window = cfg.window
+					// Unique seed: this exact request has never been
+					// simulated, so it must miss the cache and compute.
+					req.Seed = cfg.seed + 1_000_000 + coldSeq.Add(1)
+					_, err = cl.Run(ctx, req)
+				default:
+					req := warmSet[int(n)%len(warmSet)]
+					req.Window = cfg.window
+					req.Seed = cfg.seed
+					_, err = cl.Run(ctx, req)
+				}
+				lat.add(time.Since(start), err)
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	return lat
+}
+
+// pctile returns the exact q-quantile (nearest-rank) of sorted samples.
+func pctile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)) + 0.5)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// report prints the client-side and server-side views and, with assert,
+// returns false when the scrape shows a dead observability surface.
+func report(w io.Writer, cl *client.Client, base string, lat *latencies, assert bool) bool {
+	sort.Slice(lat.runs, func(i, j int) bool { return lat.runs[i] < lat.runs[j] })
+	fmt.Fprintf(w, "galsload: %d ok, %d failed\n", len(lat.runs), lat.fails)
+	fmt.Fprintf(w, "client-side latency: p50 %v  p95 %v  p99 %v\n",
+		pctile(lat.runs, 0.50).Round(time.Microsecond),
+		pctile(lat.runs, 0.95).Round(time.Microsecond),
+		pctile(lat.runs, 0.99).Round(time.Microsecond))
+	cs := cl.Stats()
+	fmt.Fprintf(w, "client counters: calls %d attempts %d retries %d 429s %d 503s %d 504s %d transport %d breaker-opens %d\n",
+		cs.Calls, cs.Attempts, cs.Retries, cs.RateLimited, cs.Unavailable, cs.Timeouts, cs.TransportErrors, cs.BreakerOpens)
+
+	scrape, err := scrapeMetrics(base)
+	if err != nil {
+		fmt.Fprintf(w, "metrics scrape FAILED: %v\n", err)
+		return !assert
+	}
+	runBuckets := scrape.Buckets("gals_http_request_seconds", metrics.Label{Key: "endpoint", Value: "/v1/run"})
+	fmt.Fprintf(w, "server-side /v1/run latency: p50 %s  p95 %s  p99 %s (upper bucket bounds)\n",
+		fmtSecs(metrics.Quantile(0.50, runBuckets)),
+		fmtSecs(metrics.Quantile(0.95, runBuckets)),
+		fmtSecs(metrics.Quantile(0.99, runBuckets)))
+	hits, _ := scrape.Value("gals_cache_hits_total")
+	misses, _ := scrape.Value("gals_cache_misses_total")
+	completed, _ := scrape.Value("gals_pool_cells_completed_total")
+	queued, _ := scrape.Value("gals_pool_queue_depth")
+	simRuns, _ := scrape.Value("gals_sim_runs_total")
+	fmt.Fprintf(w, "server counters: cache hits %.0f misses %.0f, cells completed %.0f (queue %.0f), sim runs %.0f\n",
+		hits, misses, completed, queued, simRuns)
+
+	if !assert {
+		return true
+	}
+	var dead []string
+	var reqCount float64
+	for _, b := range runBuckets {
+		reqCount = b.CumulativeCount
+	}
+	if reqCount <= 0 {
+		dead = append(dead, "gals_http_request_seconds{endpoint=\"/v1/run\"} has no observations")
+	}
+	if hits <= 0 {
+		dead = append(dead, "gals_cache_hits_total is zero (warm traffic should hit)")
+	}
+	if completed <= 0 {
+		dead = append(dead, "gals_pool_cells_completed_total is zero")
+	}
+	if len(lat.runs) == 0 {
+		dead = append(dead, "no request succeeded")
+	}
+	for _, d := range dead {
+		fmt.Fprintf(w, "ASSERT FAILED: %s\n", d)
+	}
+	if len(dead) == 0 {
+		fmt.Fprintln(w, "asserts passed: latency, cache-hit and cell series are live")
+	}
+	return len(dead) == 0
+}
+
+func fmtSecs(s float64) string {
+	if s != s { // NaN: no observations
+		return "n/a"
+	}
+	return fmt.Sprintf("<=%v", time.Duration(s*float64(time.Second)).Round(time.Microsecond))
+}
+
+// scrapeMetrics fetches and parses the Prometheus exposition.
+func scrapeMetrics(base string) (*metrics.Scrape, error) {
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	return metrics.Parse(resp.Body)
+}
+
+func waitHealthy(cl *client.Client, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		err := cl.Health(ctx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server not healthy after %v: %w", timeout, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// launchServer spawns a throwaway galsd on a kernel-chosen port with a
+// temporary cache directory and parses the announced address from its
+// startup line. The returned stop kills the server and removes the cache.
+func launchServer(bin string) (base string, stop func(), err error) {
+	dir, err := os.MkdirTemp("", "galsload-cache-*")
+	if err != nil {
+		return "", nil, err
+	}
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-cache", dir)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		os.RemoveAll(dir)
+		return "", nil, fmt.Errorf("starting %s: %w", bin, err)
+	}
+	stop = func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		os.RemoveAll(dir)
+	}
+
+	// The first stdout line announces the bound address:
+	//   galsd: listening on 127.0.0.1:43210 (http, cache "...")
+	sc := bufio.NewScanner(out)
+	addrc := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "galsd: listening on "); ok {
+				addrc <- strings.Fields(rest)[0]
+			}
+		}
+	}()
+	select {
+	case a := <-addrc:
+		return "http://" + a, stop, nil
+	case <-time.After(10 * time.Second):
+		stop()
+		return "", nil, fmt.Errorf("%s did not announce a listen address within 10s", bin)
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Simulator-boundary observability: process-wide counters folded in ONCE
+// per completed run, at result construction — never inside the
+// instruction loop, so the hot path's cost is untouched (the A/B bench in
+// PERFORMANCE.md pins the overhead under 1%). The service exports these
+// as /metrics series; CLI tools share the same process-wide truth.
+
+var (
+	simRuns   atomic.Int64
+	simInstrs atomic.Int64
+
+	reconfigMu       sync.Mutex
+	reconfigByPolicy map[string]int64
+)
+
+// noteRun folds one completed run into the boundary counters: a handful of
+// atomic adds plus, only when the run reconfigured, one short mutex
+// section on a policy-keyed map (runs are 0.1ms+; this is noise).
+func noteRun(cfg Config, st *Stats) {
+	simRuns.Add(1)
+	simInstrs.Add(st.Instructions)
+	if st.Reconfigs == 0 {
+		return
+	}
+	pol := policyLabel(cfg)
+	reconfigMu.Lock()
+	if reconfigByPolicy == nil {
+		reconfigByPolicy = make(map[string]int64)
+	}
+	reconfigByPolicy[pol] += st.Reconfigs
+	reconfigMu.Unlock()
+}
+
+// policyLabel names the adaptation policy a run executed under for the
+// per-policy reconfiguration metric: the explicit registry name when one
+// was selected, the paper controllers ("paper") for a default
+// Phase-Adaptive run, "none" otherwise (sync and program-adaptive
+// machines never reconfigure on-line).
+func policyLabel(cfg Config) string {
+	if cfg.Policy != "" {
+		return cfg.Policy
+	}
+	if cfg.Mode == PhaseAdaptive {
+		return "paper"
+	}
+	return "none"
+}
+
+// SimRuns reports the number of simulation runs completed in this process
+// (live and replayed; cache hits never reach the simulator and do not
+// count).
+func SimRuns() int64 { return simRuns.Load() }
+
+// SimInstructions reports the total instructions committed across all
+// completed runs in this process.
+func SimInstructions() int64 { return simInstrs.Load() }
+
+// ReconfigsByPolicy snapshots the total on-line reconfigurations committed
+// per adaptation policy.
+func ReconfigsByPolicy() map[string]int64 {
+	reconfigMu.Lock()
+	defer reconfigMu.Unlock()
+	out := make(map[string]int64, len(reconfigByPolicy))
+	for k, v := range reconfigByPolicy {
+		out[k] = v
+	}
+	return out
+}

@@ -419,6 +419,7 @@ func (m *Machine) Run(n int64) *Result {
 }
 
 func (m *Machine) result() *Result {
+	noteRun(m.cfg, &m.stats)
 	return &Result{
 		Workload: m.trace.Spec().Name,
 		Config:   m.cfg,

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"gals/internal/metrics"
 	"gals/internal/sweep"
 )
 
@@ -45,6 +46,9 @@ type Options struct {
 	// Ctx bounds the pipeline's simulation work (see sweep.Options.Ctx).
 	// Result-neutral: excluded from the memo and every cache key.
 	Ctx context.Context `json:"-"`
+	// Tracer optionally records span-style timings for the pipeline's
+	// stages (see sweep.Options.Tracer). Result-neutral.
+	Tracer *metrics.Tracer `json:"-"`
 	// Policy and PolicyParams select the adaptation policy
 	// (internal/control registry) of the Phase-Adaptive stages; "" keeps
 	// the paper controllers. Result-relevant: part of the suite memo and
@@ -72,6 +76,7 @@ func (o Options) sweepOptions() sweep.Options {
 		Exec:         o.Exec,
 		Priority:     o.Priority,
 		Ctx:          o.Ctx,
+		Tracer:       o.Tracer,
 		Policy:       o.Policy,
 		PolicyParams: o.PolicyParams,
 	}

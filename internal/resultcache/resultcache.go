@@ -91,10 +91,20 @@ func Key(kind string, req any) string {
 type Stats struct {
 	// Hits and Misses count Load outcomes.
 	Hits, Misses int64
-	// Puts counts successful Store writes.
-	Puts int64
+	// Puts counts successful Store writes; PutBytes their total payload.
+	Puts     int64
+	PutBytes int64
 	// Errors counts I/O or decode failures (treated as misses).
 	Errors int64
+	// Corrupt counts blobs that existed but failed to decode — the
+	// corrupt-entry-recovered-as-miss path specifically, a subset of
+	// Errors. A rising Corrupt with flat Errors-elsewhere means the disk
+	// (or an injected fault) is damaging blobs, not that I/O is failing.
+	Corrupt int64
+	// Evictions and EvictedBytes count files removed by Prune passes in
+	// this process (LRU evictions plus stale temp/lock debris).
+	Evictions    int64
+	EvictedBytes int64
 }
 
 // Cache is the on-disk Store implementation. The zero value is not usable;
@@ -103,7 +113,8 @@ type Stats struct {
 type Cache struct {
 	dir string
 
-	hits, misses, puts, errs atomic.Int64
+	hits, misses, puts, errs           atomic.Int64
+	putBytes, corrupt, evicts, evBytes atomic.Int64
 }
 
 // Open creates (if needed) and returns a cache rooted at dir.
@@ -158,6 +169,7 @@ func (c *Cache) Load(key string, v any) bool {
 		// Corrupt or schema-incompatible entry: treat as a miss; the
 		// caller's Store will overwrite it with a fresh blob.
 		c.errs.Add(1)
+		c.corrupt.Add(1)
 		c.misses.Add(1)
 		return false
 	}
@@ -211,6 +223,7 @@ func (c *Cache) Store(key string, v any) {
 		return
 	}
 	c.puts.Add(1)
+	c.putBytes.Add(int64(len(blob)))
 }
 
 // staleTempAge is how old a dot-prefixed temp file or .lock must be before
@@ -250,6 +263,12 @@ func (c *Cache) Prune(maxBytes int64) (PruneStats, error) {
 	var files []entry
 	var total int64
 	st := PruneStats{}
+	// Every return path folds what the pass removed (LRU evictions plus
+	// stale temp/lock debris) into the lifetime eviction counters.
+	defer func() {
+		c.evicts.Add(int64(st.RemovedFiles))
+		c.evBytes.Add(st.RemovedBytes)
+	}()
 	err := filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
 			return nil // unreadable subtrees are simply not pruned
@@ -309,9 +328,13 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:   c.hits.Load(),
-		Misses: c.misses.Load(),
-		Puts:   c.puts.Load(),
-		Errors: c.errs.Load(),
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Puts:         c.puts.Load(),
+		PutBytes:     c.putBytes.Load(),
+		Errors:       c.errs.Load(),
+		Corrupt:      c.corrupt.Load(),
+		Evictions:    c.evicts.Load(),
+		EvictedBytes: c.evBytes.Load(),
 	}
 }

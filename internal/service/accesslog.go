@@ -1,0 +1,128 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// knownEndpoints bounds the endpoint label's cardinality: a scraper must
+// never see one series per scanned garbage path, so anything outside the
+// served surface is folded into "other".
+var knownEndpoints = map[string]bool{
+	"/healthz":        true,
+	"/metrics":        true,
+	"/v1/stats":       true,
+	"/v1/policies":    true,
+	"/v1/workloads":   true,
+	"/v1/run":         true,
+	"/v1/batch":       true,
+	"/v1/sweep":       true,
+	"/v1/suite":       true,
+	"/v1/experiment":  true,
+	"/v1/cache/prune": true,
+}
+
+func endpointLabel(path string) string {
+	if knownEndpoints[path] {
+		return path
+	}
+	if len(path) >= len("/debug/pprof") && path[:len("/debug/pprof")] == "/debug/pprof" {
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// statusWriter captures the response status and size for the access log
+// and the status-code counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// accessEntry is one structured access-log line.
+type accessEntry struct {
+	Time   string  `json:"ts"`
+	ID     string  `json:"id"`
+	Remote string  `json:"remote"`
+	Method string  `json:"method"`
+	Path   string  `json:"path"`
+	Status int     `json:"status"`
+	Bytes  int64   `json:"bytes"`
+	DurMS  float64 `json:"dur_ms"`
+}
+
+// observe is the outermost HTTP middleware: it assigns (or propagates) a
+// request ID, tracks the in-flight gauge, and on completion records the
+// per-endpoint latency histogram, the status-code counter and — when
+// Config.AccessLog is set — one JSON access-log line.
+func (s *Service) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = s.runID + "-" + strconv.FormatInt(s.reqSeq.Add(1), 10)
+		}
+		w.Header().Set("X-Request-Id", id)
+
+		ep := endpointLabel(r.URL.Path)
+		s.httpRequests.With(ep).Inc()
+		s.httpInFlight.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			dur := time.Since(start)
+			s.httpInFlight.Add(-1)
+			if sw.status == 0 {
+				// Handler wrote nothing (e.g. a hijacked or empty 200).
+				sw.status = http.StatusOK
+			}
+			s.httpLatency.With(ep).Observe(dur.Seconds())
+			s.httpStatus.With(strconv.Itoa(sw.status)).Inc()
+			s.logAccess(accessEntry{
+				Time:   start.UTC().Format(time.RFC3339Nano),
+				ID:     id,
+				Remote: r.RemoteAddr,
+				Method: r.Method,
+				Path:   r.URL.Path,
+				Status: sw.status,
+				Bytes:  sw.bytes,
+				DurMS:  float64(dur.Microseconds()) / 1000,
+			})
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// logAccess writes one JSON line to the configured access-log writer. A
+// mutex serializes lines so concurrent requests never interleave bytes.
+func (s *Service) logAccess(e accessEntry) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.logMu.Lock()
+	s.cfg.AccessLog.Write(line)
+	s.logMu.Unlock()
+}

@@ -430,7 +430,7 @@ func TestChaosRetryingClientMixedWorkload(t *testing.T) {
 	}
 	for i := 0; i < 4; i++ {
 		ops = append(ops, func() error {
-			_, err := cl.Stats(context.Background())
+			_, err := cl.ServerStats(context.Background())
 			return err
 		})
 	}

@@ -5,12 +5,17 @@ import (
 	"crypto/subtle"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"gals/internal/control"
 	"gals/internal/faultinject"
+	"gals/internal/metrics"
 	"gals/internal/workload"
 )
 
@@ -40,6 +45,22 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 
+	// The Prometheus scrape endpoint. Open like /healthz: it carries
+	// operational counters, not results, and a scraper should not need
+	// compute credentials to watch a saturated server.
+	mux.Handle("GET /metrics", s.reg.Handler())
+
+	if s.cfg.EnablePprof {
+		// Explicit wiring instead of net/http/pprof's init-time
+		// DefaultServeMux registration, so profiling only exists on
+		// servers that opted in with -pprof.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
@@ -66,12 +87,13 @@ func (s *Service) Handler() http.Handler {
 		if !readJSON(w, r, &req) {
 			return
 		}
-		res, err := s.Run(r.Context(), req)
+		ctx, tr := s.traceCtx(r, "run")
+		res, err := s.Run(ctx, req)
 		if err != nil {
 			writeErr(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, res)
+		writeTraced(w, r, res, s.finishTrace("run", tr))
 	})
 
 	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
@@ -93,12 +115,13 @@ func (s *Service) Handler() http.Handler {
 		if !readJSON(w, r, &req) {
 			return
 		}
-		res, err := s.Sweep(r.Context(), req)
+		ctx, tr := s.traceCtx(r, "sweep")
+		res, err := s.Sweep(ctx, req)
 		if err != nil {
 			writeErr(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, res)
+		writeTraced(w, r, res, s.finishTrace("sweep", tr))
 	})
 
 	mux.HandleFunc("POST /v1/suite", func(w http.ResponseWriter, r *http.Request) {
@@ -106,12 +129,13 @@ func (s *Service) Handler() http.Handler {
 		if !readJSON(w, r, &req) {
 			return
 		}
-		res, err := s.Suite(r.Context(), req)
+		ctx, tr := s.traceCtx(r, "suite")
+		res, err := s.Suite(ctx, req)
 		if err != nil {
 			writeErr(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, res)
+		writeTraced(w, r, res, s.finishTrace("suite", tr))
 	})
 
 	mux.HandleFunc("POST /v1/cache/prune", func(w http.ResponseWriter, r *http.Request) {
@@ -168,7 +192,51 @@ func (s *Service) Handler() http.Handler {
 		// are rejected before they can consume anyone's tokens.
 		h = s.authenticate(h)
 	}
-	return h
+	// Observation is outermost so every request — including 401s and 429s
+	// the inner middleware produced — lands in the latency histograms,
+	// status counters and the access log.
+	return s.observe(h)
+}
+
+// traceCtx attaches a fresh span tracer to the request context when the
+// client asked for one (?trace=1) or the server traces everything
+// (Config.TraceDir); otherwise the context is returned untouched and the
+// whole request path pays nil checks only.
+func (s *Service) traceCtx(r *http.Request, name string) (context.Context, *metrics.Tracer) {
+	if r.URL.Query().Get("trace") != "1" && s.cfg.TraceDir == "" {
+		return r.Context(), nil
+	}
+	tr := metrics.NewTracer(name)
+	return WithTracer(r.Context(), tr), tr
+}
+
+// finishTrace seals the request's trace and, when Config.TraceDir is set,
+// writes it as an indented-JSON file (trace-<name>-<seq>.json). Returns
+// the dump for inline delivery, nil when tracing was off.
+func (s *Service) finishTrace(name string, tr *metrics.Tracer) *metrics.TraceDump {
+	if tr == nil {
+		return nil
+	}
+	dump := tr.Finish()
+	if dir := s.cfg.TraceDir; dir != "" {
+		if blob, err := json.MarshalIndent(dump, "", "  "); err == nil {
+			file := fmt.Sprintf("trace-%s-%s-%06d.json", name, s.runID, s.traceSeq.Add(1))
+			os.MkdirAll(dir, 0o755)
+			os.WriteFile(filepath.Join(dir, file), blob, 0o644)
+		}
+	}
+	return dump
+}
+
+// writeTraced delivers a result, wrapping it as {"result":…, "trace":…}
+// when the client asked for the trace inline with ?trace=1. Server-side
+// trace-dir dumping alone does not change the response shape.
+func writeTraced(w http.ResponseWriter, r *http.Request, res any, dump *metrics.TraceDump) {
+	if dump != nil && r.URL.Query().Get("trace") == "1" {
+		writeJSON(w, http.StatusOK, map[string]any{"result": res, "trace": dump})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 // authenticate gates /v1/* behind the configured bearer token. The

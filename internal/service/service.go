@@ -26,6 +26,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"path/filepath"
 	"runtime"
@@ -38,6 +39,7 @@ import (
 	"gals/internal/core"
 	"gals/internal/experiment"
 	"gals/internal/faultinject"
+	"gals/internal/metrics"
 	"gals/internal/recstore"
 	"gals/internal/resultcache"
 	"gals/internal/sweep"
@@ -83,6 +85,20 @@ type Config struct {
 	// bucket size (default ceil(RateLimit), minimum 1).
 	RateLimit float64
 	RateBurst int
+	// EnablePprof mounts net/http/pprof's profiling handlers under
+	// /debug/pprof/ (CPU and heap profiles, goroutine dumps, execution
+	// traces). Off by default: profiling endpoints reveal internals and
+	// cost CPU, so they are opt-in via galsd -pprof.
+	EnablePprof bool
+	// AccessLog, when non-nil, receives one JSON line per HTTP request
+	// (request ID, method, path, status, bytes, duration). galsd wires
+	// stderr behind -access-log.
+	AccessLog io.Writer
+	// TraceDir, when set, makes every /v1/run, /v1/sweep and /v1/suite
+	// request record a span trace and write it as an indented-JSON file
+	// into this directory (clients can also opt in per request with
+	// ?trace=1, which returns the trace inline instead).
+	TraceDir string
 }
 
 // Service executes simulation requests. Create with New, stop with Close.
@@ -110,6 +126,21 @@ type Service struct {
 
 	sims   atomic.Int64 // simulations actually executed by this service
 	dedups atomic.Int64 // requests served by joining an in-flight twin
+
+	// Observability surface (internal/metrics): the registry behind
+	// GET /metrics plus the event-sourced instruments the request path
+	// observes directly. See initMetrics for the full series catalogue.
+	reg          *metrics.Registry
+	httpLatency  *metrics.HistogramVec
+	httpRequests *metrics.CounterVec
+	httpStatus   *metrics.CounterVec
+	httpInFlight *metrics.Gauge
+	rateLimited  *metrics.Counter
+
+	runID    string       // per-process prefix for generated request IDs
+	reqSeq   atomic.Int64 // request-ID sequence
+	traceSeq atomic.Int64 // trace-file sequence
+	logMu    sync.Mutex   // serializes access-log lines
 }
 
 // New creates a service and, when cfg.CacheDir is set, opens the persistent
@@ -141,8 +172,32 @@ func New(cfg Config) (*Service, error) {
 		s.limiter = newRateLimiter(cfg.RateLimit, cfg.RateBurst)
 	}
 	s.pool = sweep.NewPool(cfg.Workers, cfg.QueueDepth)
+	s.runID = fmt.Sprintf("%x", time.Now().UnixNano())
+	s.initMetrics()
 	s.maybePrune()
 	return s, nil
+}
+
+// ---------------------------------------------------------------------------
+// Request tracing. A tracer rides the request context so the compute
+// layers (Run's cell, the sweep's measure stage, the suite pipeline) can
+// attach spans without new parameters on every signature; requests
+// without one pay a context lookup and nil checks, nothing more.
+
+type tracerKey struct{}
+
+// WithTracer attaches a span tracer to ctx.
+func WithTracer(ctx context.Context, tr *metrics.Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, tr)
+}
+
+// tracerFrom extracts the request's tracer, nil when tracing is off.
+func tracerFrom(ctx context.Context) *metrics.Tracer {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(tracerKey{}).(*metrics.Tracer)
+	return tr
 }
 
 // Close stops the workers (accepted cells still finish), retires the
@@ -447,14 +502,23 @@ type RunResult struct {
 // and at accounting-interval boundaries during simulation; a cancelled run
 // returns ctx's error and no result.
 func (s *Service) runOne(ctx context.Context, spec workload.Spec, cfg core.Config, window int64) (*core.Result, error) {
+	tr := tracerFrom(ctx)
 	if p := s.tracePool(window); p != nil {
+		recSpan := tr.Start("record", spec.Name)
 		rec, err := p.GetContext(ctx, spec)
+		recSpan.End()
 		if err != nil {
 			return nil, err
 		}
-		return core.RunSourceContext(ctx, rec.Replay(), cfg, window)
+		simSpan := tr.Start("replay+measure", cfg.Label())
+		res, err := core.RunSourceContext(ctx, rec.Replay(), cfg, window)
+		simSpan.End()
+		return res, err
 	}
-	return core.RunWorkloadContext(ctx, spec, cfg, window)
+	simSpan := tr.Start("generate+measure", cfg.Label())
+	res, err := core.RunWorkloadContext(ctx, spec, cfg, window)
+	simSpan.End()
+	return res, err
 }
 
 // cacheKey returns the normalized request's persistent-cache key: Priority
@@ -487,12 +551,17 @@ func (s *Service) Run(ctx context.Context, req RunRequest) (RunResult, error) {
 	defer cancel()
 	key := n.cacheKey()
 
+	tr := tracerFrom(ctx)
 	v, err, shared := s.flight.Do(ctx, key, func() (any, error) {
 		var out RunResult
+		lookup := tr.Start("cache-lookup", "run")
 		if s.cache.Load(key, &out) {
+			lookup.Annotate("run: hit")
+			lookup.End()
 			out.Cached = true
 			return out, nil
 		}
+		lookup.End()
 		spec, cfg, err := n.machine()
 		if err != nil {
 			return RunResult{}, err
@@ -514,10 +583,15 @@ func (s *Service) Run(ctx context.Context, req RunRequest) (RunResult, error) {
 				Stats:        res.Stats,
 			}
 		}
+		cellSpan := tr.Start("cell", n.Bench)
 		if err := s.pool.ExecuteContext(ctx, n.Priority, [][]func(){{cell}}); err != nil {
+			cellSpan.End()
 			return RunResult{}, err
 		}
+		cellSpan.End()
+		persist := tr.Start("persist", "run")
 		s.cache.Store(key, out)
+		persist.End()
 		return out, nil
 	})
 	if err != nil {
@@ -756,7 +830,8 @@ func (s *Service) Sweep(ctx context.Context, req SweepRequest) (SweepResult, err
 				JitterFrac: n.JitterFrac, PLLScale: n.PLLScale,
 				Traces: s.tracePool(n.Window),
 				Exec:   s.pool, Priority: n.Priority,
-				Ctx: ctx,
+				Ctx:    ctx,
+				Tracer: tracerFrom(ctx),
 			}
 			sum, err := sweep.MeasureSummary(specs, cfgs, so)
 			if err != nil {
@@ -905,6 +980,7 @@ func (s *Service) Suite(ctx context.Context, req SuiteRequest) (SuiteSummary, er
 			o.Exec = s.pool
 			o.Priority = req.Priority
 			o.Ctx = ctx
+			o.Tracer = tracerFrom(ctx)
 			r, err = experiment.RunSuite(o)
 			return err
 		}); err != nil {
@@ -985,6 +1061,12 @@ type Stats struct {
 	Completed int64 `json:"completed"`
 	Rejected  int64 `json:"rejected"`
 	Purged    int64 `json:"purged"`
+	// Steals counts work-stealing events between workers; StolenCells the
+	// cells they moved.
+	Steals      int64 `json:"steals"`
+	StolenCells int64 `json:"stolen_cells"`
+	// RateLimited counts requests refused with 429 by admission control.
+	RateLimited int64 `json:"rate_limited"`
 	// Simulations counts single-run simulations this service executed
 	// (cache hits and deduped joins don't increment it).
 	Simulations int64 `json:"simulations"`
@@ -1011,6 +1093,9 @@ func (s *Service) Stats() Stats {
 		Completed:         s.pool.Completed(),
 		Rejected:          s.pool.Rejected(),
 		Purged:            s.pool.Purged(),
+		Steals:            s.pool.Steals(),
+		StolenCells:       s.pool.StolenCells(),
+		RateLimited:       s.rateLimited.Value(),
 		Simulations:       s.sims.Load(),
 		DedupHits:         s.dedups.Load(),
 		SuiteComputations: experiment.SuiteComputations(),

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrQueueFull is returned by Execute when admitting the batch would push
@@ -187,6 +188,12 @@ type Pool struct {
 	purged    atomic.Int64 // cells removed unrun by cancellation
 	steals    atomic.Int64 // steal events (one lock acquisition each)
 	stolen    atomic.Int64 // cells migrated by steals
+
+	// obs, when set, observes every cell's execution wall time. Atomic so
+	// SetObserver is safe against already-running workers; nil (the
+	// default, and the CLI's SharedPool forever) costs one pointer load
+	// per cell and not even a clock read.
+	obs atomic.Pointer[func(d time.Duration)]
 }
 
 // NewPool starts a pool of `workers` goroutines bounded at `depth` pending
@@ -253,6 +260,18 @@ func (p *Pool) Steals() int64 { return p.steals.Load() }
 // steals.
 func (p *Pool) StolenCells() int64 { return p.stolen.Load() }
 
+// SetObserver installs fn to observe every subsequently executed cell's
+// wall time (the service feeds its cell-latency histogram). Cells are
+// coarse — one simulation run each — so the two clock reads this adds per
+// cell are noise. nil uninstalls.
+func (p *Pool) SetObserver(fn func(d time.Duration)) {
+	if fn == nil {
+		p.obs.Store(nil)
+		return
+	}
+	p.obs.Store(&fn)
+}
+
 // work is one worker's loop.
 func (p *Pool) work(id int) {
 	defer p.workers.Done()
@@ -271,7 +290,13 @@ func (p *Pool) work(id int) {
 		p.mu.Unlock()
 
 		p.inflight.Add(1)
-		c.run()
+		if fn := p.obs.Load(); fn != nil {
+			t0 := time.Now()
+			c.run()
+			(*fn)(time.Since(t0))
+		} else {
+			c.run()
+		}
 		p.inflight.Add(-1)
 		p.completed.Add(1)
 	}

@@ -18,6 +18,7 @@ package sweep
 import (
 	"container/heap"
 	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -25,6 +26,7 @@ import (
 
 	"gals/internal/control"
 	"gals/internal/core"
+	"gals/internal/metrics"
 	"gals/internal/resultcache"
 	"gals/internal/timing"
 	"gals/internal/workload"
@@ -83,6 +85,11 @@ type Options struct {
 	// persisting the partial aggregate. Result-neutral (a completed sweep
 	// is bit-identical with or without a Ctx); nil means no bound.
 	Ctx context.Context `json:"-"`
+	// Tracer, when non-nil, collects per-cell timed spans (record →
+	// replay/measure, plus sweep-level cache-hit and persist spans) for
+	// this sweep's wall-time attribution. Result-neutral and excluded from
+	// every persist key; nil (the default) costs a nil check per span site.
+	Tracer *metrics.Tracer `json:"-"`
 }
 
 // WithDefaults fills in zero fields: Window 30,000, Workers GOMAXPROCS,
@@ -397,6 +404,9 @@ func runCells(specs []workload.Spec, cfgs []core.Config, o Options, sink func(ci
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// The measure stage span parents every cell span; with a nil tracer
+	// every span call below is a no-op.
+	stage := o.Tracer.Start("measure", fmt.Sprintf("%d configs x %d benchmarks", len(cfgs), len(specs)))
 	groups := make([][]func(), 0, len(cfgs)*(len(specs)/cellChunk+1))
 	for ci := range cfgs {
 		ci := ci
@@ -409,14 +419,26 @@ func runCells(specs []workload.Spec, cfgs []core.Config, o Options, sink func(ci
 			for si := start; si < end; si++ {
 				si := si
 				cells = append(cells, func() {
+					// Only render the config label when a trace is live:
+					// an untraced cell must not pay a per-cell allocation.
+					var cellSpan metrics.Span
+					if o.Tracer != nil {
+						cellSpan = stage.Child("cell", cfgs[ci].Label()+" / "+specs[si].Name)
+					}
+					recSpan := cellSpan.Child("record", specs[si].Name)
 					rec, err := pool.GetContext(ctx, specs[si])
+					recSpan.End()
 					if err != nil {
+						cellSpan.End()
 						return // cancelled mid-recording: deliver nothing
 					}
 					// A nil-Done ctx takes core's uninstrumented fast
 					// path, so ctx-less sweeps cost exactly what they
 					// did; a cancelled cell delivers nothing.
+					simSpan := cellSpan.Child("replay+measure", "")
 					res, err := core.RunSourceContext(ctx, rec.Replay(), o.apply(cfgs[ci]), o.Window)
+					simSpan.End()
+					cellSpan.End()
 					if err != nil {
 						return
 					}
@@ -426,7 +448,9 @@ func runCells(specs []workload.Spec, cfgs []core.Config, o Options, sink func(ci
 			groups = append(groups, cells)
 		}
 	}
-	return exec.ExecuteContext(ctx, o.Priority, groups)
+	err := exec.ExecuteContext(ctx, o.Priority, groups)
+	stage.End()
+	return err
 }
 
 // Measure runs every configuration on every benchmark and returns the run
@@ -699,11 +723,15 @@ func MeasureSummary(specs []workload.Spec, cfgs []core.Config, o Options) (*Summ
 	store := persistStore()
 	var key string
 	if store != nil {
+		lookup := o.Tracer.Start("cache-lookup", "sweepsum")
 		key = o.measureKey("sweepsum", specs, cfgs)
 		var cached Summary
 		if store.Load(key, &cached) && summaryShapeOK(&cached, len(specs), len(cfgs), o.TopK) {
+			lookup.Annotate("sweepsum: hit")
+			lookup.End()
 			return &cached, nil
 		}
+		lookup.End()
 		if o.TopK > 0 {
 			// A persisted full-scores summary strictly subsumes a top-K one.
 			full := o
@@ -739,7 +767,9 @@ func MeasureSummary(specs []workload.Spec, cfgs []core.Config, o Options) (*Summ
 	}
 	sum := acc.finish()
 	if store != nil {
+		persist := o.Tracer.Start("persist", "sweepsum")
 		store.Store(key, sum)
+		persist.End()
 	}
 	return sum, nil
 }
@@ -824,11 +854,15 @@ func MeasurePhase(specs []workload.Spec, o Options) ([]*core.Result, error) {
 	store := persistStore()
 	var key string
 	if store != nil {
+		lookup := o.Tracer.Start("cache-lookup", "phase")
 		key = o.measureKey("phase", specs, nil)
 		var cached []*core.Result
 		if store.Load(key, &cached) && len(cached) == len(specs) {
+			lookup.Annotate("phase: hit")
+			lookup.End()
 			return cached, nil
 		}
+		lookup.End()
 	}
 	measureComputes.Add(1)
 	pool, ownedTraces := o.pool()

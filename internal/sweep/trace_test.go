@@ -1,0 +1,89 @@
+package sweep
+
+import (
+	"testing"
+
+	"gals/internal/metrics"
+	"gals/internal/workload"
+)
+
+// TestSweepTraceSpansNest drives a 2-worker sweep with a tracer attached
+// and checks the span tree has the documented shape: a "measure" stage
+// span whose children are one "cell" span per (config, benchmark) pair,
+// each carrying its "record"/"replay+measure" sub-spans — even though the
+// cells executed concurrently on different workers.
+func TestSweepTraceSpansNest(t *testing.T) {
+	specs := workload.Suite()[:2]
+	cfgs := AdaptiveSpace()[:2]
+	tr := metrics.NewTracer("sweep")
+	sum, err := MeasureSummary(specs, cfgs, Options{Window: 3000, Workers: 2, Tracer: tr})
+	if err != nil {
+		t.Fatalf("MeasureSummary: %v", err)
+	}
+	if sum == nil || sum.Best < 0 {
+		t.Fatalf("sweep produced no result")
+	}
+
+	dump := tr.Finish()
+	var stage *metrics.SpanData
+	for _, sp := range dump.Spans {
+		if sp.Name == "measure" {
+			stage = sp
+			break
+		}
+	}
+	if stage == nil {
+		t.Fatalf("no measure stage span in trace: %+v", dump.Spans)
+	}
+	wantCells := len(specs) * len(cfgs)
+	var cells int
+	for _, c := range stage.Children {
+		if c.Name != "cell" {
+			t.Fatalf("unexpected stage child %q", c.Name)
+		}
+		cells++
+		if c.StartUS < stage.StartUS {
+			t.Errorf("cell %q starts at %dus before its stage (%dus)", c.Detail, c.StartUS, stage.StartUS)
+		}
+		var names []string
+		for _, g := range c.Children {
+			names = append(names, g.Name)
+			if g.StartUS < c.StartUS {
+				t.Errorf("sub-span %q starts before its cell", g.Name)
+			}
+		}
+		if len(names) != 2 || names[0] != "record" || names[1] != "replay+measure" {
+			t.Errorf("cell %q children = %v, want [record replay+measure]", c.Detail, names)
+		}
+	}
+	if cells != wantCells {
+		t.Errorf("traced %d cells, want %d", cells, wantCells)
+	}
+	if stage.DurUS <= 0 {
+		t.Errorf("measure stage has no duration")
+	}
+}
+
+// TestSweepUntracedUnaffected pins the no-tracer path: a nil Tracer must
+// produce bit-identical sweep results (tracing is result-neutral and off
+// the persist key).
+func TestSweepUntracedUnaffected(t *testing.T) {
+	specs := workload.Suite()[:2]
+	cfgs := AdaptiveSpace()[:2]
+	a, err := MeasureSummary(specs, cfgs, Options{Window: 3000, Tracer: metrics.NewTracer("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureSummary(specs, cfgs, Options{Window: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best != b.Best || len(a.PerApp) != len(b.PerApp) {
+		t.Fatalf("traced sweep diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.PerApp {
+		if a.PerApp[i] != b.PerApp[i] || a.PerAppTimes[i] != b.PerAppTimes[i] {
+			t.Fatalf("traced sweep diverged at app %d", i)
+		}
+	}
+}
