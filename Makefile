@@ -9,7 +9,7 @@ BENCHOUT  ?= BENCH_latest.txt
 MEMWINDOW ?= 60000
 MEMCACHE  ?= /tmp/gals-bench-mem-cache
 
-.PHONY: all build test test-short race vet parity determinism chaos obs bench bench-suite bench-mem bench-smoke ci
+.PHONY: all build test test-short race vet parity determinism chaos crash obs bench bench-suite bench-mem bench-smoke ci
 
 all: build
 
@@ -48,6 +48,14 @@ determinism:
 # detector, since every one of these paths races teardown by design.
 chaos:
 	$(GO) test -race -run 'Chaos|Cancel|Inject' ./...
+
+# Crash-recovery gate (also a CI job): the checkpoint/resume, startup-scrub
+# and crash-injection tests — interrupted sweeps resume bit-identically from
+# their persisted checkpoints, crashed-writer debris is reaped or
+# quarantined, and a SIGKILLed galsd restarted over the same cache finishes
+# the suite with strictly fewer simulations (real subprocess drill).
+crash:
+	$(GO) test -race -run 'Crash|Resume|Scrub' ./...
 
 # Observability smoke (also a CI job): build galsd + galsload, then have
 # galsload launch the daemon, drive a short mixed closed loop against it,

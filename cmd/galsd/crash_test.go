@@ -1,0 +1,194 @@
+// Subprocess chaos test for galsd's crash recovery: a real server is
+// SIGKILLed mid-suite, restarted over the same cache directory, and must
+// finish the rerun from its persisted checkpoints — byte-identical to an
+// uninterrupted run and with strictly fewer simulated cells.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// galsdProc is one launched server: its base URL and a hard-kill handle.
+type galsdProc struct {
+	base string
+	cmd  *exec.Cmd
+}
+
+// kill SIGKILLs the server — the crash under test, not a graceful stop.
+func (p *galsdProc) kill() {
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+}
+
+// startGalsd launches bin over the given cache dir and waits for the
+// "galsd: listening on" announcement that carries the bound port.
+func startGalsd(t *testing.T, bin, cacheDir string) *galsdProc {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-cache", cacheDir,
+		"-checkpoint-interval", "100ms",
+	)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting galsd: %v", err)
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "galsd: listening on "); ok {
+				addrc <- strings.Fields(rest)[0]
+			}
+		}
+	}()
+	select {
+	case a := <-addrc:
+		p := &galsdProc{base: "http://" + a, cmd: cmd}
+		t.Cleanup(p.kill)
+		return p
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("galsd did not announce a listen address within 30s")
+		return nil
+	}
+}
+
+// ckptStats is the slice of /v1/stats this test watches.
+type ckptStats struct {
+	Completed          int64 `json:"completed"`
+	CheckpointsWritten int64 `json:"checkpoints_written"`
+	CheckpointsResumed int64 `json:"checkpoints_resumed"`
+	ResumedCells       int64 `json:"resumed_cells"`
+}
+
+func serverStats(base string) (ckptStats, error) {
+	var st ckptStats
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// postSuite POSTs the suite request and returns the raw response body, so
+// identity can be asserted byte for byte rather than field by field.
+func postSuite(base string, body []byte) ([]byte, error) {
+	resp, err := http.Post(base+"/v1/suite", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("suite: %s: %s", resp.Status, out)
+	}
+	return out, nil
+}
+
+// TestCrashResumeSIGKILLedServer is the end-to-end crash drill behind the
+// checkpoint layer: SIGKILL a live galsd mid-suite, restart it over the
+// same cache, and pin that the rerun (a) resumes from the flushed
+// checkpoint, (b) simulates strictly fewer cells than a cold run, and
+// (c) returns a byte-identical response body.
+func TestCrashResumeSIGKILLedServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos drill is not a -short test")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH; cannot build the galsd subprocess")
+	}
+	bin := filepath.Join(t.TempDir(), "galsd")
+	if out, err := exec.Command(goTool, "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building galsd: %v\n%s", err, out)
+	}
+	suite := []byte(`{"window":600,"seed":7}`)
+
+	// Cold baseline on its own cache: the uninterrupted answer and cost.
+	coldDir := t.TempDir()
+	cold := startGalsd(t, bin, coldDir)
+	want, err := postSuite(cold.base, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldStats, err := serverStats(cold.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold.kill()
+	if coldStats.Completed == 0 {
+		t.Fatal("cold run reports zero completed cells")
+	}
+
+	// Crash leg: same suite on a fresh cache, killed without warning once
+	// at least one progress checkpoint has hit disk.
+	warmDir := t.TempDir()
+	victim := startGalsd(t, bin, warmDir)
+	done := make(chan error, 1)
+	go func() {
+		_, err := postSuite(victim.base, suite)
+		done <- err
+	}()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		select {
+		case err := <-done:
+			t.Fatalf("suite finished before a checkpoint landed (err=%v); raise the window", err)
+		default:
+		}
+		st, err := serverStats(victim.base)
+		if err == nil && st.CheckpointsWritten >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint written within 2m")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	victim.kill() // SIGKILL: no Shutdown, no final flush — only interval checkpoints survive
+
+	// Restart over the crashed cache. The default -scrub pass runs first;
+	// the orphaned checkpoint must survive it and feed the resume.
+	revived := startGalsd(t, bin, warmDir)
+	got, err := postSuite(revived.base, suite)
+	if err != nil {
+		t.Fatalf("rerun after crash: %v", err)
+	}
+	st, err := serverStats(revived.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CheckpointsResumed < 1 || st.ResumedCells < 1 {
+		t.Fatalf("rerun stats %+v: did not resume from the crash checkpoint", st)
+	}
+	// The revived process starts its counters at zero, so Completed is
+	// exactly the cells it simulated itself — strictly fewer than cold.
+	if st.Completed >= coldStats.Completed {
+		t.Fatalf("rerun simulated %d cells, cold run %d: checkpoint saved nothing",
+			st.Completed, coldStats.Completed)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-crash suite response differs from the uninterrupted run:\n got: %s\nwant: %s", got, want)
+	}
+}

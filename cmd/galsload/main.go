@@ -11,6 +11,14 @@
 //	galsload -addr http://localhost:8347 -concurrency 8 -duration 10s
 //	galsload -launch -galsd-bin ./bin/galsd     # spawn a throwaway server
 //	galsload -requests 200 -assert              # CI smoke: fail on silence
+//	galsload -launch -kill-after 5s             # crash/restart resume drill
+//
+// With -kill-after, galsload runs a restart drill instead of the load mix:
+// it drives a full suite on a -launch'ed galsd, SIGKILLs the server
+// mid-flight (after at least one progress checkpoint has been written),
+// relaunches it over the same cache directory, re-issues the suite and
+// reports resume efficiency — how many of the suite's simulation cells the
+// checkpoint resume skipped versus recomputed.
 //
 // With -assert, the exit status is non-zero unless the scrape shows
 // non-zero request-latency series, cache hits and completed cells —
@@ -60,23 +68,40 @@ func main() {
 		launch      = flag.Bool("launch", false, "spawn a throwaway galsd (-galsd-bin) on a random port with a temp cache")
 		galsdBin    = flag.String("galsd-bin", "galsd", "galsd binary for -launch")
 		assert      = flag.Bool("assert", false, "exit non-zero unless the /metrics scrape shows non-zero latency, cache-hit and completed-cell series")
+		killAfter   = flag.Duration("kill-after", 0, "restart drill: SIGKILL the -launch'ed galsd this long into a suite, relaunch it on the same cache and report resume efficiency (0 disables)")
 	)
 	flag.Parse()
 
-	if *concurrency < 1 || *coldFrac < 0 || *coldFrac > 1 || *sweepFrac < 0 || *sweepFrac > 1 {
-		fmt.Fprintln(os.Stderr, "galsload: bad flags: need -concurrency >= 1 and fractions in [0,1]")
+	if *concurrency < 1 || *coldFrac < 0 || *coldFrac > 1 || *sweepFrac < 0 || *sweepFrac > 1 || *killAfter < 0 {
+		fmt.Fprintln(os.Stderr, "galsload: bad flags: need -concurrency >= 1, fractions in [0,1] and -kill-after >= 0")
 		os.Exit(2)
+	}
+	if *killAfter > 0 {
+		if !*launch {
+			fmt.Fprintln(os.Stderr, "galsload: -kill-after needs -launch (the drill must own the server process to kill it)")
+			os.Exit(2)
+		}
+		if !killDrill(os.Stdout, *galsdBin, *token, *killAfter, *window, *seed, *assert) {
+			os.Exit(1)
+		}
+		return
 	}
 
 	base := *addr
 	if *launch {
-		var stop func()
-		var err error
-		base, stop, err = launchServer(*galsdBin)
+		dir, err := os.MkdirTemp("", "galsload-cache-*")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "galsload:", err)
 			os.Exit(1)
 		}
+		var stop func()
+		base, stop, err = launchServer(*galsdBin, dir)
+		if err != nil {
+			os.RemoveAll(dir)
+			fmt.Fprintln(os.Stderr, "galsload:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
 		defer stop()
 	}
 
@@ -295,29 +320,25 @@ func waitHealthy(cl *client.Client, timeout time.Duration) error {
 	}
 }
 
-// launchServer spawns a throwaway galsd on a kernel-chosen port with a
-// temporary cache directory and parses the announced address from its
-// startup line. The returned stop kills the server and removes the cache.
-func launchServer(bin string) (base string, stop func(), err error) {
-	dir, err := os.MkdirTemp("", "galsload-cache-*")
-	if err != nil {
-		return "", nil, err
-	}
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-cache", dir)
+// launchServer spawns a throwaway galsd on a kernel-chosen port over the
+// given cache directory and parses the announced address from its startup
+// line. The returned stop SIGKILLs the server and reaps it; the cache
+// directory is the caller's to remove — or to relaunch over, which is how
+// the restart drill proves a killed server's checkpoints resume.
+func launchServer(bin, dir string, extra ...string) (base string, stop func(), err error) {
+	args := append([]string{"-addr", "127.0.0.1:0", "-cache", dir}, extra...)
+	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.StdoutPipe()
 	if err != nil {
-		os.RemoveAll(dir)
 		return "", nil, err
 	}
 	if err := cmd.Start(); err != nil {
-		os.RemoveAll(dir)
 		return "", nil, fmt.Errorf("starting %s: %w", bin, err)
 	}
 	stop = func() {
 		cmd.Process.Kill()
 		cmd.Wait()
-		os.RemoveAll(dir)
 	}
 
 	// The first stdout line announces the bound address:
@@ -339,4 +360,140 @@ func launchServer(bin string) (base string, stop func(), err error) {
 		stop()
 		return "", nil, fmt.Errorf("%s did not announce a listen address within 10s", bin)
 	}
+}
+
+// killDrill is the -kill-after restart drill: launch galsd with a short
+// checkpoint interval, drive a full suite, SIGKILL the server mid-flight
+// once at least one progress checkpoint has been written, relaunch it over
+// the SAME cache directory and re-issue the identical suite. The rerun's
+// /v1/stats then show how much work the checkpoint resume saved.
+func killDrill(w io.Writer, bin, token string, killAfter time.Duration, window, seed int64, assert bool) bool {
+	dir, err := os.MkdirTemp("", "galsload-drill-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galsload:", err)
+		return false
+	}
+	defer os.RemoveAll(dir)
+
+	// Checkpoint a few times before the kill lands, whatever -kill-after is.
+	ckpt := killAfter / 3
+	if ckpt < 200*time.Millisecond {
+		ckpt = 200 * time.Millisecond
+	}
+	extra := []string{"-checkpoint-interval", ckpt.String()}
+
+	base, stop, err := launchServer(bin, dir, extra...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galsload:", err)
+		return false
+	}
+	cl := client.New(client.Options{BaseURL: base, Token: token})
+	if err := waitHealthy(cl, 10*time.Second); err != nil {
+		stop()
+		fmt.Fprintln(os.Stderr, "galsload:", err)
+		return false
+	}
+
+	req := client.SuiteRequest{Window: window, Seed: seed}
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+		defer cancel()
+		_, err := cl.Suite(ctx, req)
+		done <- err
+	}()
+
+	// Wait out -kill-after, then hold the trigger until the first
+	// checkpoint write is visible in /v1/stats — killing before any
+	// checkpoint landed would only demonstrate a cold rerun.
+	finished := false
+	select {
+	case <-done:
+		finished = true
+	case <-time.After(killAfter):
+	}
+	for deadline := time.Now().Add(30 * time.Second); !finished && time.Now().Before(deadline); {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		st, err := cl.ServerStats(ctx)
+		cancel()
+		if err == nil && st.CheckpointsWritten >= 1 {
+			break
+		}
+		select {
+		case <-done:
+			finished = true
+		case <-time.After(150 * time.Millisecond):
+		}
+	}
+	if finished {
+		stop()
+		fmt.Fprintf(w, "galsload: suite finished in %v, before -kill-after %v left anything to resume (raise -window or lower -kill-after)\n",
+			time.Since(start).Round(time.Millisecond), killAfter)
+		return !assert
+	}
+	killedAfter := time.Since(start)
+	stop() // SIGKILL: no drain, no flush — only the periodic checkpoints survive
+	fmt.Fprintf(w, "galsload: SIGKILLed galsd %v into the suite (checkpoint interval %v)\n",
+		killedAfter.Round(time.Millisecond), ckpt)
+
+	base, stop, err = launchServer(bin, dir, extra...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galsload: relaunch:", err)
+		return false
+	}
+	defer stop()
+	cl = client.New(client.Options{BaseURL: base, Token: token})
+	if err := waitHealthy(cl, 10*time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, "galsload:", err)
+		return false
+	}
+
+	restart := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	_, err = cl.Suite(ctx, req)
+	cancel()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galsload: rerun suite:", err)
+		return false
+	}
+	rerun := time.Since(restart)
+
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	st, err := cl.ServerStats(sctx)
+	scancel()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galsload: stats:", err)
+		return false
+	}
+
+	// The relaunched process's counters start at zero, so Completed is
+	// exactly the rerun's computed cells and ResumedCells the skipped ones.
+	total := st.ResumedCells + st.Completed
+	eff := 0.0
+	if total > 0 {
+		eff = 100 * float64(st.ResumedCells) / float64(total)
+	}
+	fmt.Fprintf(w, "restart drill: first leg killed at %v, rerun completed in %v\n",
+		killedAfter.Round(time.Millisecond), rerun.Round(time.Millisecond))
+	fmt.Fprintf(w, "resume: %d checkpoints restored, %d cells skipped, %d cells computed after restart — %.1f%% resume efficiency\n",
+		st.CheckpointsResumed, st.ResumedCells, st.Completed, eff)
+
+	if !assert {
+		return true
+	}
+	var dead []string
+	if st.CheckpointsResumed < 1 {
+		dead = append(dead, "no checkpoint was resumed after the restart")
+	}
+	if st.ResumedCells <= 0 {
+		dead = append(dead, "the resume skipped zero completed cells")
+	}
+	for _, d := range dead {
+		fmt.Fprintf(w, "ASSERT FAILED: %s\n", d)
+	}
+	if len(dead) == 0 {
+		fmt.Fprintln(w, "asserts passed: the restarted server resumed the suite from checkpoint")
+	}
+	return len(dead) == 0
 }

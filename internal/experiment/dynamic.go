@@ -98,7 +98,8 @@ func (o Options) memoKey() Options {
 	o.Workers = 0 // parallelism does not change results
 	o.Exec = nil  // nor does the pool the cells run on
 	o.Priority = 0
-	o.Ctx = nil // nor does the deadline the caller ran under
+	o.Ctx = nil           // nor does the deadline the caller ran under
+	o.CheckpointEvery = 0 // nor does crash-safety cadence
 	return o
 }
 
@@ -112,7 +113,7 @@ func SuiteComputations() int64 { return suiteComputes.Load() }
 // the benchmark harness share one best-synchronous sweep and one set of
 // Program-Adaptive searches).
 func RunSuite(o Options) (*SuiteResult, error) {
-	workers, exec, pri, ctx := o.Workers, o.Exec, o.Priority, o.Ctx
+	workers, exec, pri, ctx, ckpt := o.Workers, o.Exec, o.Priority, o.Ctx, o.CheckpointEvery
 	o = o.memoKey()
 	suiteMu.Lock()
 	defer suiteMu.Unlock()
@@ -131,6 +132,7 @@ func RunSuite(o Options) (*SuiteResult, error) {
 	specs := workload.Suite()
 	so := o.sweepOptions()
 	so.Workers, so.Exec, so.Priority, so.Ctx = workers, exec, pri, ctx
+	so.CheckpointEvery = ckpt
 	// One recorded-trace pool shared by the synchronous sweep, the adaptive
 	// sweep and the Phase-Adaptive runs; scoped to this computation so
 	// in-memory slabs (~megabytes per benchmark) are released once
@@ -329,10 +331,11 @@ func Figure7(o Options) (*Table, error) {
 // paper controllers). The improvement column is adaptation's net benefit on
 // top of the MCD overhead both runs share.
 func PolicyCompare(o Options) (*Table, error) {
-	workers, exec, pri, ctx := o.Workers, o.Exec, o.Priority, o.Ctx
+	workers, exec, pri, ctx, ckpt := o.Workers, o.Exec, o.Priority, o.Ctx, o.CheckpointEvery
 	o = o.memoKey()
 	so := o.sweepOptions()
 	so.Workers, so.Exec, so.Priority, so.Ctx = workers, exec, pri, ctx
+	so.CheckpointEvery = ckpt
 	// One recorded-trace pool for both policy runs of every benchmark,
 	// retired (slab references returned) when the comparison is done.
 	so.Traces = sweep.NewRecordingPool(o.Window)

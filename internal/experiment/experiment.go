@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"gals/internal/metrics"
 	"gals/internal/sweep"
@@ -49,6 +50,10 @@ type Options struct {
 	// Tracer optionally records span-style timings for the pipeline's
 	// stages (see sweep.Options.Tracer). Result-neutral.
 	Tracer *metrics.Tracer `json:"-"`
+	// CheckpointEvery enables periodic crash-safe checkpointing of the
+	// pipeline's sweeps (see sweep.Options.CheckpointEvery). Result-neutral:
+	// excluded from the memo and every cache key.
+	CheckpointEvery time.Duration `json:"-"`
 	// Policy and PolicyParams select the adaptation policy
 	// (internal/control registry) of the Phase-Adaptive stages; "" keeps
 	// the paper controllers. Result-relevant: part of the suite memo and
@@ -68,17 +73,18 @@ func DefaultOptions() Options {
 
 func (o Options) sweepOptions() sweep.Options {
 	so := sweep.Options{
-		Window:       o.Window,
-		Workers:      o.Workers,
-		Seed:         o.Seed,
-		JitterFrac:   o.JitterFrac,
-		PLLScale:     o.PLLScale,
-		Exec:         o.Exec,
-		Priority:     o.Priority,
-		Ctx:          o.Ctx,
-		Tracer:       o.Tracer,
-		Policy:       o.Policy,
-		PolicyParams: o.PolicyParams,
+		Window:          o.Window,
+		Workers:         o.Workers,
+		Seed:            o.Seed,
+		JitterFrac:      o.JitterFrac,
+		PLLScale:        o.PLLScale,
+		Exec:            o.Exec,
+		Priority:        o.Priority,
+		Ctx:             o.Ctx,
+		Tracer:          o.Tracer,
+		CheckpointEvery: o.CheckpointEvery,
+		Policy:          o.Policy,
+		PolicyParams:    o.PolicyParams,
 	}
 	// A blob with no explicit policy selection parameterizes only the
 	// controllers experiment's learned column (learnedArtifact); the

@@ -16,9 +16,12 @@
 //	<point>=<mode>[:<rate>[:<delay>]]
 //
 // where point is one of the Point constants, mode is "error", "enospc",
-// "slow", "corrupt" or "truncate", rate is the injected fraction of calls
-// in (0, 1] (default 1), and delay is a time.ParseDuration string for
-// "slow" (default 10ms). Example:
+// "slow", "corrupt", "truncate" or "crash", rate is the injected fraction
+// of calls in (0, 1] (default 1), and delay is a time.ParseDuration string
+// for "slow" (default 10ms). "crash" aborts the whole process with
+// os.Exit(3) at the scheduled hit — no deferred cleanup runs, exactly like
+// a kill -9 at that point — so crash-recovery tests can die at a precise
+// call site from a subprocess. Example:
 //
 //	resultcache.read=corrupt:1,service.dispatch=error:0.25,recstore.mmap=error:1
 package faultinject
@@ -68,6 +71,7 @@ var ErrNoSpace = fmt.Errorf("%w: no space left on device", ErrInjected)
 
 var validModes = map[string]bool{
 	"error": true, "enospc": true, "slow": true, "corrupt": true, "truncate": true,
+	"crash": true,
 }
 
 var validPoints = map[Point]bool{
@@ -135,7 +139,7 @@ func Enable(spec string) error {
 		parts := strings.Split(rest, ":")
 		p := &plan{mode: strings.TrimSpace(parts[0]), rate: 1, delay: 10 * time.Millisecond}
 		if !validModes[p.mode] {
-			return fmt.Errorf("faultinject: unknown mode %q (want error, enospc, slow, corrupt or truncate)", p.mode)
+			return fmt.Errorf("faultinject: unknown mode %q (want error, enospc, slow, corrupt, truncate or crash)", p.mode)
 		}
 		if len(parts) > 1 && parts[1] != "" {
 			r, err := strconv.ParseFloat(parts[1], 64)
@@ -180,9 +184,20 @@ func lookup(pt Point) *plan {
 	return plans[pt]
 }
 
+// CrashExitCode is the status a "crash" plan aborts the process with;
+// subprocess harnesses assert on it to distinguish an injected crash from a
+// genuine panic or test failure.
+const CrashExitCode = 3
+
+// crashExit is swapped out by tests that need to observe a crash without
+// dying; everything else gets the real os.Exit — abrupt, no deferred
+// cleanup, the closest in-process stand-in for kill -9.
+var crashExit = os.Exit
+
 // Err returns the injected error for the point's next call, or nil. "slow"
 // plans sleep here and return nil; "corrupt"/"truncate" plans belong to
-// Mutate and never error.
+// Mutate and never error; "crash" plans never return at all — the process
+// exits with CrashExitCode at the scheduled hit.
 func Err(pt Point) error {
 	if !enabled.Load() {
 		return nil
@@ -203,6 +218,11 @@ func Err(pt Point) error {
 	case "enospc":
 		if p.fire() {
 			return fmt.Errorf("%s: %w", pt, ErrNoSpace)
+		}
+	case "crash":
+		if p.fire() {
+			fmt.Fprintf(os.Stderr, "faultinject: crash at %s (call %d)\n", pt, p.calls.Load())
+			crashExit(CrashExitCode)
 		}
 	}
 	return nil

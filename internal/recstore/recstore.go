@@ -29,8 +29,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -171,6 +173,96 @@ func key(digest [32]byte, window int64) string {
 	h.Write(hdr[:])
 	h.Write(digest[:])
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ScrubStats reports one Scrub pass.
+type ScrubStats struct {
+	// TempFiles and LockFiles count crashed-recorder debris removed.
+	TempFiles int `json:"temp_files"`
+	LockFiles int `json:"lock_files"`
+	// BadSlabs counts .rec files deleted for failing cheap validation
+	// (size/magic/version mismatch — a truncated write or stale format);
+	// BadSlabBytes their total size.
+	BadSlabs     int   `json:"bad_slabs"`
+	BadSlabBytes int64 `json:"bad_slab_bytes"`
+}
+
+// Scrub is the startup-recovery pass: it assumes the caller has exclusive
+// use of the directory (galsd runs it before serving), so every temp and
+// lock file is crashed-recorder debris and is removed regardless of age —
+// unlike the stale-age rule live waiters apply. Slab files failing cheap
+// header validation (wrong size for their declared window, foreign magic,
+// stale format) are deleted too; they would be delete-and-re-recorded on
+// first touch anyway, but reaping them up front reclaims the disk and
+// surfaces the count to the operator.
+func (st *Store) Scrub() (ScrubStats, error) {
+	sc := ScrubStats{}
+	err := filepath.WalkDir(st.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		switch {
+		case strings.HasSuffix(name, ".lock"):
+			if os.Remove(path) == nil {
+				sc.LockFiles++
+			}
+		case strings.HasPrefix(name, "."):
+			if os.Remove(path) == nil {
+				sc.TempFiles++
+			}
+		case strings.HasSuffix(name, ".rec"):
+			size, ok := slabShapeOK(path)
+			if ok {
+				return nil
+			}
+			if os.Remove(path) == nil {
+				sc.BadSlabs++
+				sc.BadSlabBytes += size
+				st.rerecorded.Add(1)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return sc, fmt.Errorf("recstore: %w", err)
+	}
+	return sc, nil
+}
+
+// slabShapeOK is the spec-independent subset of load's validation: header
+// magic, format version, instruction size, and that the file length matches
+// the window the header declares. It cannot check the spec digest (Scrub
+// has no spec in hand), so a shape-valid slab with a wrong digest is still
+// caught — and re-recorded — by load on first use.
+func slabShapeOK(p string) (size int64, ok bool) {
+	f, err := os.Open(p)
+	if err != nil {
+		return 0, true // unreadable is not provably corrupt; leave it to load
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, true
+	}
+	size = fi.Size()
+	var hdr [headerSize]byte
+	if size < headerSize {
+		return size, false
+	}
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return size, true
+	}
+	if string(hdr[0:8]) != magic ||
+		binary.LittleEndian.Uint32(hdr[8:]) != formatVersion ||
+		binary.LittleEndian.Uint32(hdr[12:]) != workload.EncodedInstSize {
+		return size, false
+	}
+	window := int64(binary.LittleEndian.Uint64(hdr[16:]))
+	if window <= 0 || size != headerSize+window*workload.EncodedInstSize {
+		return size, false
+	}
+	return size, true
 }
 
 // Recording returns the benchmark's recording of exactly window

@@ -1,0 +1,84 @@
+package recstore
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gals/internal/workload"
+)
+
+// TestScrubReapsBadSlabsAndDebris pins the recording store's startup
+// recovery: temps and locks are removed regardless of age, slabs failing
+// the spec-independent shape check (truncated, foreign magic, size not
+// matching the declared window) are deleted and counted as re-records, and
+// a healthy slab replays untouched afterwards.
+func TestScrubReapsBadSlabsAndDebris(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+
+	spec := workload.Suite()[0]
+	if _, err := st.Recording(spec, 500); err != nil {
+		t.Fatal(err)
+	}
+	good := slabPath(t, dir)
+	st.Release(spec, 500)
+
+	sub := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(sub, ".slab.rec.tmp1"), []byte("partial"), 0o644)
+	os.WriteFile(filepath.Join(sub, "slab.lock"), []byte(""), 0o644)
+	// Truncated: shorter than the header.
+	trunc := filepath.Join(sub, "1truncated.rec")
+	os.WriteFile(trunc, []byte("GALSREC"), 0o644)
+	// Foreign magic with a plausible size.
+	foreign := filepath.Join(sub, "2foreign.rec")
+	os.WriteFile(foreign, make([]byte, headerSize+workload.EncodedInstSize), 0o644)
+	// Valid header, but the file length contradicts the declared window.
+	short := filepath.Join(sub, "3short.rec")
+	hdr := make([]byte, headerSize+workload.EncodedInstSize)
+	copy(hdr, magic)
+	binary.LittleEndian.PutUint32(hdr[8:], formatVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], workload.EncodedInstSize)
+	binary.LittleEndian.PutUint64(hdr[16:], 500) // claims 500 instructions
+	os.WriteFile(short, hdr, 0o644)
+
+	sc, err := st.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.TempFiles != 1 || sc.LockFiles != 1 {
+		t.Fatalf("scrub stats %+v, want 1 temp and 1 lock reaped", sc)
+	}
+	if sc.BadSlabs != 3 || sc.BadSlabBytes == 0 {
+		t.Fatalf("scrub stats %+v, want 3 bad slabs reaped", sc)
+	}
+	if st.Stats().Rerecorded != 3 {
+		t.Fatalf("Rerecorded = %d, want 3", st.Stats().Rerecorded)
+	}
+	for _, p := range []string{trunc, foreign, short} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("%s survived the scrub", p)
+		}
+	}
+	if _, err := os.Stat(good); err != nil {
+		t.Fatal("healthy slab reaped by the scrub")
+	}
+
+	// The survivor still serves: same slab, no re-record.
+	if _, err := st.Recording(spec, 500); err != nil {
+		t.Fatalf("post-scrub Recording: %v", err)
+	}
+	defer st.Release(spec, 500)
+	if st.Stats().Mapped == 0 {
+		t.Fatal("post-scrub load did not map the existing slab")
+	}
+
+	// A second pass over the now-clean store finds nothing.
+	if sc, err := st.Scrub(); err != nil || sc != (ScrubStats{}) {
+		t.Fatalf("second Scrub = %+v, %v", sc, err)
+	}
+}

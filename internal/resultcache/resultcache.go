@@ -64,6 +64,14 @@ type Store interface {
 	Store(key string, v any)
 }
 
+// Remover is the optional deletion side of a Store. Consumers that garbage-
+// collect their own entries (the sweep layer removes a checkpoint once its
+// parent summary is durable) type-assert for it, so plain map-backed test
+// stores keep working unchanged.
+type Remover interface {
+	Remove(key string)
+}
+
 // Key builds a cache key for a request of the given kind. The request is
 // canonicalized by its JSON encoding (struct fields in declaration order,
 // map keys sorted), hashed together with SchemaVersion and the kind.
@@ -226,6 +234,51 @@ func (c *Cache) Store(key string, v any) {
 	c.putBytes.Add(int64(len(blob)))
 }
 
+// Has reports whether an entry for key exists on disk, without reading or
+// decoding it (and so without touching hit/miss counters or mtimes). A
+// present-but-corrupt blob still counts as existing; Scrub is what retires
+// those.
+func (c *Cache) Has(key string) bool {
+	if c == nil {
+		return false
+	}
+	_, err := os.Stat(c.path(key))
+	return err == nil
+}
+
+// Remove deletes the entry for key. Best-effort like Store: a failure means
+// the entry survives until the next Remove, Prune or Scrub.
+func (c *Cache) Remove(key string) {
+	if c == nil {
+		return
+	}
+	if err := os.Remove(c.path(key)); err != nil && !os.IsNotExist(err) {
+		c.errs.Add(1)
+	}
+}
+
+// Keys lists every stored key of the given kind, in unspecified order.
+// Intended for maintenance passes (checkpoint GC), not the hot path — it
+// walks the kind's whole subtree.
+func (c *Cache) Keys(kind string) []string {
+	if c == nil {
+		return nil
+	}
+	var keys []string
+	filepath.WalkDir(filepath.Join(c.dir, kind), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if strings.HasPrefix(name, ".") || !strings.HasSuffix(name, ".json") {
+			return nil
+		}
+		keys = append(keys, kind+"/"+strings.TrimSuffix(name, ".json"))
+		return nil
+	})
+	return keys
+}
+
 // staleTempAge is how old a dot-prefixed temp file or .lock must be before
 // Prune treats it as debris from a crashed writer and deletes it; live
 // writes and recordings finish (or refresh their lock) well inside this.
@@ -318,6 +371,93 @@ func (c *Cache) Prune(maxBytes int64) (PruneStats, error) {
 		st.RemovedFiles++
 		st.RemovedBytes += f.size
 		st.RemainingBytes -= f.size
+	}
+	return st, nil
+}
+
+// quarantineDir is the top-level subdirectory Scrub moves undecodable
+// blobs into. Quarantined files keep their content for post-mortem but no
+// longer match any key, so a fresh recompute overwrites the slot cleanly.
+const quarantineDir = "quarantine"
+
+// ScrubStats reports one Scrub pass.
+type ScrubStats struct {
+	// TempFiles and LockFiles count crashed-writer debris removed: in-flight
+	// dot-prefixed temps and recorder .lock files respectively.
+	TempFiles int `json:"temp_files"`
+	LockFiles int `json:"lock_files"`
+	// Quarantined counts blobs that existed but failed to decode and were
+	// moved aside; QuarantinedBytes their total size.
+	Quarantined      int   `json:"quarantined"`
+	QuarantinedBytes int64 `json:"quarantined_bytes"`
+}
+
+// Scrub is the startup-recovery pass: it reaps crashed-writer debris and
+// quarantines damaged blobs so a restarted daemon begins from a clean
+// store. Unlike Prune's conservative stale-age rule, Scrub assumes the
+// caller has exclusive use of the directory (galsd runs it before serving),
+// so every temp and lock file is debris by definition and is removed
+// regardless of age. JSON blobs that fail to decode as JSON at all are
+// moved to <dir>/quarantine/ — kept for post-mortem, invisible to Load.
+// The recordings subtree has its own binary format and its own scrub
+// (recstore.Scrub); it and the quarantine itself are skipped here.
+func (c *Cache) Scrub() (ScrubStats, error) {
+	st := ScrubStats{}
+	if c == nil {
+		return st, nil
+	}
+	err := filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return nil // unreadable subtrees are simply not scrubbed
+		}
+		if d.IsDir() {
+			if path != c.dir {
+				switch filepath.Base(path) {
+				case quarantineDir, "recordings":
+					return filepath.SkipDir
+				}
+			}
+			return nil
+		}
+		name := d.Name()
+		switch {
+		case strings.HasSuffix(name, ".lock"):
+			if os.Remove(path) == nil {
+				st.LockFiles++
+			}
+		case strings.HasPrefix(name, "."):
+			if os.Remove(path) == nil {
+				st.TempFiles++
+			}
+		case strings.HasSuffix(name, ".json"):
+			blob, rerr := os.ReadFile(path)
+			if rerr != nil {
+				c.errs.Add(1)
+				return nil
+			}
+			if json.Valid(blob) {
+				return nil
+			}
+			q := filepath.Join(c.dir, quarantineDir)
+			if os.MkdirAll(q, 0o755) != nil {
+				c.errs.Add(1)
+				return nil
+			}
+			// Prefix with the kind so same-hash blobs of different kinds
+			// (impossible today, cheap to be safe about) cannot collide.
+			rel, _ := filepath.Rel(c.dir, path)
+			dst := filepath.Join(q, strings.ReplaceAll(rel, string(filepath.Separator), "_"))
+			if os.Rename(path, dst) != nil {
+				c.errs.Add(1)
+				return nil
+			}
+			st.Quarantined++
+			st.QuarantinedBytes += int64(len(blob))
+		}
+		return nil
+	})
+	if err != nil {
+		return st, fmt.Errorf("resultcache: %w", err)
 	}
 	return st, nil
 }

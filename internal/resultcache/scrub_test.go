@@ -1,0 +1,83 @@
+package resultcache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestScrubReapsDebrisAndQuarantines pins the startup-recovery pass: every
+// temp and lock file goes regardless of age, undecodable blobs move to the
+// quarantine (invisible to Load, preserved for post-mortem), and healthy
+// entries plus the recordings subtree are untouched.
+func TestScrubReapsDebrisAndQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	goodKey := Key("runres", "healthy")
+	c.Store(goodKey, map[string]int{"x": 1})
+
+	// Crashed-writer debris: a fresh in-flight temp and a recorder lock,
+	// both younger than Prune's stale-age rule would ever touch.
+	kindDir := filepath.Join(dir, "runres", "ab")
+	if err := os.MkdirAll(kindDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(kindDir, ".blob.json.tmp123")
+	lock := filepath.Join(kindDir, "abcd.lock")
+	bad := filepath.Join(kindDir, "deadbeef.json")
+	os.WriteFile(tmp, []byte("partial"), 0o644)
+	os.WriteFile(lock, []byte(""), 0o644)
+	os.WriteFile(bad, []byte("not json {{{"), 0o644)
+
+	// The recordings subtree belongs to recstore's scrub, not this one.
+	recDir := filepath.Join(dir, "recordings", "cd")
+	os.MkdirAll(recDir, 0o755)
+	recJunk := filepath.Join(recDir, "junk.json")
+	os.WriteFile(recJunk, []byte("also not json {{{"), 0o644)
+
+	st, err := c.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TempFiles != 1 || st.LockFiles != 1 {
+		t.Fatalf("scrub stats %+v, want 1 temp and 1 lock reaped", st)
+	}
+	if st.Quarantined != 1 || st.QuarantinedBytes != int64(len("not json {{{")) {
+		t.Fatalf("scrub stats %+v, want 1 blob quarantined", st)
+	}
+	for _, p := range []string{tmp, lock, bad} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("%s survived the scrub", p)
+		}
+	}
+	if _, err := os.Stat(recJunk); err != nil {
+		t.Fatal("scrub reached into the recordings subtree")
+	}
+	q, _ := filepath.Glob(filepath.Join(dir, "quarantine", "*"))
+	if len(q) != 1 {
+		t.Fatalf("quarantine holds %v, want exactly the bad blob", q)
+	}
+	var v map[string]int
+	if !c.Load(goodKey, &v) || v["x"] != 1 {
+		t.Fatal("healthy entry damaged by the scrub")
+	}
+
+	// Quarantined blobs are out of every key's way: a second pass is a no-op.
+	st2, err := c.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 != (ScrubStats{}) {
+		t.Fatalf("second scrub found %+v, want a clean store", st2)
+	}
+
+	// A nil cache scrubs to zero without erroring.
+	var nilc *Cache
+	if st, err := nilc.Scrub(); err != nil || st != (ScrubStats{}) {
+		t.Fatalf("nil cache Scrub = %+v, %v", st, err)
+	}
+}

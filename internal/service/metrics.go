@@ -83,6 +83,20 @@ func (s *Service) initMetrics() {
 		"Sweep measurements actually computed (persisted summaries excluded).",
 		func() float64 { return float64(sweep.MeasureComputations()) })
 
+	// Crash-safety surface: checkpointed sweeps and the startup scrub.
+	r.NewCounterFunc("gals_checkpoints_written_total",
+		"Sweep progress checkpoints persisted (periodic and cancellation flushes).",
+		func() float64 { return float64(sweep.CheckpointsWritten()) })
+	r.NewCounterFunc("gals_checkpoints_resumed_total",
+		"Sweeps that restored a progress checkpoint instead of starting cold.",
+		func() float64 { return float64(sweep.CheckpointsResumed()) })
+	r.NewCounterFunc("gals_resumed_cells_total",
+		"Completed cells skipped by checkpoint resumes.",
+		func() float64 { return float64(sweep.ResumedCells()) })
+	r.NewCounterFunc("gals_scrub_quarantined_total",
+		"Undecodable cache blobs moved to quarantine by scrub passes.",
+		func() float64 { return float64(s.quarantined.Load()) })
+
 	// Persistent result cache. A nil *Cache returns zero Stats, so these
 	// are safe (and honest) with persistence disabled.
 	r.NewCounterFunc("gals_cache_hits_total",

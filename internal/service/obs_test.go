@@ -139,6 +139,10 @@ func TestMetricsMatchStats(t *testing.T) {
 		{"gals_cache_evictions_total", st.Cache.Evictions},
 		{"gals_recordings_recorded_total", st.Recordings.Recorded},
 		{"gals_recordings_corrupt_total", st.Recordings.Corrupt},
+		{"gals_checkpoints_written_total", st.CheckpointsWritten},
+		{"gals_checkpoints_resumed_total", st.CheckpointsResumed},
+		{"gals_resumed_cells_total", st.ResumedCells},
+		{"gals_scrub_quarantined_total", st.ScrubQuarantined},
 	}
 	for _, p := range pairs {
 		v, ok := sc.Value(p.series)

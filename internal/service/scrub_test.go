@@ -1,0 +1,78 @@
+// Startup-recovery tests for the service's scrub pass — the layer galsd's
+// -scrub flag drives before serving.
+package service_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gals/internal/service"
+)
+
+// TestServiceScrubRecoversCrashDebris seeds a cache directory with the
+// debris a crashed galsd leaves behind — writer temps, a recorder lock, an
+// undecodable result blob, a truncated recording slab — and pins the
+// aggregate recovery pass: everything is reaped or quarantined, the counts
+// surface in the report and in /v1/stats, and the store serves normally
+// afterwards.
+func TestServiceScrubRecoversCrashDebris(t *testing.T) {
+	dir := t.TempDir()
+
+	// A first service lifetime leaves real state behind.
+	svc1, err := service.New(service.Config{CacheDir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := service.RunRequest{Bench: "gcc", Window: 5_000}
+	want, err := svc1.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1.Close()
+
+	// Crash debris on top of it.
+	kindDir := filepath.Join(dir, "runres", "zz")
+	os.MkdirAll(kindDir, 0o755)
+	os.WriteFile(filepath.Join(kindDir, ".blob.json.tmp9"), []byte("partial"), 0o644)
+	os.WriteFile(filepath.Join(kindDir, "cafe.json"), []byte("BAD {{{"), 0o644)
+	recDir := filepath.Join(dir, "recordings", "zz")
+	os.MkdirAll(recDir, 0o755)
+	os.WriteFile(filepath.Join(recDir, "held.lock"), []byte(""), 0o644)
+	os.WriteFile(filepath.Join(recDir, "torn.rec"), []byte("GALS"), 0o644)
+
+	svc2 := newChaosService(t, service.Config{CacheDir: dir, Workers: 2})
+	rep, err := svc2.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cache.TempFiles != 1 || rep.Cache.Quarantined != 1 {
+		t.Fatalf("cache scrub %+v, want 1 temp reaped and 1 blob quarantined", rep.Cache)
+	}
+	if rep.Recordings.LockFiles != 1 || rep.Recordings.BadSlabs != 1 {
+		t.Fatalf("recording scrub %+v, want 1 lock and 1 bad slab reaped", rep.Recordings)
+	}
+	if st := svc2.Stats(); st.ScrubQuarantined != 1 {
+		t.Fatalf("Stats().ScrubQuarantined = %d, want 1", st.ScrubQuarantined)
+	}
+
+	// The scrubbed store still serves the surviving state.
+	got, err := svc2.Run(context.Background(), req)
+	if err != nil {
+		t.Fatalf("run after scrub: %v", err)
+	}
+	if !got.Cached {
+		t.Fatal("healthy cached result lost by the scrub")
+	}
+	if !sameRun(want, got) {
+		t.Fatal("post-scrub result differs from the original")
+	}
+
+	// Without persistence there is nothing to scrub — that's an error, not
+	// a silent no-op, so a misconfigured -scrub run is visible.
+	svc3 := newChaosService(t, service.Config{Workers: 1})
+	if _, err := svc3.Scrub(); err == nil {
+		t.Fatal("Scrub without a cache dir did not error")
+	}
+}

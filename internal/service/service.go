@@ -99,6 +99,15 @@ type Config struct {
 	// into this directory (clients can also opt in per request with
 	// ?trace=1, which returns the trace inline instead).
 	TraceDir string
+	// CheckpointEvery, when > 0 and CacheDir is set, makes sweep and suite
+	// requests persist crash-safe progress checkpoints at this interval
+	// (sweep.Options.CheckpointEvery): a killed or cancelled request's rerun
+	// then resumes from the last checkpoint, skipping completed cells, with
+	// a bit-identical final result. Shutdown cancels in-flight requests and
+	// lets them flush a final checkpoint before the workers stop. 0 disables
+	// checkpointing (the historical behaviour). galsd wires
+	// -checkpoint-interval (default 15s).
+	CheckpointEvery time.Duration
 }
 
 // Service executes simulation requests. Create with New, stop with Close.
@@ -124,8 +133,17 @@ type Service struct {
 
 	pruneMu sync.Mutex
 
-	sims   atomic.Int64 // simulations actually executed by this service
-	dedups atomic.Int64 // requests served by joining an in-flight twin
+	// shutCtx is cancelled when Shutdown decides to stop waiting for
+	// in-flight requests (its drain deadline expired): every dispatched
+	// request context is a child, so cancelling it makes running sweeps
+	// flush a final checkpoint and return instead of being killed cold by
+	// the pool closing under them.
+	shutCtx    context.Context
+	shutCancel context.CancelFunc
+
+	sims        atomic.Int64 // simulations actually executed by this service
+	dedups      atomic.Int64 // requests served by joining an in-flight twin
+	quarantined atomic.Int64 // blobs quarantined by Scrub passes
 
 	// Observability surface (internal/metrics): the registry behind
 	// GET /metrics plus the event-sourced instruments the request path
@@ -153,6 +171,7 @@ func New(cfg Config) (*Service, error) {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	s := &Service{cfg: cfg, tracePools: make(map[int64]*workload.Pool)}
+	s.shutCtx, s.shutCancel = context.WithCancel(context.Background())
 	if cfg.CacheDir != "" {
 		c, err := resultcache.Open(cfg.CacheDir)
 		if err != nil {
@@ -236,6 +255,19 @@ func (s *Service) Shutdown(ctx context.Context, srv *http.Server) error {
 	if srv != nil {
 		err = srv.Shutdown(ctx)
 	}
+	if err != nil {
+		// The drain deadline expired with requests still in flight: cancel
+		// them all (a running sweep purges its queued cells, flushes a final
+		// progress checkpoint and returns) and give the handlers a bounded
+		// moment to finish those flushes while the persist hooks are still
+		// installed — Close restores the hooks, after which a flush would
+		// land in the wrong store.
+		s.shutCancel()
+		deadline := time.Now().Add(5 * time.Second)
+		for s.httpInFlight.Value() > 0 && time.Now().Before(deadline) {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
 	s.Close()
 	s.maybePrune()
 	return err
@@ -289,6 +321,41 @@ func (s *Service) Prune(maxBytes int64) (resultcache.PruneStats, error) {
 	return s.cache.Prune(maxBytes)
 }
 
+// ScrubReport aggregates one startup-recovery pass (galsd -scrub): the
+// result cache's debris reaping and blob quarantine, the recording store's
+// slab validation, and the checkpoint garbage collection.
+type ScrubReport struct {
+	Cache           resultcache.ScrubStats `json:"cache"`
+	Recordings      recstore.ScrubStats    `json:"recordings"`
+	CheckpointsGCed int                    `json:"checkpoints_gced"`
+}
+
+// Scrub runs the startup-recovery pass over the persistent store: crashed-
+// writer temp files and locks are reaped, undecodable result blobs are
+// quarantined, invalid recording slabs deleted, and checkpoints whose
+// parent summary already exists garbage-collected. It assumes no other
+// process is writing the cache directory (galsd runs it before serving);
+// live checkpoints — resume state for unfinished sweeps — are kept. It
+// errors when persistence is disabled.
+func (s *Service) Scrub() (ScrubReport, error) {
+	var r ScrubReport
+	if s.cache == nil {
+		return r, fmt.Errorf("service: no persistent cache configured")
+	}
+	var err error
+	if r.Cache, err = s.cache.Scrub(); err != nil {
+		return r, err
+	}
+	if s.recs != nil {
+		if r.Recordings, err = s.recs.Scrub(); err != nil {
+			return r, err
+		}
+	}
+	r.CheckpointsGCed = sweep.ScrubCheckpoints(s.cache)
+	s.quarantined.Add(int64(r.Cache.Quarantined))
+	return r, nil
+}
+
 // contain runs fn and converts a panic into an error: one malformed request
 // must never unwind a server goroutine.
 func contain(fn func() error) (err error) {
@@ -319,11 +386,19 @@ func (s *Service) dispatch(ctx context.Context, timeoutMS int64) (context.Contex
 			d = c
 		}
 	}
-	if d <= 0 {
-		return ctx, func() {}, nil
+	var bounded context.Context
+	var cancel context.CancelFunc
+	if d > 0 {
+		bounded, cancel = context.WithTimeout(ctx, d)
+	} else {
+		bounded, cancel = context.WithCancel(ctx)
 	}
-	bounded, cancel := context.WithTimeout(ctx, d)
-	return bounded, cancel, nil
+	// Parent every request on the shutdown context too: a Shutdown that has
+	// given up draining cancels s.shutCtx, which cancels the request here —
+	// so a long sweep flushes its checkpoint and returns instead of being
+	// abandoned when the pool closes under it.
+	stop := context.AfterFunc(s.shutCtx, cancel)
+	return bounded, func() { stop(); cancel() }, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -830,8 +905,9 @@ func (s *Service) Sweep(ctx context.Context, req SweepRequest) (SweepResult, err
 				JitterFrac: n.JitterFrac, PLLScale: n.PLLScale,
 				Traces: s.tracePool(n.Window),
 				Exec:   s.pool, Priority: n.Priority,
-				Ctx:    ctx,
-				Tracer: tracerFrom(ctx),
+				Ctx:             ctx,
+				Tracer:          tracerFrom(ctx),
+				CheckpointEvery: s.cfg.CheckpointEvery,
 			}
 			sum, err := sweep.MeasureSummary(specs, cfgs, so)
 			if err != nil {
@@ -981,6 +1057,7 @@ func (s *Service) Suite(ctx context.Context, req SuiteRequest) (SuiteSummary, er
 			o.Priority = req.Priority
 			o.Ctx = ctx
 			o.Tracer = tracerFrom(ctx)
+			o.CheckpointEvery = s.cfg.CheckpointEvery
 			r, err = experiment.RunSuite(o)
 			return err
 		}); err != nil {
@@ -1036,6 +1113,7 @@ func (s *Service) Experiment(ctx context.Context, req ExperimentRequest) (*exper
 	o.Exec = s.pool
 	o.Priority = req.Priority
 	o.Ctx = ctx
+	o.CheckpointEvery = s.cfg.CheckpointEvery
 	var t *experiment.Table
 	if err := contain(func() (err error) {
 		t, err = experiment.Run(req.ID, o)
@@ -1076,6 +1154,17 @@ type Stats struct {
 	// counters of actually-executed pipeline runs and sweep measurements.
 	SuiteComputations int64 `json:"suite_computations"`
 	SweepComputations int64 `json:"sweep_computations"`
+	// CheckpointsWritten counts sweep/phase progress checkpoints persisted
+	// (periodic plus cancellation flushes); CheckpointsResumed counts sweeps
+	// that restored one instead of starting cold; ResumedCells the completed
+	// cells those resumes skipped. Process-wide, like the computation
+	// counters.
+	CheckpointsWritten int64 `json:"checkpoints_written"`
+	CheckpointsResumed int64 `json:"checkpoints_resumed"`
+	ResumedCells       int64 `json:"resumed_cells"`
+	// ScrubQuarantined counts undecodable cache blobs Scrub passes moved to
+	// quarantine over this service's lifetime.
+	ScrubQuarantined int64 `json:"scrub_quarantined"`
 	// Cache reports the persistent cache's counters; CacheDir its root
 	// ("" when persistence is disabled).
 	Cache    resultcache.Stats `json:"cache"`
@@ -1087,21 +1176,25 @@ type Stats struct {
 // Stats returns a snapshot of the service's counters.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		Workers:           s.pool.Workers(),
-		Queued:            s.pool.Pending(),
-		InFlight:          s.pool.InFlight(),
-		Completed:         s.pool.Completed(),
-		Rejected:          s.pool.Rejected(),
-		Purged:            s.pool.Purged(),
-		Steals:            s.pool.Steals(),
-		StolenCells:       s.pool.StolenCells(),
-		RateLimited:       s.rateLimited.Value(),
-		Simulations:       s.sims.Load(),
-		DedupHits:         s.dedups.Load(),
-		SuiteComputations: experiment.SuiteComputations(),
-		SweepComputations: sweep.MeasureComputations(),
-		Cache:             s.cache.Stats(),
-		CacheDir:          s.cache.Dir(),
+		Workers:            s.pool.Workers(),
+		Queued:             s.pool.Pending(),
+		InFlight:           s.pool.InFlight(),
+		Completed:          s.pool.Completed(),
+		Rejected:           s.pool.Rejected(),
+		Purged:             s.pool.Purged(),
+		Steals:             s.pool.Steals(),
+		StolenCells:        s.pool.StolenCells(),
+		RateLimited:        s.rateLimited.Value(),
+		Simulations:        s.sims.Load(),
+		DedupHits:          s.dedups.Load(),
+		SuiteComputations:  experiment.SuiteComputations(),
+		SweepComputations:  sweep.MeasureComputations(),
+		CheckpointsWritten: sweep.CheckpointsWritten(),
+		CheckpointsResumed: sweep.CheckpointsResumed(),
+		ResumedCells:       sweep.ResumedCells(),
+		ScrubQuarantined:   s.quarantined.Load(),
+		Cache:              s.cache.Stats(),
+		CacheDir:           s.cache.Dir(),
 	}
 	if s.recs != nil {
 		st.Recordings = s.recs.Stats()

@@ -1,0 +1,101 @@
+// The policy-blob flavor of the checkpoint contract lives in an external
+// test package: it trains a real "learned" artifact via internal/learn,
+// which itself imports the sweep package.
+package sweep_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gals/internal/learn"
+	"gals/internal/resultcache"
+	"gals/internal/sweep"
+	"gals/internal/workload"
+)
+
+// TestCheckpointResumeWithPolicyBlob pins bit-identical resume for sweeps
+// whose configurations carry a learned-policy weights artifact: the blob
+// enters cache keys as a digest, so the interrupted run's checkpoint is
+// found again, restored, and the resumed summary matches an uninterrupted
+// reference byte for byte.
+func TestCheckpointResumeWithPolicyBlob(t *testing.T) {
+	blob, err := learn.Artifact(nil, learn.TrainOptions{Window: 6_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := workload.Suite()[:3]
+	cfgs := append(sweep.AdaptiveSpace()[:4],
+		sweep.PhaseSpace([]sweep.PolicySetting{
+			{Name: "learned", Blob: blob},
+			{Name: "paper"},
+		})...)
+	o := sweep.Options{Window: 2_000, Workers: 2}
+
+	ref, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := sweep.SetPersist(ref)
+	want, err := sweep.MeasureSummary(specs, cfgs, o)
+	sweep.SetPersist(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	c, err := resultcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep.SetPersist(c)
+	defer sweep.SetPersist(nil)
+
+	p := sweep.NewPool(2, 1024)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var seen atomic.Int64
+	p.SetObserver(func(time.Duration) {
+		if seen.Add(1) == 5 {
+			cancel()
+		}
+	})
+	oc := o
+	oc.Exec = p
+	oc.Ctx = ctx
+	if _, err := sweep.MeasureSummary(specs, cfgs, oc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted MeasureSummary = %v, want context.Canceled", err)
+	}
+	if blobs, _ := filepath.Glob(filepath.Join(dir, "sweepckpt", "*", "*.json")); len(blobs) != 1 {
+		t.Fatalf("found %d checkpoint blobs after the cancel, want 1", len(blobs))
+	}
+
+	resumesBefore, cellsBefore := sweep.CheckpointsResumed(), sweep.ResumedCells()
+	got, err := sweep.MeasureSummary(specs, cfgs, o)
+	if err != nil {
+		t.Fatalf("resumed MeasureSummary: %v", err)
+	}
+	if sweep.CheckpointsResumed() != resumesBefore+1 || sweep.ResumedCells() <= cellsBefore {
+		t.Fatal("rerun did not resume from the checkpoint")
+	}
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatal("blob-carrying sweep's resume not bit-identical to the uninterrupted run")
+	}
+	if blobs, _ := filepath.Glob(filepath.Join(dir, "sweepckpt", "*", "*.json")); len(blobs) != 0 {
+		t.Fatal("checkpoint not garbage-collected after the summary landed")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gals/internal/control"
 	"gals/internal/core"
@@ -90,6 +91,16 @@ type Options struct {
 	// this sweep's wall-time attribution. Result-neutral and excluded from
 	// every persist key; nil (the default) costs a nil check per span site.
 	Tracer *metrics.Tracer `json:"-"`
+	// CheckpointEvery, when > 0 and a persistent store is installed
+	// (SetPersist), makes MeasureSummary and MeasurePhase persist their
+	// streaming accumulators plus a completed-cell bitmap to the store at
+	// this interval (kinds "sweepckpt"/"phaseckpt"), and resume from the
+	// newest valid checkpoint on start — so a crashed or cancelled sweep
+	// skips its completed cells on rerun. Cancellation always flushes a
+	// final checkpoint when any progress was made, even at interval 0.
+	// Result-neutral: a resumed sweep's summary is bit-identical to an
+	// uninterrupted one (see checkpoint.go).
+	CheckpointEvery time.Duration `json:"-"`
 }
 
 // WithDefaults fills in zero fields: Window 30,000, Workers GOMAXPROCS,
@@ -206,7 +217,10 @@ func (o Options) measureKey(kind string, specs []workload.Spec, cfgs []core.Conf
 		Policy: o.Policy, PolicyParams: o.PolicyParams,
 		PolicyBlobDigest: control.BlobDigest(o.PolicyBlob),
 	}
-	if kind == "sweepsum" {
+	// A checkpoint's accumulator shape depends on the aggregation mode the
+	// same way the summary's does, so "sweepckpt" keys carry TopK too — a
+	// top-K sweep never resumes from a full-scores checkpoint or vice versa.
+	if kind == "sweepsum" || kind == "sweepckpt" {
 		req.TopK = o.TopK
 	}
 	return resultcache.Key(kind, req)
@@ -378,7 +392,10 @@ const cellChunk = 64
 // runCells executes one simulation cell per (configuration, benchmark)
 // pair on the sweep's executor and streams each cell's result into sink.
 // sink is called from worker goroutines: calls for distinct (ci, si) pairs
-// may be concurrent, and each pair is delivered exactly once.
+// may be concurrent, and each pair is delivered exactly once. A non-nil
+// skip filters cells at group-build time — a skipped cell is never queued
+// and never delivered; the checkpoint-resume path uses it to elide work a
+// previous run already completed.
 //
 // Groups are config-major: one group is one configuration's cells across
 // the benchmarks, in benchmark order. That is what lets the streaming
@@ -389,7 +406,7 @@ const cellChunk = 64
 // and thieves batch-stealing a group's far half touch its later benchmarks
 // (in order), so concurrent cold-start recording still spreads across
 // workers.
-func runCells(specs []workload.Spec, cfgs []core.Config, o Options, sink func(ci, si int, res *core.Result)) error {
+func runCells(specs []workload.Spec, cfgs []core.Config, o Options, skip func(ci, si int) bool, sink func(ci, si int, res *core.Result)) error {
 	pool, ownedTraces := o.pool()
 	if ownedTraces {
 		// Execute returns only after every cell finished, so no replay is
@@ -418,6 +435,9 @@ func runCells(specs []workload.Spec, cfgs []core.Config, o Options, sink func(ci
 			cells := make([]func(), 0, end-start)
 			for si := start; si < end; si++ {
 				si := si
+				if skip != nil && skip(ci, si) {
+					continue
+				}
 				cells = append(cells, func() {
 					// Only render the config label when a trace is live:
 					// an untraced cell must not pay a per-cell allocation.
@@ -445,7 +465,9 @@ func runCells(specs []workload.Spec, cfgs []core.Config, o Options, sink func(ci
 					sink(ci, si, res)
 				})
 			}
-			groups = append(groups, cells)
+			if len(cells) > 0 {
+				groups = append(groups, cells)
+			}
 		}
 	}
 	err := exec.ExecuteContext(ctx, o.Priority, groups)
@@ -479,7 +501,7 @@ func Measure(specs []workload.Spec, cfgs []core.Config, o Options) [][]timing.FS
 	for i := range times {
 		times[i] = make([]timing.FS, len(specs))
 	}
-	err := runCells(specs, cfgs, o, func(ci, si int, res *core.Result) {
+	err := runCells(specs, cfgs, o, nil, func(ci, si int, res *core.Result) {
 		times[ci][si] = res.TimeFS
 	})
 	if err != nil {
@@ -599,6 +621,9 @@ type summaryAcc struct {
 	rows  map[int][]timing.FS
 	left  []int // cells outstanding per config
 	sum   *Summary
+	// done marks delivered cells (bit ci*specs+si) — the completed-cell
+	// bitmap a checkpoint persists so a resumed sweep skips them.
+	done []uint64
 
 	// bestScore mirrors Scores[sum.Best] so the winner comparison works
 	// when per-config scores are not retained.
@@ -614,6 +639,7 @@ func newSummaryAcc(nspecs, ncfgs, topk int) *summaryAcc {
 		specs: nspecs,
 		rows:  make(map[int][]timing.FS),
 		left:  make([]int, ncfgs),
+		done:  make([]uint64, bitWords(nspecs*ncfgs)),
 		topk:  topk,
 		sum: &Summary{
 			NumSpecs: nspecs, NumCfgs: ncfgs,
@@ -652,6 +678,7 @@ func (a *summaryAcc) add(ci, si int, t timing.FS) {
 		a.rows[ci] = row
 	}
 	row[si] = t
+	setBit(a.done, ci*a.specs+si)
 	if a.left[ci]--; a.left[ci] == 0 {
 		delete(a.rows, ci)
 		a.fold(ci, row)
@@ -759,10 +786,38 @@ func MeasureSummary(specs []workload.Spec, cfgs []core.Config, o Options) (*Summ
 	}
 	measureComputes.Add(1)
 	acc := newSummaryAcc(len(specs), len(cfgs), o.TopK)
-	err := runCells(specs, cfgs, o, func(ci, si int, res *core.Result) {
+	var skip func(ci, si int) bool
+	var ckKey string
+	if store != nil {
+		// Resume: a valid checkpoint replaces the cold accumulator, and its
+		// (immutable) done bitmap elides the cells a previous run completed.
+		ckKey = o.measureKey("sweepckpt", specs, cfgs)
+		var ck sweepCheckpoint
+		if store.Load(ckKey, &ck) {
+			if restored := ck.restore(len(specs), len(cfgs), o.TopK); restored != nil {
+				acc = restored
+				done := ck.Done
+				nspecs := len(specs)
+				skip = func(ci, si int) bool { return bitSet(done, ci*nspecs+si) }
+				ckptResumes.Add(1)
+				resumedCells.Add(int64(popcount(done)))
+			}
+		}
+	}
+	w := newCkptWriter(store, ckKey, o.CheckpointEvery, func() any { return acc.checkpoint(key) })
+	var progressed atomic.Bool
+	err := runCells(specs, cfgs, o, skip, func(ci, si int, res *core.Result) {
 		acc.add(ci, si, res.TimeFS)
+		progressed.Store(true)
+		w.maybe()
 	})
 	if err != nil {
+		// Cancelled (or the executor shed the sweep mid-flight): persist the
+		// progress this run made so a rerun resumes warm instead of cold. A
+		// run that delivered nothing new leaves any prior checkpoint as-is.
+		if progressed.Load() {
+			flushCheckpoint(store, ckKey, func() any { return acc.checkpoint(key) })
+		}
 		return nil, err
 	}
 	sum := acc.finish()
@@ -770,6 +825,7 @@ func MeasureSummary(specs []workload.Spec, cfgs []core.Config, o Options) (*Summ
 		persist := o.Tracer.Start("persist", "sweepsum")
 		store.Store(key, sum)
 		persist.End()
+		removeCheckpoint(store, ckKey)
 	}
 	return sum, nil
 }
@@ -877,11 +933,28 @@ func MeasurePhase(specs []workload.Spec, o Options) ([]*core.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	out := make([]*core.Result, len(specs))
-	groups := make([][]func(), len(specs))
+	acc := newPhaseAcc(len(specs))
+	var skip []uint64
+	var ckKey string
+	if store != nil {
+		ckKey = o.measureKey("phaseckpt", specs, nil)
+		var ck phaseCheckpoint
+		if store.Load(ckKey, &ck) && ck.valid(len(specs)) {
+			acc.restore(&ck)
+			skip = ck.Done
+			ckptResumes.Add(1)
+			resumedCells.Add(int64(popcount(skip)))
+		}
+	}
+	w := newCkptWriter(store, ckKey, o.CheckpointEvery, func() any { return acc.checkpoint(key) })
+	var progressed atomic.Bool
+	groups := make([][]func(), 0, len(specs))
 	for i := range specs {
 		i := i
-		groups[i] = []func(){func() {
+		if bitSet(skip, i) {
+			continue
+		}
+		groups = append(groups, []func(){func() {
 			cfg := o.apply(core.DefaultAdaptive(core.PhaseAdaptive))
 			cfg.RecordTrace = true
 			rec, err := pool.GetContext(ctx, specs[i])
@@ -892,16 +965,22 @@ func MeasurePhase(specs []workload.Spec, o Options) ([]*core.Result, error) {
 			if err != nil {
 				return
 			}
-			out[i] = res
-		}}
+			acc.add(i, res)
+			progressed.Store(true)
+			w.maybe()
+		}})
 	}
 	if err := exec.ExecuteContext(ctx, o.Priority, groups); err != nil {
+		if progressed.Load() {
+			flushCheckpoint(store, ckKey, func() any { return acc.checkpoint(key) })
+		}
 		return nil, err
 	}
 	if store != nil {
-		store.Store(key, out)
+		store.Store(key, acc.out)
+		removeCheckpoint(store, ckKey)
 	}
-	return out, nil
+	return acc.out, nil
 }
 
 // Improvement returns the percent run-time improvement of adapted over
