@@ -21,6 +21,7 @@ import (
 	"gals/internal/cache"
 	"gals/internal/core"
 	"gals/internal/isa"
+	"gals/internal/service"
 	"gals/internal/timing"
 	"gals/internal/workload"
 )
@@ -199,6 +200,62 @@ func BenchmarkSimulatorPhaseAdaptiveContext(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatorPhaseAdaptiveParallel2/3 run the same machine through
+// the stage-parallel pipeline (degree 2: [generate+functional] -> [timing];
+// degree 3: [generate] -> [functional] -> [timing]). On a multi-core host
+// the wall time approaches the bottleneck stage (timing); on a single core
+// these measure the pipeline's overhead over sequential execution. Results
+// are bit-identical either way (see TestParityParallel*).
+func BenchmarkSimulatorPhaseAdaptiveParallel2(b *testing.B) {
+	benchParallel(b, 2)
+}
+
+func BenchmarkSimulatorPhaseAdaptiveParallel3(b *testing.B) {
+	benchParallel(b, 3)
+}
+
+func benchParallel(b *testing.B, degree int) {
+	b.Helper()
+	spec, _ := workload.ByName("gcc")
+	cfg := core.DefaultAdaptive(core.PhaseAdaptive)
+	cfg.PLLScale = 0.1
+	m := core.NewMachine(spec, cfg)
+	b.ResetTimer()
+	m.RunParallel(int64(b.N), degree)
+}
+
+// BenchmarkStageFunctional isolates the functional stage's per-instruction
+// cost (cache-hierarchy accesses + ILP tracking) the way the parallel
+// machine's middle stage runs it: positions only, no timing model. With
+// BenchmarkTraceGeneration (generate) and BenchmarkSimulatorPhaseAdaptive
+// (all three stages fused), this decomposes the sequential budget into the
+// stage costs that bound parallel wall time; PERFORMANCE.md's scaling
+// table derives from these.
+func BenchmarkStageFunctional(b *testing.B) {
+	// The adaptive machine's geometries (core/machine.go): 64KB 4-way L1I,
+	// 32KB 8-way L1D, 256KB 8-way L2.
+	icache := cache.New(cache.Geometry{Name: "L1I", Sets: 16 * 1024 / 64, Ways: 4, LineBytes: 64})
+	dcache := cache.New(cache.Geometry{Name: "L1D", Sets: 32 * 1024 / 64, Ways: 8, LineBytes: 64})
+	l2 := cache.New(cache.Geometry{Name: "L2", Sets: 256 * 1024 / 128, Ways: 8, LineBytes: 128})
+	spec, _ := workload.ByName("gcc")
+	tr := spec.NewTrace()
+	var in isa.Inst
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Next(&in)
+		icache.AccessPos(in.PC, false)
+		if in.Class == isa.Load {
+			if dcache.AccessPos(in.Addr, false) < 0 {
+				l2.AccessPos(in.Addr, false)
+			}
+		} else if in.Class == isa.Store {
+			if dcache.AccessPos(in.Addr, true) < 0 {
+				l2.AccessPos(in.Addr, true)
+			}
+		}
+	}
+}
+
 func BenchmarkAccountingCacheAccess(b *testing.B) {
 	c := cache.New(cache.Geometry{Name: "bench", Sets: 512, Ways: 8, LineBytes: 64})
 	c.Configure(2, true)
@@ -255,6 +312,49 @@ func BenchmarkSimulatorPhaseAdaptiveRecorded(b *testing.B) {
 	m := core.NewMachineSource(rec.Replay(), cfg)
 	b.ResetTimer()
 	m.Run(int64(b.N))
+}
+
+// warmRunAllocBudget bounds allocations per warm (cache-hit) service run.
+// The warm path is: normalize -> cache key (canonical JSON) -> singleflight
+// -> disk load + decode; the audit that set this measured 36 allocs/op
+// (after memoizing the workload suite, which had been rebuilt per request
+// validation). The budget has headroom so GC-timing jitter can't flake CI,
+// but an accidental per-request buffer, map or suite rebuild on the hot
+// path trips it.
+const warmRunAllocBudget = 60
+
+// BenchmarkServiceWarmRun measures the warm /v1/run path — the request is
+// already cached, so iterations cost normalize + key + singleflight +
+// persistent-cache load — and asserts the allocation budget (enforced in
+// CI by bench-smoke's 1x pass).
+func BenchmarkServiceWarmRun(b *testing.B) {
+	s, err := service.New(service.Config{CacheDir: b.TempDir(), Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	req := service.RunRequest{Bench: "gcc", Window: 3000}
+	if _, err := s.Run(ctx, req); err != nil { // cold run warms the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := s.Run(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ReportMetric(avg, "audited-allocs/op")
+	if avg > warmRunAllocBudget {
+		b.Fatalf("warm /v1/run allocates %.0f objects/op, budget %d", avg, warmRunAllocBudget)
+	}
 }
 
 // BenchmarkAblationICacheSets probes the paper's Section 7 future-work

@@ -53,6 +53,7 @@ func main() {
 		polBlob = flag.String("policy-blob", "", "weights-artifact file for blob-requiring policies (e.g. learned; see -train-policy)")
 		trainTo = flag.String("train-policy", "", "run the learned-policy training pipeline at the -n window and write the weights artifact to this file, then exit")
 		listPol = flag.Bool("list-policies", false, "list adaptation policies and exit")
+		par     = flag.Int("parallel", 1, "intra-run parallelism degree: 1 = sequential, 0 = auto (CPU count), capped at the machine's stage depth; results are bit-identical at any degree")
 	)
 	flag.Parse()
 
@@ -174,7 +175,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	res := core.RunWorkload(spec, cfg, *n)
+	res := core.RunWorkloadParallel(spec, cfg, *n, core.ParallelDegree(*par))
 	printResult(res)
 	if *doTrace {
 		fmt.Println("\nreconfiguration trace:")

@@ -238,6 +238,34 @@ func RunContext(ctx context.Context, spec WorkloadSpec, cfg Config, n int64) (*R
 	return core.RunWorkloadContext(ctx, spec, cfg, n)
 }
 
+// RunParallel is Run with intra-run parallelism: the machine's software
+// pipeline decomposes one simulation across up to `degree` stages (clamped
+// to the pipeline depth of 3; <= 0 means use the host CPU count, <= 1 runs
+// sequentially). The Result is bit-identical to Run — the degree is an
+// execution-engine knob that never appears in results, recordings or cache
+// keys.
+func RunParallel(spec WorkloadSpec, cfg Config, n int64, degree int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("gals: non-positive window %d", n)
+	}
+	return core.RunWorkloadParallel(spec, cfg, n, core.ParallelDegree(degree)), nil
+}
+
+// RunRecordedParallel is RunRecorded with intra-run parallelism; see
+// RunParallel for the degree contract.
+func RunRecordedParallel(rec *Recording, cfg Config, n int64, degree int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("gals: non-positive window %d", n)
+	}
+	return core.RunSourceParallel(rec.Replay(), cfg, n, core.ParallelDegree(degree)), nil
+}
+
 // RecordWorkload captures the first n instructions of spec's deterministic
 // stream into an immutable, shareable recording.
 func RecordWorkload(spec WorkloadSpec, n int64) (*Recording, error) {

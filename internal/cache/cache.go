@@ -205,6 +205,19 @@ func (c *AccountingCache) LineAddr(addr uint64) uint64 { return addr >> c.lineBi
 // fetched from the next level and installed as MRU; the caller charges the
 // next-level latency.
 func (c *AccountingCache) Access(addr uint64, write bool) Class {
+	return ClassifyPos(c.AccessPos(addr, write), c.waysA, c.bEnabled)
+}
+
+// AccessPos is Access without the classification: it performs the full
+// state update (MRU move-to-front, statistics, contents, dirty bits) and
+// returns the MRU position the block was found at, or -1 on a directory
+// miss. The update is identical for every configuration — this is the
+// Accounting Cache's defining property — so AccessPos needs no knowledge
+// of the active partitioning. ClassifyPos(pos, waysA, bEnabled) recovers
+// the timing class for any configuration; the parallel machine uses this
+// split to evolve cache state ahead of the timing pipeline and classify
+// later, under the configuration in force when the access is timed.
+func (c *AccountingCache) AccessPos(addr uint64, write bool) int {
 	line := c.LineAddr(addr)
 	base := c.setIndex(line) * c.geo.Ways
 	ways := c.tags[base : base+c.geo.Ways]
@@ -219,28 +232,9 @@ func (c *AccountingCache) Access(addr uint64, write bool) Class {
 		}
 	}
 
-	var class Class
-	switch {
-	case pos < 0:
-		class = Miss
-		c.stats.DirMisses++
-	case pos < c.waysA:
-		class = AHit
-		c.stats.PosHits[pos]++
-	case c.bEnabled:
-		class = BHit
-		c.stats.PosHits[pos]++
-	default:
-		// Tag present in a disabled way (A-only mode): data is not
-		// resident, so it is a miss for timing, but the accounting
-		// statistics still record the MRU position.
-		class = Miss
-		c.stats.PosHits[pos]++
-	}
-
 	// Move-to-front MRU update (this is exactly the A/B swap behaviour).
-	wasDirty := false
 	if pos < 0 {
+		c.stats.DirMisses++
 		// Install new line; evict the LRU way.
 		last := c.geo.Ways - 1
 		if ways[last] != invalidTag && c.dirty[base+last] {
@@ -250,14 +244,32 @@ func (c *AccountingCache) Access(addr uint64, write bool) Class {
 		copy(c.dirty[base+1:base+c.geo.Ways], c.dirty[base:base+last])
 		ways[0] = line
 		c.dirty[base] = write
-		return class
+		return pos
 	}
-	wasDirty = c.dirty[base+pos]
+	c.stats.PosHits[pos]++
+	wasDirty := c.dirty[base+pos]
 	copy(ways[1:], ways[:pos])
 	copy(c.dirty[base+1:base+pos+1], c.dirty[base:base+pos])
 	ways[0] = line
 	c.dirty[base] = wasDirty || write
-	return class
+	return pos
+}
+
+// ClassifyPos maps an AccessPos result to the timing class it would have
+// under a partitioning with waysA primary ways and the B partition enabled
+// or not. A position in a disabled way (pos >= waysA without B) is a miss
+// for timing — the data is not resident — exactly as in Access.
+func ClassifyPos(pos, waysA int, bEnabled bool) Class {
+	switch {
+	case pos < 0:
+		return Miss
+	case pos < waysA:
+		return AHit
+	case bEnabled:
+		return BHit
+	default:
+		return Miss
+	}
 }
 
 // Probe reports whether addr currently hits in the enabled partitions,

@@ -164,6 +164,13 @@ type Controller interface {
 	// ILP tracker and deliver IQObs intervals. False disables issue-queue
 	// adaptation (and its tracking overhead) entirely.
 	NeedsIQ() bool
+	// IQWindows returns the ILP tracker's measured window sizes, read once
+	// at machine construction like CacheInterval — the tracking-hardware
+	// analogue of the accounting interval. Sizes must be positive, strictly
+	// increasing and at most 64; policies without an opinion return
+	// queue.DefaultWindowSizes() (the paper's 16/32/48/64). Only consulted
+	// when NeedsIQ is true.
+	IQWindows() [4]int
 	// DecideCaches consumes one accounting interval and appends to buf the
 	// cache-domain reconfigurations to initiate, in commit order.
 	DecideCaches(obs CacheObs, buf []Reconfig) []Reconfig

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 
+	"gals/internal/queue"
 	"gals/internal/timing"
 )
 
@@ -152,6 +153,7 @@ type feedbackCtl struct {
 
 func (c *feedbackCtl) CacheInterval() int64 { return c.interval }
 func (c *feedbackCtl) NeedsIQ() bool        { return true }
+func (c *feedbackCtl) IQWindows() [4]int    { return queue.DefaultWindowSizes() }
 
 // pressure computes the cache-pressure signal from reconstructed interval
 // counts: the fraction of accesses not served by the A partition, misses

@@ -1,5 +1,7 @@
 package control
 
+import "gals/internal/queue"
+
 // frozenPolicy never reconfigures anything: the Phase-Adaptive machine kept
 // at its base configuration for the whole run. Against "paper" it isolates
 // what adaptation itself buys, net of the multiple-clock-domain
@@ -21,5 +23,6 @@ type frozenCtl struct{}
 
 func (frozenCtl) CacheInterval() int64                             { return 0 }
 func (frozenCtl) NeedsIQ() bool                                    { return false }
+func (frozenCtl) IQWindows() [4]int                                { return queue.DefaultWindowSizes() }
 func (frozenCtl) DecideCaches(_ CacheObs, b []Reconfig) []Reconfig { return b }
 func (frozenCtl) DecideIQs(_ IQObs, b []Reconfig) []Reconfig       { return b }

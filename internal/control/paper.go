@@ -106,6 +106,7 @@ func newIntervalCtl(interval int64, hysteresis int, init Init) *intervalCtl {
 
 func (c *intervalCtl) CacheInterval() int64 { return c.interval }
 func (c *intervalCtl) NeedsIQ() bool        { return c.intCtl != nil }
+func (c *intervalCtl) IQWindows() [4]int    { return queue.DefaultWindowSizes() }
 
 // DecideCaches runs the Section 3.1 interval decision for the front end and
 // the load/store pair. The arithmetic is the pre-extraction machine's,

@@ -14,6 +14,7 @@ import (
 
 	"gals/internal/clock"
 	"gals/internal/control"
+	"gals/internal/queue"
 	"gals/internal/timing"
 	"gals/internal/workload"
 )
@@ -35,16 +36,14 @@ func (m *Machine) applyPending() {
 	now := m.lastCommit
 	if p := m.pendingFE; p != nil && now >= p.at {
 		m.iCfg = timing.ICacheConfig(p.final)
-		m.icache.Configure(p.final+1, true)
+		m.configureI(p.final+1, true)
 		m.bank.SetActive(m.iCfg)
 		m.fePeriod = m.clocks[clock.FrontEnd].CurrentPeriod()
 		m.pendingFE = nil
 	}
 	if p := m.pendingLS; p != nil && now >= p.at {
 		m.dCfg = timing.DCacheConfig(p.final)
-		ways := dcacheWaysA(m.dCfg)
-		m.dcache.Configure(ways, true)
-		m.l2.Configure(ways, true)
+		m.configureD(dcacheWaysA(m.dCfg), true)
 		m.lsPeriod = m.clocks[clock.LoadStore].CurrentPeriod()
 		m.pendingLS = nil
 	}
@@ -73,14 +72,46 @@ func (m *Machine) record(kind reconfigKind, label string, index int) {
 	})
 }
 
+// configureI applies an I-cache partitioning: directly in sequential mode,
+// onto the timing stage's shadow configuration in parallel mode (the cache
+// object belongs to the functional stage for the duration of the run).
+func (m *Machine) configureI(waysA int, b bool) {
+	if p := m.par; p != nil {
+		p.setI(waysA, b)
+		return
+	}
+	m.icache.Configure(waysA, b)
+}
+
+// configureD applies the paired L1-D/L2 partitioning; see configureI.
+func (m *Machine) configureD(waysA int, b bool) {
+	if p := m.par; p != nil {
+		p.setD(waysA, b)
+		return
+	}
+	m.dcache.Configure(waysA, b)
+	m.l2.Configure(waysA, b)
+}
+
 // cacheDecide snapshots one completed accounting interval (Section 3.1),
 // lets the policy decide, commits the decisions at commit time `now`, and
 // resets the interval statistics.
 func (m *Machine) cacheDecide(now timing.FS) {
+	st := parStats{i: m.icache.Stats(), d: m.dcache.Stats(), l2: m.l2.Stats()}
+	m.cacheDecideStats(now, &st)
+	m.icache.ResetStats()
+	m.dcache.ResetStats()
+	m.l2.ResetStats()
+}
+
+// cacheDecideStats is cacheDecide on an already-taken statistics snapshot —
+// the form the parallel machine uses, where the snapshot and reset happened
+// on the functional stage at this exact instruction.
+func (m *Machine) cacheDecideStats(now timing.FS, st *parStats) {
 	obs := control.CacheObs{
-		ICache:      m.icache.Stats(),
-		DCacheL1:    m.dcache.Stats(),
-		L2:          m.l2.Stats(),
+		ICache:      st.i,
+		DCacheL1:    st.d,
+		L2:          st.l2,
 		ICfg:        m.iCfg,
 		DCfg:        m.dCfg,
 		FEPeriod:    m.fePeriod,
@@ -92,16 +123,19 @@ func (m *Machine) cacheDecide(now timing.FS) {
 	for _, a := range m.ctl.DecideCaches(obs, m.actBuf[:0]) {
 		m.commitReconfig(a, now)
 	}
-	m.icache.ResetStats()
-	m.dcache.ResetStats()
-	m.l2.ResetStats()
 }
 
 // iqDecide hands a completed ILP-tracking interval (Section 3.2) to the
 // policy and commits its resizes, at rename time `now`.
 func (m *Machine) iqDecide(now timing.FS) {
+	m.iqDecideSamples(now, m.tracker.Samples())
+}
+
+// iqDecideSamples is iqDecide on explicitly provided samples — the form the
+// parallel machine uses, where the tracker ran on the functional stage.
+func (m *Machine) iqDecideSamples(now timing.FS, samples [4]queue.Sample) {
 	obs := control.IQObs{
-		Samples:    m.tracker.Samples(),
+		Samples:    samples,
 		IntIQ:      m.intIQ,
 		FPIQ:       m.fpIQ,
 		IntPending: m.pendingIntIQ != nil,
@@ -135,7 +169,7 @@ func (m *Machine) commitReconfig(a control.Reconfig, now timing.FS) {
 		// Run the simpler (smaller) configuration during the PLL lock:
 		// downsize at the start when speeding up, upsize at the end when
 		// slowing down (Section 3.1).
-		m.icache.Configure(int(trans)+1, true)
+		m.configureI(int(trans)+1, true)
 		m.bank.SetActive(trans)
 		lockDone := now + m.lockTime()
 		m.clocks[clock.FrontEnd].SetPeriodAt(lockDone, best.AdaptPeriod())
@@ -154,9 +188,7 @@ func (m *Machine) commitReconfig(a control.Reconfig, now timing.FS) {
 		if m.dCfg < trans {
 			trans = m.dCfg
 		}
-		ways := dcacheWaysA(trans)
-		m.dcache.Configure(ways, true)
-		m.l2.Configure(ways, true)
+		m.configureD(dcacheWaysA(trans), true)
 		lockDone := now + m.lockTime()
 		m.clocks[clock.LoadStore].SetPeriodAt(lockDone, best.AdaptPeriod())
 		m.pendingLS = &pendingReconfig{at: lockDone, final: int(best)}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"gals/internal/control"
+	"gals/internal/queue"
 	"gals/internal/workload"
 )
 
@@ -14,6 +15,7 @@ type forwarder struct{ inner control.Controller }
 
 func (f forwarder) CacheInterval() int64 { return f.inner.CacheInterval() }
 func (f forwarder) NeedsIQ() bool        { return f.inner.NeedsIQ() }
+func (f forwarder) IQWindows() [4]int    { return f.inner.IQWindows() }
 func (f forwarder) DecideCaches(o control.CacheObs, b []control.Reconfig) []control.Reconfig {
 	return f.inner.DecideCaches(o, b)
 }
@@ -83,7 +85,8 @@ func (c *cadenceCtl) CacheInterval() int64 {
 	}
 	return c.intervals[i]
 }
-func (c *cadenceCtl) NeedsIQ() bool { return false }
+func (c *cadenceCtl) NeedsIQ() bool     { return false }
+func (c *cadenceCtl) IQWindows() [4]int { return queue.DefaultWindowSizes() }
 func (c *cadenceCtl) DecideCaches(control.CacheObs, []control.Reconfig) []control.Reconfig {
 	c.calls++
 	return nil

@@ -240,6 +240,10 @@ type Machine struct {
 
 	stats Stats
 	count int64
+
+	// par is the intra-run parallel execution state; nil during sequential
+	// runs, making every parallel gate in step() one predictable branch.
+	par *parState
 }
 
 // pendingReconfig is an in-flight cache-domain frequency change.
@@ -362,7 +366,7 @@ func (m *Machine) installController(ctl control.Controller) {
 	m.ctl = ctl
 	m.cacheEvery = ctl.CacheInterval()
 	if ctl.NeedsIQ() {
-		m.tracker = queue.NewTracker()
+		m.tracker = queue.NewTrackerSizes(ctl.IQWindows())
 	}
 }
 

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gals/internal/timing"
+	"gals/internal/workload"
+)
+
+// The parallel machine's contract is bit-identity: RunParallel must produce
+// the same Result — time, statistics, reconfiguration event sequence — as
+// Run, for every mode, policy and configuration. These tests are the gate:
+// directed cases over the golden benchmarks and a randomized sweep over
+// (benchmark, mode, policy, configuration, jitter, window, degree). They
+// run under -race via `make parity`, which also checks the stage pipeline
+// for data races.
+
+// runPair executes the same (spec, cfg, window) sequentially and in
+// parallel and requires deeply equal results.
+func runPair(t *testing.T, label string, spec workload.Spec, cfg Config, n int64, degree int) {
+	t.Helper()
+	seq := NewMachine(spec, cfg).Run(n)
+	par := NewMachine(spec, cfg).RunParallel(n, degree)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("%s: parallel (degree %d) diverged from sequential:\nseq: time=%d stats=%+v\npar: time=%d stats=%+v",
+			label, degree, seq.TimeFS, seq.Stats, par.TimeFS, par.Stats)
+	}
+}
+
+func TestParityParallelMatchesSequentialGoldenBenches(t *testing.T) {
+	for _, benchName := range []string{"apsi", "art", "mst"} {
+		spec := bench(t, benchName)
+		for _, degree := range []int{2, 3} {
+			t.Run(fmt.Sprintf("%s/degree%d", benchName, degree), func(t *testing.T) {
+				cfg := parityCfg()
+				runPair(t, benchName, spec, cfg, parityWindow, degree)
+			})
+		}
+	}
+}
+
+func TestParityParallelAllModes(t *testing.T) {
+	spec := bench(t, "gcc")
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"synchronous", DefaultSync()},
+		{"program-adaptive", DefaultAdaptive(ProgramAdaptive)},
+		{"phase-adaptive", parityCfg()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			runPair(t, c.name, spec, c.cfg, 40_000, 3)
+		})
+	}
+}
+
+func TestParityParallelAllPolicies(t *testing.T) {
+	spec := bench(t, "equake")
+	for _, policy := range []string{"paper", "interval", "frozen", "feedback"} {
+		t.Run(policy, func(t *testing.T) {
+			cfg := parityCfg()
+			cfg.Policy = policy
+			runPair(t, policy, spec, cfg, 40_000, 3)
+		})
+	}
+}
+
+// TestParityParallelFuzz sweeps randomized configurations. The generator is
+// seeded, so a failure reproduces; raise fuzzCases locally to hunt.
+func TestParityParallelFuzz(t *testing.T) {
+	const fuzzCases = 14
+	rng := rand.New(rand.NewSource(20260807))
+	names := workload.Names()
+	policies := []string{"", "paper", "interval", "frozen", "feedback"}
+	params := []string{"", "", "interval=7500,hysteresis=1", "", ""}
+
+	for i := 0; i < fuzzCases; i++ {
+		benchName := names[rng.Intn(len(names))]
+		spec := bench(t, benchName)
+
+		var cfg Config
+		var policy string
+		switch rng.Intn(6) {
+		case 0:
+			cfg = DefaultSync()
+			cfg.DCache = timing.DCacheConfig(rng.Intn(timing.NumDCacheConfigs))
+		case 1:
+			cfg = DefaultAdaptive(ProgramAdaptive)
+			cfg.ICacheBySets = rng.Intn(2) == 0
+		default: // the adaptive controllers are the interesting surface
+			cfg = DefaultAdaptive(PhaseAdaptive)
+			j := rng.Intn(len(policies))
+			policy = policies[j]
+			cfg.Policy, cfg.PolicyParams = policy, params[j]
+			cfg.IQHysteresis = rng.Intn(3)
+			cfg.DisableCacheAdapt = rng.Intn(8) == 0
+			cfg.DisableIQAdapt = rng.Intn(8) == 0
+			cfg.PLLScale = 0.1
+		}
+		if cfg.Mode != Synchronous {
+			cfg.ICache = timing.ICacheConfig(rng.Intn(timing.NumICacheConfigs))
+			cfg.DCache = timing.DCacheConfig(rng.Intn(timing.NumDCacheConfigs))
+			if cfg.ICacheBySets {
+				cfg.ICache = timing.ICache16K1W // size classes share the index space
+			}
+		}
+		sizes := timing.IQSizes()
+		cfg.IntIQ = sizes[rng.Intn(len(sizes))]
+		cfg.FPIQ = sizes[rng.Intn(len(sizes))]
+		cfg.Seed = int64(rng.Intn(1000))
+		cfg.JitterFrac = []float64{0, 0, 0.01, 0.03}[rng.Intn(4)]
+		cfg.RecordTrace = true
+		window := int64(8_000 + rng.Intn(32_000))
+		degree := 2 + rng.Intn(3) // 4 exercises the >3 clamp
+
+		label := fmt.Sprintf("case %d: bench=%s mode=%v policy=%q window=%d degree=%d seed=%d",
+			i, benchName, cfg.Mode, policy, window, degree, cfg.Seed)
+		runPair(t, label, spec, cfg, window, degree)
+	}
+}
+
+// TestParityParallelRecordedReplay pins replay equivalence: a parallel run
+// over a recorded source must equal a sequential run over the same
+// recording (and, transitively, the live run that produced it).
+func TestParityParallelRecordedReplay(t *testing.T) {
+	spec := bench(t, "em3d")
+	cfg := parityCfg()
+	const n = 40_000
+	rec := spec.Record(n)
+	seq := RunSource(rec.Replay(), cfg, n)
+	par := RunSourceParallel(rec.Replay(), cfg, n, 3)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel replay diverged: seq time=%d par time=%d", seq.TimeFS, par.TimeFS)
+	}
+	live := RunWorkloadParallel(spec, cfg, n, 2)
+	if !reflect.DeepEqual(seq, live) {
+		t.Fatalf("parallel live run diverged from recorded: seq time=%d live time=%d", seq.TimeFS, live.TimeFS)
+	}
+}
+
+// TestParityParallelContext pins the context variant: a never-cancelled
+// context is bit-identical, and cancellation tears the pipeline down
+// without wedging.
+func TestParityParallelContext(t *testing.T) {
+	spec := bench(t, "art")
+	cfg := parityCfg()
+	const n = 30_000
+
+	seq := NewMachine(spec, cfg).Run(n)
+	res, err := NewMachine(spec, cfg).RunParallelContext(context.Background(), n, 3)
+	if err != nil {
+		t.Fatalf("RunParallelContext: %v", err)
+	}
+	if !reflect.DeepEqual(seq, res) {
+		t.Fatalf("RunParallelContext diverged from sequential")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewMachine(spec, cfg).RunParallelContext(ctx, n, 3); err != context.Canceled {
+		t.Fatalf("cancelled RunParallelContext: got %v, want context.Canceled", err)
+	}
+
+	// Mid-run cancellation: must return promptly with ctx.Err and leave no
+	// stage goroutine blocked (the -race runner would flag a leak-induced
+	// deadlock as a timeout).
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := NewMachine(spec, cfg).RunParallelContext(ctx2, 50_000_000, 3)
+		if err != context.Canceled {
+			t.Errorf("mid-run cancel: got %v, want context.Canceled", err)
+		}
+	}()
+	cancel2()
+	<-done
+}
+
+func TestParityParallelDegreeResolution(t *testing.T) {
+	if got := ParallelDegree(5); got != 3 {
+		t.Fatalf("ParallelDegree(5) = %d, want 3", got)
+	}
+	if got := ParallelDegree(2); got != 2 {
+		t.Fatalf("ParallelDegree(2) = %d, want 2", got)
+	}
+	if got := ParallelDegree(0); got < 1 || got > 3 {
+		t.Fatalf("ParallelDegree(0) = %d, want 1..3", got)
+	}
+	// Degree 1 (and below) must be plain sequential execution.
+	spec := bench(t, "mst")
+	cfg := DefaultAdaptive(PhaseAdaptive)
+	cfg.PLLScale = 0.1
+	seq := NewMachine(spec, cfg).Run(20_000)
+	one := NewMachine(spec, cfg).RunParallel(20_000, 1)
+	if !reflect.DeepEqual(seq, one) {
+		t.Fatalf("RunParallel(degree 1) diverged from Run")
+	}
+}

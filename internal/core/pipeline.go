@@ -73,13 +73,31 @@ func (m *Machine) dcacheLatencies() (int, int, int, int) {
 	return s.L1ALat, s.L1BLat, s.L2ALat, s.L2BLat
 }
 
-// l2Access performs a functional+timed unified-L2 access for a line fill
-// request arriving in the load/store domain at time t (already
+// l2AccessI performs the unified-L2 access for an I-side line fill: the
+// functional access live in sequential mode, classification of the shipped
+// MRU position under the shadow configuration in parallel mode.
+func (m *Machine) l2AccessI(addr uint64, t timing.FS) timing.FS {
+	if p := m.par; p != nil {
+		return m.l2Timed(p.classL2(p.cur.iL2), t)
+	}
+	return m.l2Timed(m.l2.Access(addr, false), t)
+}
+
+// l2AccessD is l2AccessI for D-side line fills (loads and store
+// write-allocates).
+func (m *Machine) l2AccessD(addr uint64, t timing.FS, write bool) timing.FS {
+	if p := m.par; p != nil {
+		return m.l2Timed(p.classL2(p.cur.dL2), t)
+	}
+	return m.l2Timed(m.l2.Access(addr, write), t)
+}
+
+// l2Timed applies the timing of a unified-L2 access of the given class for
+// a line fill request arriving in the load/store domain at time t (already
 // synchronized), returning the completion time in the load/store domain.
-func (m *Machine) l2Access(addr uint64, t timing.FS, write bool) timing.FS {
+func (m *Machine) l2Timed(cls cache.Class, t timing.FS) timing.FS {
 	ls := m.clocks[clock.LoadStore]
 	_, _, l2A, l2B := m.dcacheLatencies()
-	cls := m.l2.Access(addr, write)
 	switch cls {
 	case cache.AHit:
 		m.stats.L2A++
@@ -119,7 +137,13 @@ func (m *Machine) step(in *isa.Inst) {
 		start = fe.EdgeAtOrAfter(start)
 		if line != m.curLine {
 			aLat, bLat := m.icacheLatencies()
-			switch m.icache.Access(in.PC, false) {
+			var icls cache.Class
+			if p := m.par; p != nil {
+				icls = p.classI(p.cur.iPos)
+			} else {
+				icls = m.icache.Access(in.PC, false)
+			}
+			switch icls {
 			case cache.AHit:
 				m.stats.ICacheA++
 				m.groupReady = fe.After(start, aLat)
@@ -132,7 +156,7 @@ func (m *Machine) step(in *isa.Inst) {
 				m.stats.ICacheMiss++
 				// Miss-under-probe: B probe overlaps the L2 request.
 				req := m.syncPaths[clock.FrontEnd][clock.LoadStore].Sync(fe.After(start, aLat))
-				done := m.l2Access(in.PC&^uint64(L2LineBytes-1), req, false)
+				done := m.l2AccessI(in.PC&^uint64(L2LineBytes-1), req)
 				m.groupReady = fe.EdgeAtOrAfter(m.syncPaths[clock.LoadStore][clock.FrontEnd].Sync(done))
 				m.nextLineAt = m.groupReady
 			}
@@ -174,8 +198,14 @@ func (m *Machine) step(in *isa.Inst) {
 	m.renameBW.push(rn)
 	m.fetchQ.push(rn)
 
-	// ILP tracking happens at rename (Section 3.2).
-	if m.tracker != nil && !m.cfg.DisableIQAdapt {
+	// ILP tracking happens at rename (Section 3.2). In parallel mode the
+	// functional stage ran the tracker; a fired interval's samples arrive
+	// through the ring and the decision commits here, at the same point.
+	if p := m.par; p != nil {
+		if p.cur.fire {
+			m.iqDecideSamples(rn, p.popSamples())
+		}
+	} else if m.tracker != nil && !m.cfg.DisableIQAdapt {
 		if m.tracker.Observe(in) {
 			m.iqDecide(rn)
 			m.tracker.Reset()
@@ -247,11 +277,22 @@ func (m *Machine) step(in *isa.Inst) {
 	}
 	if m.cacheEvery > 0 && !m.cfg.DisableCacheAdapt &&
 		m.count-m.intervalStart >= m.cacheEvery {
-		m.cacheDecide(c)
-		m.intervalStart = m.count
-		// Closed-loop policies may retune their own cadence between
-		// intervals (the paper's controllers return a constant).
-		m.cacheEvery = m.ctl.CacheInterval()
+		if p := m.par; p != nil {
+			// The functional stage snapshotted and reset the caches at this
+			// exact instruction; decide on its snapshot, then tell it when
+			// the next boundary falls.
+			st := p.popStats()
+			m.cacheDecideStats(c, &st)
+			m.intervalStart = m.count
+			m.cacheEvery = m.ctl.CacheInterval()
+			p.publishBoundary(m.nextBoundary())
+		} else {
+			m.cacheDecide(c)
+			m.intervalStart = m.count
+			// Closed-loop policies may retune their own cadence between
+			// intervals (the paper's controllers return a constant).
+			m.cacheEvery = m.ctl.CacheInterval()
+		}
 	}
 }
 
@@ -338,7 +379,13 @@ func (m *Machine) execLoad(in *isa.Inst) timing.FS {
 
 	l1A, l1B, _, _ := m.dcacheLatencies()
 	var done timing.FS
-	switch m.dcache.Access(in.Addr, false) {
+	var dcls cache.Class
+	if p := m.par; p != nil {
+		dcls = p.classD(p.cur.dPos)
+	} else {
+		dcls = m.dcache.Access(in.Addr, false)
+	}
+	switch dcls {
 	case cache.AHit:
 		m.stats.DCacheA++
 		done = ls.After(req, l1A)
@@ -348,7 +395,7 @@ func (m *Machine) execLoad(in *isa.Inst) timing.FS {
 	default:
 		m.stats.DCacheMiss++
 		// Miss-under-probe: B probe overlaps the L2 request.
-		done = m.l2Access(in.Addr, ls.After(req, l1A), false)
+		done = m.l2AccessD(in.Addr, ls.After(req, l1A), false)
 	}
 	if fwd != 0 && fwd < done {
 		done = fwd
@@ -373,10 +420,16 @@ func (m *Machine) execStore(in *isa.Inst) timing.FS {
 	// Post-commit write: functional update now (program order), port use
 	// booked at the earliest write time.
 	m.dports.push(ready)
-	if m.dcache.Access(in.Addr, true) == cache.Miss {
+	var scls cache.Class
+	if p := m.par; p != nil {
+		scls = p.classD(p.cur.dPos)
+	} else {
+		scls = m.dcache.Access(in.Addr, true)
+	}
+	if scls == cache.Miss {
 		m.stats.DCacheMiss++
 		// Write-allocate: fetch the line through L2.
-		m.l2Access(in.Addr, ready, true)
+		m.l2AccessD(in.Addr, ready, true)
 	} else {
 		m.stats.DCacheA++
 	}

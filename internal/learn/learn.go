@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"gals/internal/control"
+	"gals/internal/queue"
 	"gals/internal/timing"
 )
 
@@ -309,6 +310,7 @@ type learnedCtl struct {
 
 func (c *learnedCtl) CacheInterval() int64 { return c.interval }
 func (c *learnedCtl) NeedsIQ() bool        { return true }
+func (c *learnedCtl) IQWindows() [4]int    { return queue.DefaultWindowSizes() }
 
 func (c *learnedCtl) DecideCaches(obs control.CacheObs, buf []Reconfig) []Reconfig {
 	if !obs.FEPending && obs.ICache.Accesses > 0 {

@@ -81,6 +81,7 @@ type probe struct {
 
 func (p *probe) CacheInterval() int64 { return p.inner.CacheInterval() }
 func (p *probe) NeedsIQ() bool        { return p.inner.NeedsIQ() }
+func (p *probe) IQWindows() [4]int    { return p.inner.IQWindows() }
 
 // chosen extracts the decided target for kind from the controller's output,
 // falling back to the current index when it stood pat.

@@ -16,12 +16,20 @@
 package queue
 
 import (
+	"fmt"
+
 	"gals/internal/isa"
 	"gals/internal/timing"
 )
 
-// windowSizes are the tracked queue capacities in upsizing order.
-var windowSizes = [4]int{16, 32, 48, 64}
+// defaultWindowSizes are the paper's tracked queue capacities in upsizing
+// order.
+var defaultWindowSizes = [4]int{16, 32, 48, 64}
+
+// DefaultWindowSizes returns the paper's tracked window sizes (16, 32, 48,
+// 64): the default a controller's IQWindows should return unless it tunes
+// the tracking hardware itself.
+func DefaultWindowSizes() [4]int { return defaultWindowSizes }
 
 // Sample is the tracker's measurement for one window size.
 type Sample struct {
@@ -59,13 +67,28 @@ type Tracker struct {
 	curMax  int
 	nInt    int
 	nFP     int
-	next    int // index into windowSizes of the next threshold to record
+	next    int // index into sizes of the next threshold to record
+	sizes   [4]int
 	samples [4]Sample
 }
 
-// NewTracker returns a reset tracker.
-func NewTracker() *Tracker {
-	t := &Tracker{}
+// NewTracker returns a reset tracker with the paper's window sizes.
+func NewTracker() *Tracker { return NewTrackerSizes(defaultWindowSizes) }
+
+// NewTrackerSizes returns a reset tracker measuring the given window sizes,
+// which must be positive, strictly increasing and at most 64 (the hardware
+// timestamp saturation point). This is the controller-facing knob behind
+// Controller.IQWindows — the decision ladder (timing.IQSizes) is unchanged;
+// only the measurement thresholds move.
+func NewTrackerSizes(sizes [4]int) *Tracker {
+	prev := 0
+	for _, n := range sizes {
+		if n <= prev || n > maxTimestamp {
+			panic(fmt.Sprintf("queue: window sizes %v must be strictly increasing in (0, %d]", sizes, maxTimestamp))
+		}
+		prev = n
+	}
+	t := &Tracker{sizes: sizes}
 	t.Reset()
 	return t
 }
@@ -124,15 +147,15 @@ func (t *Tracker) Observe(in *isa.Inst) bool {
 
 	// Record thresholds: a window of size N has filled when either type's
 	// count reaches N.
-	for t.next < len(windowSizes) {
-		n := windowSizes[t.next]
+	for t.next < len(t.sizes) {
+		n := t.sizes[t.next]
 		if t.nInt < n && t.nFP < n {
 			break
 		}
 		t.samples[t.next] = Sample{N: n, M: t.curMax, IntCount: t.nInt, FPCount: t.nFP}
 		t.next++
 	}
-	return t.next == len(windowSizes)
+	return t.next == len(t.sizes)
 }
 
 // Samples returns the four completed measurements. Valid only after

@@ -149,6 +149,14 @@ func (s *Service) initMetrics() {
 	r.NewCounterFunc("gals_sim_instructions_total",
 		"Instructions committed across all completed runs.",
 		func() float64 { return float64(core.SimInstructions()) })
+	r.NewCounterFunc("gals_sim_runs_parallel_total",
+		"Simulation runs that executed with intra-run stage parallelism.",
+		func() float64 { return float64(core.SimRunsParallel()) })
+	r.NewGaugeFunc("gals_sim_parallel_degree",
+		"Stage-pipeline degree of the most recent parallel run (0 = none yet).",
+		func() float64 { return float64(core.SimParallelDegree()) })
+	s.runSeconds = r.NewHistogramVec("gals_run_seconds",
+		"Single-run simulation wall time by execution mode (sequential | parallel); recording time excluded.", "mode", nil)
 	r.NewFunc("gals_reconfigurations_total",
 		"On-line reconfigurations committed, by adaptation policy.",
 		"counter", func() []metrics.Sample {

@@ -16,6 +16,8 @@
 //     the upsized cache hierarchy holds (em3d, mst, equake, health, ...).
 package workload
 
+import "sync"
+
 // with applies a mutation to a copy of p.
 func with(p Params, f func(*Params)) Params {
 	f(&p)
@@ -81,8 +83,35 @@ func fpstream(codeKB, hotKB, dataKB int) Params {
 	})
 }
 
+// The suite is a fixed catalogue of immutable descriptors, but it used to
+// be rebuilt — a few dozen allocations — on every call, and ByName sits on
+// the service's warm request path (request validation). Build it once;
+// Suite hands out defensive slice copies, ByName reads the cache directly.
+var (
+	suiteOnce  sync.Once
+	suiteCache []Spec
+	suiteIndex map[string]int
+)
+
+func suiteInit() {
+	suiteOnce.Do(func() {
+		suiteCache = buildSuite()
+		suiteIndex = make(map[string]int, len(suiteCache))
+		for i, s := range suiteCache {
+			suiteIndex[s.Name] = i
+		}
+	})
+}
+
 // Suite returns the full benchmark suite in the paper's Figure 6 order.
+// The returned slice is the caller's to keep; the Spec values (including
+// any Phases slices) are shared immutable descriptors.
 func Suite() []Spec {
+	suiteInit()
+	return append([]Spec(nil), suiteCache...)
+}
+
+func buildSuite() []Spec {
 	var specs []Spec
 	add := func(s Spec) { specs = append(specs, s) }
 
@@ -377,21 +406,22 @@ func Suite() []Spec {
 	return specs
 }
 
-// ByName finds a benchmark run in the suite.
+// ByName finds a benchmark run in the suite. Allocation-free: it serves
+// the service's request-validation hot path.
 func ByName(name string) (Spec, bool) {
-	for _, s := range Suite() {
-		if s.Name == name {
-			return s, true
-		}
+	suiteInit()
+	i, ok := suiteIndex[name]
+	if !ok {
+		return Spec{}, false
 	}
-	return Spec{}, false
+	return suiteCache[i], true
 }
 
 // Names lists the suite's run names in order.
 func Names() []string {
-	suite := Suite()
-	out := make([]string, len(suite))
-	for i, s := range suite {
+	suiteInit()
+	out := make([]string, len(suiteCache))
+	for i, s := range suiteCache {
 		out[i] = s.Name
 	}
 	return out
