@@ -9,7 +9,7 @@ BENCHOUT  ?= BENCH_latest.txt
 MEMWINDOW ?= 60000
 MEMCACHE  ?= /tmp/gals-bench-mem-cache
 
-.PHONY: all build test test-short race vet parity determinism chaos crash obs bench bench-suite bench-mem bench-smoke ci
+.PHONY: all build test test-short race vet parity determinism chaos crash obs bench bench-json bench-suite bench-mem bench-smoke ci
 
 all: build
 
@@ -73,6 +73,15 @@ obs:
 # (benchstat-compatible: COUNT=5 repetitions by default).
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) . | tee $(BENCHOUT)
+
+# Same micro-benchmarks, but the results also land as machine-readable JSON
+# (BENCH_<timestamp>.json unless BENCHJSON overrides it): name, ns/op, B/op,
+# allocs/op and any b.ReportMetric extras, one record per benchmark with
+# -count repeats folded to the fastest run. CI uploads the file as a build
+# artifact so perf history is diffable without parsing bench text.
+BENCHJSON ?= BENCH_$(shell date +%Y%m%dT%H%M%S).json
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) . | $(GO) run ./cmd/benchjson -o $(BENCHJSON)
 
 # The full Figure-6 pipeline benchmark (minutes of wall time): the headline
 # end-to-end number recorded in PERFORMANCE.md.

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"gals/internal/bpred"
 	"gals/internal/cache"
@@ -223,6 +224,56 @@ func benchParallel(b *testing.B, degree int) {
 	b.ResetTimer()
 	m.RunParallel(int64(b.N), degree)
 }
+
+// BenchmarkTelemetryOverhead pins the telemetry sampler's A/B contract:
+// a machine with no sampler attached (the default) must run within ~1% of
+// the pre-telemetry baseline, and the cost with a sampler attached must be
+// quantified, not guessed. Two identical phase-adaptive machines advance in
+// interleaved chunks — alternation cancels cache/thermal drift that would
+// bias back-to-back timed loops — and the off/on per-instruction costs land
+// as custom metrics (off-ns/inst, on-ns/inst, overhead-%). The reported
+// ns/op is the telemetry-OFF path, so regressions in the nil-sampler check
+// itself surface in the headline number. See PERFORMANCE.md.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	spec, _ := workload.ByName("gcc")
+	cfg := core.DefaultAdaptive(core.PhaseAdaptive)
+	cfg.PLLScale = 0.1
+	off := core.NewMachine(spec, cfg)
+	on := core.NewMachine(spec, cfg)
+	// An effectively unbounded ring: the measured cost is sampling, not
+	// ring-wraparound writes (which are the same stores anyway).
+	on.SetTelemetry(core.NewTelemetry(1 << 20))
+
+	const chunk = 10_000
+	var offNS, onNS int64
+	b.ResetTimer()
+	remaining := int64(b.N)
+	for remaining > 0 {
+		n := int64(chunk)
+		if n > remaining {
+			n = remaining
+		}
+		t0 := nowNS()
+		off.Run(n)
+		t1 := nowNS()
+		b.StopTimer() // keep the headline ns/op = the telemetry-OFF path
+		t2 := nowNS()
+		on.Run(n)
+		t3 := nowNS()
+		b.StartTimer()
+		offNS += t1 - t0
+		onNS += t3 - t2
+		remaining -= n
+	}
+	b.StopTimer()
+	perOff := float64(offNS) / float64(b.N)
+	perOn := float64(onNS) / float64(b.N)
+	b.ReportMetric(perOff, "off-ns/inst")
+	b.ReportMetric(perOn, "on-ns/inst")
+	b.ReportMetric(100*(perOn-perOff)/perOff, "overhead-%")
+}
+
+func nowNS() int64 { return time.Now().UnixNano() }
 
 // BenchmarkStageFunctional isolates the functional stage's per-instruction
 // cost (cache-hierarchy accesses + ILP tracking) the way the parallel

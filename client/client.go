@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gals/internal/core"
 	"gals/internal/experiment"
 	"gals/internal/service"
 )
@@ -40,6 +41,7 @@ type (
 	SuiteRequest = service.SuiteRequest
 	SuiteSummary = service.SuiteSummary
 	ServerStats  = service.Stats
+	Telemetry    = core.Telemetry
 )
 
 // ErrBreakerOpen is returned without touching the network while the
@@ -241,6 +243,16 @@ func (c *Client) Run(ctx context.Context, req RunRequest) (RunResult, error) {
 	var out RunResult
 	err := c.do(ctx, http.MethodPost, "/v1/run", req, &out)
 	return out, err
+}
+
+// Telemetry fetches a run-telemetry artifact by the digest a telemetry-
+// enabled Run returned, via GET /v1/telemetry/<digest>.
+func (c *Client) Telemetry(ctx context.Context, digest string) (*Telemetry, error) {
+	var out Telemetry
+	if err := c.do(ctx, http.MethodGet, "/v1/telemetry/"+digest, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // RunBatch executes many simulations via POST /v1/batch. The per-run

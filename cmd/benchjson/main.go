@@ -1,0 +1,140 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON array. It reads the bench text on stdin, echoes
+// every line through to stderr (so the human-readable stream survives the
+// pipe), and at EOF writes one JSON document to the file named by -o (or
+// stdout) with one record per benchmark result line:
+//
+//	{"name": "BenchmarkSimulatorPhaseAdaptive-8", "runs": 5,
+//	 "ns_per_op": 1234.5, "b_per_op": 0, "allocs_per_op": 0,
+//	 "metrics": {"overhead-%": 0.4}}
+//
+// Repeated lines for the same benchmark (-count > 1) fold into one record:
+// runs accumulates and the numeric fields keep the minimum ns/op line's
+// values, matching how humans read a -count series. Custom b.ReportMetric
+// units land in "metrics" verbatim.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's folded record.
+type result struct {
+	Name        string             `json:"name"`
+	Runs        int                `json:"runs"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file for the JSON document (empty = stdout)")
+	flag.Parse()
+
+	byName := map[string]*result{}
+	var order []string
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		r, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		prev, seen := byName[r.Name]
+		if !seen {
+			byName[r.Name] = r
+			order = append(order, r.Name)
+			continue
+		}
+		prev.Runs += r.Runs
+		if r.NsPerOp < prev.NsPerOp {
+			prev.Iterations = r.Iterations
+			prev.NsPerOp = r.NsPerOp
+			prev.BytesPerOp = r.BytesPerOp
+			prev.AllocsPerOp = r.AllocsPerOp
+			prev.Metrics = r.Metrics
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	results := make([]*result, 0, len(order))
+	for _, name := range order {
+		results = append(results, byName[name])
+	}
+	blob, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+}
+
+// parseBenchLine decodes one standard bench result line:
+//
+//	BenchmarkName-8   1000   1234 ns/op   56 B/op   7 allocs/op   0.4 extra-unit
+//
+// The name must start with "Benchmark" and the line must carry at least an
+// iteration count; value/unit pairs follow in any order.
+func parseBenchLine(line string) (*result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return nil, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, false
+	}
+	r := &result{Name: fields[0], Runs: 1, Iterations: iters}
+	any := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+		any = true
+	}
+	if !any {
+		return nil, false
+	}
+	return r, true
+}

@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkSimulatorPhaseAdaptive-8    \t 1000\t   1234.5 ns/op\t  56 B/op\t 7 allocs/op")
+	if !ok {
+		t.Fatal("standard -benchmem line did not parse")
+	}
+	if r.Name != "BenchmarkSimulatorPhaseAdaptive-8" || r.Iterations != 1000 {
+		t.Fatalf("name/iterations = %q/%d", r.Name, r.Iterations)
+	}
+	if r.NsPerOp != 1234.5 || r.BytesPerOp != 56 || r.AllocsPerOp != 7 {
+		t.Fatalf("values = %v/%v/%v", r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+
+	r, ok = parseBenchLine("BenchmarkTelemetryOverhead-4  10  99 ns/op  0.42 overhead-%  88 off-ns/inst")
+	if !ok {
+		t.Fatal("ReportMetric line did not parse")
+	}
+	if r.Metrics["overhead-%"] != 0.42 || r.Metrics["off-ns/inst"] != 88 {
+		t.Fatalf("custom metrics = %v", r.Metrics)
+	}
+
+	for _, bad := range []string{
+		"ok  	gals	0.5s",
+		"PASS",
+		"goos: linux",
+		"BenchmarkBroken-8 notanumber 12 ns/op",
+		"BenchmarkNoPairs-8 1000",
+	} {
+		if _, ok := parseBenchLine(bad); ok {
+			t.Errorf("line %q should not parse as a result", bad)
+		}
+	}
+}
+
+func TestParseBenchLineFoldsAreMinBased(t *testing.T) {
+	a, _ := parseBenchLine("BenchmarkX-8 100 200 ns/op")
+	b, _ := parseBenchLine("BenchmarkX-8 120 150 ns/op")
+	// main() keeps the minimum-ns/op line when folding -count repeats;
+	// verify the two lines carry what that fold relies on.
+	if a.Name != b.Name || b.NsPerOp >= a.NsPerOp {
+		t.Fatalf("fold precondition broken: %+v vs %+v", a, b)
+	}
+}

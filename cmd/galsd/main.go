@@ -14,12 +14,14 @@
 //	galsd -fault-inject 'resultcache.read=corrupt:0.5'   # chaos drills
 //	galsd -checkpoint-interval 15s    # crash-safe sweep progress (0 disables)
 //	galsd -scrub=false                # skip the startup-recovery pass
+//	galsd -telemetry-cap 8192         # ring capacity for "telemetry":true runs
 //
 // Endpoints (see README.md for request bodies):
 //
 //	GET  /healthz
 //	GET  /v1/stats
 //	GET  /v1/workloads
+//	GET  /v1/telemetry/<digest>
 //	POST /v1/run
 //	POST /v1/batch
 //	POST /v1/sweep
@@ -64,6 +66,7 @@ func main() {
 		traceDir  = flag.String("trace-dir", "", "dump a span-trace JSON file per run/sweep/suite request into this directory")
 		ckptEvery = flag.Duration("checkpoint-interval", 15*time.Second, "persist sweep/suite progress checkpoints this often so a killed server resumes warm (0 disables)")
 		runPar    = flag.Bool("run-parallel", false, "let runs use idle workers for intra-run stage parallelism (bit-identical results, lower single-run latency on a quiet server)")
+		telCap    = flag.Int("telemetry-cap", 0, "per-run telemetry ring capacity for runs requesting \"telemetry\":true — oldest samples/events are dropped beyond it (0 = default 4096)")
 		scrub     = flag.Bool("scrub", true, "run a startup-recovery pass over the cache before serving: reap crashed-writer temp/lock files, quarantine undecodable blobs, drop invalid recording slabs, GC stale checkpoints")
 	)
 	flag.Parse()
@@ -82,6 +85,10 @@ func main() {
 	}
 	if *reqTO < 0 || *rateLimit < 0 || *rateBurst < 0 || *ckptEvery < 0 {
 		fmt.Fprintln(os.Stderr, "galsd: -request-timeout, -rate-limit, -rate-burst and -checkpoint-interval must be >= 0")
+		os.Exit(2)
+	}
+	if *telCap < 0 {
+		fmt.Fprintf(os.Stderr, "galsd: -telemetry-cap must be >= 0, got %d\n", *telCap)
 		os.Exit(2)
 	}
 	if (*tlsCert == "") != (*tlsKey == "") {
@@ -106,6 +113,7 @@ func main() {
 		RequestTimeout: *reqTO, RateLimit: *rateLimit, RateBurst: *rateBurst,
 		EnablePprof: *pprofOn, AccessLog: logW, TraceDir: *traceDir,
 		CheckpointEvery: *ckptEvery, RunParallel: *runPar,
+		TelemetryCap: *telCap,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "galsd:", err)
@@ -179,6 +187,7 @@ func main() {
 		"access_log": *accessLog, "trace_dir": *traceDir,
 		"fault_injection":     faultinject.Active(),
 		"checkpoint_interval": ckptEvery.String(), "scrub": *scrub,
+		"telemetry_cap": *telCap,
 	})
 	fmt.Println(string(summary))
 

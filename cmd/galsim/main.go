@@ -10,6 +10,8 @@
 //	galsim -train-policy weights.json -n 30000
 //	galsim -bench apsi -mode phase -policy learned -policy-blob weights.json
 //	galsim -list-policies
+//	galsim -bench gcc -mode phase -telemetry gcc.json
+//	galsim -bench art -mode phase -telemetry art.csv -telemetry-plot
 //
 // Modes: sync (fully synchronous), program (Program-Adaptive MCD with the
 // given fixed configuration), phase (Phase-Adaptive MCD with the on-line
@@ -22,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -54,6 +57,8 @@ func main() {
 		trainTo = flag.String("train-policy", "", "run the learned-policy training pipeline at the -n window and write the weights artifact to this file, then exit")
 		listPol = flag.Bool("list-policies", false, "list adaptation policies and exit")
 		par     = flag.Int("parallel", 1, "intra-run parallelism degree: 1 = sequential, 0 = auto (CPU count), capped at the machine's stage depth; results are bit-identical at any degree")
+		telFile = flag.String("telemetry", "", "record run telemetry (per-interval adaptation series) and write it to this file: .csv writes a flat samples+events table, anything else the JSON artifact")
+		telPlot = flag.Bool("telemetry-plot", false, "record run telemetry and print a Figure-7-style ASCII adaptation timeline (combinable with -telemetry)")
 	)
 	flag.Parse()
 
@@ -175,13 +180,34 @@ func main() {
 		os.Exit(1)
 	}
 
-	res := core.RunWorkloadParallel(spec, cfg, *n, core.ParallelDegree(*par))
+	var tel *core.Telemetry
+	if *telFile != "" || *telPlot {
+		// The sampler rides the timing stage, so -parallel records the
+		// identical series; a nil sampler makes this a plain run.
+		tel = core.NewTelemetry(core.DefaultTelemetryCap)
+	}
+	res, err := core.RunWorkloadTelemetryContext(context.Background(), spec, cfg, *n, core.ParallelDegree(*par), tel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galsim:", err)
+		os.Exit(1)
+	}
 	printResult(res)
 	if *doTrace {
 		fmt.Println("\nreconfiguration trace:")
 		for _, e := range res.Stats.ReconfigEvents {
 			fmt.Printf("  @%9d instr  %-7s -> %s\n", e.Instr, e.Kind, e.Config)
 		}
+	}
+	if *telFile != "" {
+		if err := writeTelemetry(*telFile, tel); err != nil {
+			fmt.Fprintln(os.Stderr, "galsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntelemetry   %s (%d samples, %d events)\n", *telFile, len(tel.Samples), len(tel.Events))
+	}
+	if *telPlot {
+		fmt.Println()
+		plotTelemetry(os.Stdout, tel)
 	}
 }
 

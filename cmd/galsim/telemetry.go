@@ -1,0 +1,274 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"gals/internal/core"
+	"gals/internal/timing"
+)
+
+// writeTelemetry serializes a sealed telemetry artifact to path. A ".csv"
+// suffix selects a flat samples+events table (one row per sample or event,
+// ready for spreadsheet or gnuplot use); any other name gets the versioned
+// JSON artifact, byte-compatible with the service's /v1/telemetry blobs.
+func writeTelemetry(path string, t *core.Telemetry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = telemetryCSV(f, t)
+	} else {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(t)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// telemetryCSV flattens samples and events into one chronological table.
+// Sample rows carry the per-domain state at a decision boundary; event rows
+// describe one committed reconfiguration.
+func telemetryCSV(w io.Writer, t *core.Telemetry) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"kind", "instr", "time_fs",
+		"icache", "dcache", "int_iq", "fp_iq",
+		"fe_mhz", "ls_mhz", "int_mhz", "fp_mhz", "ipc",
+		"detail",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := func(kind string, instr, timeFS int64, icache, dcache string, intIQ, fpIQ int, fe, ls, in, fp, ipc float64, detail string) []string {
+		num := func(v float64) string {
+			if v == 0 {
+				return ""
+			}
+			return strconv.FormatFloat(v, 'f', -1, 64)
+		}
+		return []string{
+			kind,
+			strconv.FormatInt(instr, 10),
+			strconv.FormatInt(timeFS, 10),
+			icache, dcache,
+			strconv.Itoa(intIQ), strconv.Itoa(fpIQ),
+			num(fe), num(ls), num(in), num(fp), num(ipc),
+			detail,
+		}
+	}
+	si, ei := 0, 0
+	for si < len(t.Samples) || ei < len(t.Events) {
+		if ei >= len(t.Events) || (si < len(t.Samples) && t.Samples[si].Instr <= t.Events[ei].Instr) {
+			s := t.Samples[si]
+			si++
+			var detail string
+			switch s.Kind {
+			case "cache":
+				detail = fmt.Sprintf("l1i=%d/%d/%d l1d=%d/%d/%d l2=%d/%d/%d",
+					s.ICacheHitsA, s.ICacheHitsB, s.ICacheMisses,
+					s.DCacheHitsA, s.DCacheHitsB, s.DCacheMisses,
+					s.L2HitsA, s.L2HitsB, s.L2Misses)
+			case "iq":
+				parts := make([]string, 0, len(s.IQ))
+				for _, q := range s.IQ {
+					parts = append(parts, fmt.Sprintf("w%d:ilp=%d,int=%d,fp=%d",
+						q.Window, q.MaxILP, q.IntOcc, q.FPOcc))
+				}
+				detail = strings.Join(parts, " ")
+			}
+			if err := cw.Write(row("sample-"+s.Kind, s.Instr, s.TimeFS,
+				s.ICache, s.DCache, s.IntIQ, s.FPIQ,
+				s.FEMHz, s.LSMHz, s.IntMHz, s.FPMHz, s.IPC, detail)); err != nil {
+				return err
+			}
+			continue
+		}
+		ev := t.Events[ei]
+		ei++
+		detail := fmt.Sprintf("%s %s %d->%d %s (%s)",
+			ev.Structure, ev.Direction, ev.From, ev.To, ev.Config, ev.Trigger)
+		if err := cw.Write(row("event", ev.Instr, ev.TimeFS,
+			"", "", 0, 0, 0, 0, 0, 0, 0, detail)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// plotStructures orders the timeline tracks top to bottom.
+var plotStructures = [...]string{"icache", "dcache", "int-iq", "fp-iq"}
+
+// plotTelemetry renders a Figure-7-style adaptation timeline: one digit
+// track per adaptive structure (the configuration index over the
+// instruction axis, 0 = smallest/fastest, 3 = largest/slowest), a marker
+// line flagging the columns where reconfigurations committed ('^' up,
+// 'v' down, '*' both), and an IPC sparkline from the cache-interval
+// samples.
+func plotTelemetry(w io.Writer, t *core.Telemetry) {
+	const width = 72
+	fmt.Fprintf(w, "telemetry  %s  config %s  policy %s\n", t.Workload, t.Config, t.Policy)
+	fmt.Fprintf(w, "window     %d instrs  %.3f us  %d reconfigs  %d samples",
+		t.Window, float64(t.TimeFS)/float64(timing.FemtosPerMicro), t.Reconfigs, len(t.Samples))
+	if t.DroppedSamples > 0 || t.DroppedEvents > 0 {
+		fmt.Fprintf(w, "  (dropped %d samples, %d events)", t.DroppedSamples, t.DroppedEvents)
+	}
+	fmt.Fprintln(w)
+	if t.Window <= 0 {
+		return
+	}
+	perCol := t.Window / width
+	if perCol <= 0 {
+		perCol = 1
+	}
+	fmt.Fprintf(w, "scale      1 column = %d instrs; tracks show config index 0-3\n\n", perCol)
+
+	col := func(instr int64) int {
+		c := int(instr / perCol)
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+
+	for _, structure := range plotStructures {
+		track := make([]byte, width)
+		marks := make([]byte, width)
+		for i := range marks {
+			marks[i] = ' '
+		}
+		cur := initialIndex(t, structure)
+		ei := 0
+		events := structureEvents(t, structure)
+		for c := 0; c < width; c++ {
+			// Apply every event that lands in this column, marking the
+			// column with its direction ('*' when both fired in one cell).
+			end := int64(c+1) * perCol
+			for ei < len(events) && (events[ei].Instr < end || c == width-1) {
+				ev := events[ei]
+				ei++
+				cur = ev.To
+				mark := byte('^')
+				if ev.Direction == "down" {
+					mark = 'v'
+				}
+				if marks[c] != ' ' && marks[c] != mark {
+					mark = '*'
+				}
+				marks[c] = mark
+			}
+			track[c] = digit(cur)
+		}
+		fmt.Fprintf(w, "%-8s %s\n", structure, track)
+		if strings.TrimSpace(string(marks)) != "" {
+			fmt.Fprintf(w, "%-8s %s\n", "", marks)
+		}
+	}
+
+	// IPC sparkline from the cache-interval samples (the per-interval IPC
+	// the cache controllers observed), binned onto the same columns.
+	sum := make([]float64, width)
+	cnt := make([]int, width)
+	maxIPC := 0.0
+	for _, s := range t.Samples {
+		if s.Kind != "cache" || s.IPC <= 0 {
+			continue
+		}
+		c := col(s.Instr)
+		sum[c] += s.IPC
+		cnt[c]++
+	}
+	for c := 0; c < width; c++ {
+		if cnt[c] > 0 && sum[c]/float64(cnt[c]) > maxIPC {
+			maxIPC = sum[c] / float64(cnt[c])
+		}
+	}
+	if maxIPC > 0 {
+		const levels = " .:-=+*#%@"
+		line := make([]byte, width)
+		for c := 0; c < width; c++ {
+			if cnt[c] == 0 {
+				line[c] = ' '
+				continue
+			}
+			v := sum[c] / float64(cnt[c]) / maxIPC
+			li := int(v * float64(len(levels)-1))
+			if li >= len(levels) {
+				li = len(levels) - 1
+			}
+			line[c] = levels[li]
+		}
+		fmt.Fprintf(w, "%-8s %s  (peak %.2f instr/cycle)\n", "ipc", line, maxIPC)
+	}
+}
+
+// structureEvents filters the (chronological) event series down to one
+// structure.
+func structureEvents(t *core.Telemetry, structure string) []core.TelemetryEvent {
+	var out []core.TelemetryEvent
+	for _, ev := range t.Events {
+		if ev.Structure == structure {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// initialIndex recovers the configuration index a structure started the
+// run with, from the artifact alone: the From of its first event if it
+// ever reconfigured, otherwise the index held in the first sample.
+func initialIndex(t *core.Telemetry, structure string) int {
+	for _, ev := range t.Events {
+		if ev.Structure == structure {
+			return ev.From
+		}
+	}
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	s := t.Samples[0]
+	switch structure {
+	case "icache":
+		return s.ICacheIndex
+	case "dcache":
+		return s.DCacheIndex
+	case "int-iq":
+		return iqIndex(s.IntIQ)
+	case "fp-iq":
+		return iqIndex(s.FPIQ)
+	}
+	return 0
+}
+
+// iqIndex maps an issue-queue size (16/32/48/64) to its config index 0-3.
+func iqIndex(size int) int {
+	i := size/16 - 1
+	if i < 0 {
+		i = 0
+	}
+	if i > 3 {
+		i = 3
+	}
+	return i
+}
+
+// digit renders a config index as a single track character.
+func digit(i int) byte {
+	if i < 0 || i > 9 {
+		return '?'
+	}
+	return byte('0' + i)
+}

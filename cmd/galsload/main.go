@@ -63,6 +63,7 @@ func main() {
 		requests    = flag.Int("requests", 0, "total request budget (0 = drive for -duration)")
 		coldFrac    = flag.Float64("cold-frac", 0.25, "fraction of runs issued with a unique seed (always simulate)")
 		sweepFrac   = flag.Float64("sweep-frac", 0.05, "fraction of requests that are quick phase-space sweeps")
+		telFrac     = flag.Float64("telemetry-frac", 0, "fraction of runs issued with \"telemetry\":true, each followed by a GET /v1/telemetry/<digest> fetch of the artifact")
 		window      = flag.Int64("window", 20_000, "instruction window per run")
 		seed        = flag.Int64("seed", 1, "base seed for the request mix")
 		launch      = flag.Bool("launch", false, "spawn a throwaway galsd (-galsd-bin) on a random port with a temp cache")
@@ -74,7 +75,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if *concurrency < 1 || *coldFrac < 0 || *coldFrac > 1 || *sweepFrac < 0 || *sweepFrac > 1 || *killAfter < 0 {
+	if *concurrency < 1 || *coldFrac < 0 || *coldFrac > 1 || *sweepFrac < 0 || *sweepFrac > 1 || *telFrac < 0 || *telFrac > 1 || *killAfter < 0 {
 		fmt.Fprintln(os.Stderr, "galsload: bad flags: need -concurrency >= 1, fractions in [0,1] and -kill-after >= 0")
 		os.Exit(2)
 	}
@@ -125,7 +126,8 @@ func main() {
 
 	lat := drive(cl, driveConfig{
 		concurrency: *concurrency, duration: *duration, requests: *requests,
-		coldFrac: *coldFrac, sweepFrac: *sweepFrac, window: *window, seed: *seed,
+		coldFrac: *coldFrac, sweepFrac: *sweepFrac, telFrac: *telFrac,
+		window: *window, seed: *seed,
 	})
 
 	ok := report(os.Stdout, cl, base, lat, *assert)
@@ -140,6 +142,7 @@ type driveConfig struct {
 	requests    int
 	coldFrac    float64
 	sweepFrac   float64
+	telFrac     float64
 	window      int64
 	seed        int64
 }
@@ -148,6 +151,11 @@ type latencies struct {
 	mu    sync.Mutex
 	runs  []time.Duration // client-side latency of successful requests
 	fails int
+
+	// Telemetry exercise: runs issued with "telemetry":true, artifacts
+	// fetched back by digest, and fetches that failed (or came back with
+	// no digest at all).
+	telRuns, telFetched, telFails int
 }
 
 func (l *latencies) add(d time.Duration, err error) {
@@ -208,12 +216,24 @@ func drive(cl *client.Client, cfg driveConfig) *latencies {
 					// Unique seed: this exact request has never been
 					// simulated, so it must miss the cache and compute.
 					req.Seed = cfg.seed + 1_000_000 + coldSeq.Add(1)
-					_, err = cl.Run(ctx, req)
+					// A second, independent draw (offset stream) decides
+					// whether this run also asks for the telemetry artifact.
+					req.Telemetry = frac(n+7_777_777) < cfg.telFrac
+					var res client.RunResult
+					res, err = cl.Run(ctx, req)
+					if err == nil && req.Telemetry {
+						lat.fetchTelemetry(ctx, cl, res)
+					}
 				default:
 					req := warmSet[int(n)%len(warmSet)]
 					req.Window = cfg.window
 					req.Seed = cfg.seed
-					_, err = cl.Run(ctx, req)
+					req.Telemetry = frac(n+7_777_777) < cfg.telFrac
+					var res client.RunResult
+					res, err = cl.Run(ctx, req)
+					if err == nil && req.Telemetry {
+						lat.fetchTelemetry(ctx, cl, res)
+					}
 				}
 				lat.add(time.Since(start), err)
 				cancel()
@@ -222,6 +242,30 @@ func drive(cl *client.Client, cfg driveConfig) *latencies {
 	}
 	wg.Wait()
 	return lat
+}
+
+// fetchTelemetry rounds out one telemetry-enabled run: pull the artifact
+// the digest names back through GET /v1/telemetry/<digest> and fold the
+// outcome into the counters.
+func (l *latencies) fetchTelemetry(ctx context.Context, cl *client.Client, res client.RunResult) {
+	l.mu.Lock()
+	l.telRuns++
+	l.mu.Unlock()
+	ok := false
+	if res.Telemetry != "" {
+		// A valid artifact can be empty (sync/program runs have no
+		// controller boundaries); the round-trip check is the version.
+		if tel, err := cl.Telemetry(ctx, res.Telemetry); err == nil && tel.Version > 0 {
+			ok = true
+		}
+	}
+	l.mu.Lock()
+	if ok {
+		l.telFetched++
+	} else {
+		l.telFails++
+	}
+	l.mu.Unlock()
 }
 
 // pctile returns the exact q-quantile (nearest-rank) of sorted samples.
@@ -266,6 +310,12 @@ func report(w io.Writer, cl *client.Client, base string, lat *latencies, assert 
 	simRuns, _ := scrape.Value("gals_sim_runs_total")
 	fmt.Fprintf(w, "server counters: cache hits %.0f misses %.0f, cells completed %.0f (queue %.0f), sim runs %.0f\n",
 		hits, misses, completed, queued, simRuns)
+	if lat.telRuns > 0 {
+		telRuns, _ := scrape.Value("gals_telemetry_runs_total")
+		telBytes, _ := scrape.Value("gals_telemetry_bytes_total")
+		fmt.Fprintf(w, "telemetry: %d runs requested it, %d artifacts fetched, %d failed; server serialized %.0f artifacts (%.0f bytes)\n",
+			lat.telRuns, lat.telFetched, lat.telFails, telRuns, telBytes)
+	}
 
 	if !assert {
 		return true
@@ -286,6 +336,9 @@ func report(w io.Writer, cl *client.Client, base string, lat *latencies, assert 
 	}
 	if len(lat.runs) == 0 {
 		dead = append(dead, "no request succeeded")
+	}
+	if lat.telRuns > 0 && lat.telFetched == 0 {
+		dead = append(dead, "telemetry was requested but no artifact round-tripped")
 	}
 	for _, d := range dead {
 		fmt.Fprintf(w, "ASSERT FAILED: %s\n", d)

@@ -77,6 +77,15 @@ type (
 	Stats = core.Stats
 	// ReconfigEvent is one phase-controller decision (Figure 7 traces).
 	ReconfigEvent = core.ReconfigEvent
+	// Telemetry is a run's adaptation time-series: per-domain samples at
+	// every controller decision boundary plus every reconfiguration event.
+	// See RunTelemetry.
+	Telemetry = core.Telemetry
+	// TelemetrySample is one decision-boundary observation.
+	TelemetrySample = core.TelemetrySample
+	// TelemetryEvent is one reconfiguration with structure, direction and
+	// trigger.
+	TelemetryEvent = core.TelemetryEvent
 	// WorkloadSpec describes one benchmark run.
 	WorkloadSpec = workload.Spec
 	// WorkloadParams parameterize a synthetic workload phase.
@@ -252,6 +261,27 @@ func RunParallel(spec WorkloadSpec, cfg Config, n int64, degree int) (*Result, e
 		return nil, fmt.Errorf("gals: non-positive window %d", n)
 	}
 	return core.RunWorkloadParallel(spec, cfg, n, core.ParallelDegree(degree)), nil
+}
+
+// RunTelemetry is RunParallel with a telemetry sampler attached: alongside
+// the Result it returns the run's sealed adaptation series — one sample per
+// controller decision boundary, one event per reconfiguration (ring-bounded
+// at core.DefaultTelemetryCap each; the series reports rotations in its
+// Dropped counters). The Result is bit-identical to Run/RunParallel:
+// telemetry observes the timing stage and never feeds back into it.
+func RunTelemetry(spec WorkloadSpec, cfg Config, n int64, degree int) (*Result, *Telemetry, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("gals: non-positive window %d", n)
+	}
+	t := core.NewTelemetry(core.DefaultTelemetryCap)
+	res, err := core.RunWorkloadTelemetryContext(context.Background(), spec, cfg, n, core.ParallelDegree(degree), t)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, t, nil
 }
 
 // RunRecordedParallel is RunRecorded with intra-run parallelism; see

@@ -57,16 +57,25 @@ func (m *Machine) applyPending() {
 	}
 }
 
-// record notes a reconfiguration event for Figure 7 traces.
-func (m *Machine) record(kind reconfigKind, label string, index int) {
+// reconfigNames names the resized structures, indexed by reconfigKind.
+var reconfigNames = [...]string{"dcache", "icache", "int-iq", "fp-iq"}
+
+// record notes a reconfiguration event: the run's Stats counter, the
+// per-direction fold for the process-wide metric, the telemetry event when
+// a sampler is attached, and the Figure 7 trace when requested. from is the
+// structure's configuration index before this decision.
+func (m *Machine) record(kind reconfigKind, label string, index, from int) {
 	m.stats.Reconfigs++
+	m.dirCounts[kind][directionIndex(from, index)]++
+	if t := m.tel; t != nil {
+		t.noteReconfig(m, reconfigNames[kind], label, index, from)
+	}
 	if !m.cfg.RecordTrace {
 		return
 	}
-	names := [...]string{"dcache", "icache", "int-iq", "fp-iq"}
 	m.stats.ReconfigEvents = append(m.stats.ReconfigEvents, ReconfigEvent{
 		Instr:  m.count,
-		Kind:   names[kind],
+		Kind:   reconfigNames[kind],
 		Config: label,
 		Index:  index,
 	})
@@ -108,6 +117,9 @@ func (m *Machine) cacheDecide(now timing.FS) {
 // the form the parallel machine uses, where the snapshot and reset happened
 // on the functional stage at this exact instruction.
 func (m *Machine) cacheDecideStats(now timing.FS, st *parStats) {
+	if t := m.tel; t != nil {
+		t.noteCacheInterval(m, st)
+	}
 	obs := control.CacheObs{
 		ICache:      st.i,
 		DCacheL1:    st.d,
@@ -134,6 +146,9 @@ func (m *Machine) iqDecide(now timing.FS) {
 // iqDecideSamples is iqDecide on explicitly provided samples — the form the
 // parallel machine uses, where the tracker ran on the functional stage.
 func (m *Machine) iqDecideSamples(now timing.FS, samples [4]queue.Sample) {
+	if t := m.tel; t != nil {
+		t.noteIQInterval(m, samples)
+	}
 	obs := control.IQObs{
 		Samples:    samples,
 		IntIQ:      m.intIQ,
@@ -162,6 +177,7 @@ func (m *Machine) commitReconfig(a control.Reconfig, now timing.FS) {
 			panic(fmt.Sprintf("core: policy %q targets i-cache config %d", m.cfg.Policy, a.Target))
 		}
 		best := timing.ICacheConfig(a.Target)
+		from := int(m.iCfg)
 		trans := best
 		if m.iCfg < trans {
 			trans = m.iCfg
@@ -174,7 +190,7 @@ func (m *Machine) commitReconfig(a control.Reconfig, now timing.FS) {
 		lockDone := now + m.lockTime()
 		m.clocks[clock.FrontEnd].SetPeriodAt(lockDone, best.AdaptPeriod())
 		m.pendingFE = &pendingReconfig{at: lockDone, final: int(best)}
-		m.record(reconfigICache, best.String(), int(best))
+		m.record(reconfigICache, best.String(), int(best), from)
 
 	case control.DCache:
 		if m.pendingLS != nil {
@@ -184,6 +200,7 @@ func (m *Machine) commitReconfig(a control.Reconfig, now timing.FS) {
 			panic(fmt.Sprintf("core: policy %q targets d-cache config %d", m.cfg.Policy, a.Target))
 		}
 		best := timing.DCacheConfig(a.Target)
+		from := int(m.dCfg)
 		trans := best
 		if m.dCfg < trans {
 			trans = m.dCfg
@@ -192,13 +209,14 @@ func (m *Machine) commitReconfig(a control.Reconfig, now timing.FS) {
 		lockDone := now + m.lockTime()
 		m.clocks[clock.LoadStore].SetPeriodAt(lockDone, best.AdaptPeriod())
 		m.pendingLS = &pendingReconfig{at: lockDone, final: int(best)}
-		m.record(reconfigDCache, best.String(), int(best))
+		m.record(reconfigDCache, best.String(), int(best), from)
 
 	case control.IntIQ:
 		if m.pendingIntIQ != nil {
 			return
 		}
 		size := timing.IQSize(a.Target)
+		from := timing.IQIndex(m.intIQ)
 		trans := size
 		if m.intIQ < trans {
 			trans = m.intIQ
@@ -207,13 +225,14 @@ func (m *Machine) commitReconfig(a control.Reconfig, now timing.FS) {
 		lockDone := now + m.lockTime()
 		m.clocks[clock.Integer].SetPeriodAt(lockDone, timing.IQPeriod(size))
 		m.pendingIntIQ = &pendingIQ{at: lockDone, final: size}
-		m.record(reconfigIntIQ, fmt.Sprintf("%d", size), timing.IQIndex(size))
+		m.record(reconfigIntIQ, fmt.Sprintf("%d", size), timing.IQIndex(size), from)
 
 	case control.FPIQ:
 		if m.pendingFPIQ != nil {
 			return
 		}
 		size := timing.IQSize(a.Target)
+		from := timing.IQIndex(m.fpIQ)
 		trans := size
 		if m.fpIQ < trans {
 			trans = m.fpIQ
@@ -222,7 +241,7 @@ func (m *Machine) commitReconfig(a control.Reconfig, now timing.FS) {
 		lockDone := now + m.lockTime()
 		m.clocks[clock.FloatingPoint].SetPeriodAt(lockDone, timing.IQPeriod(size))
 		m.pendingFPIQ = &pendingIQ{at: lockDone, final: size}
-		m.record(reconfigFPIQ, fmt.Sprintf("%d", size), timing.IQIndex(size))
+		m.record(reconfigFPIQ, fmt.Sprintf("%d", size), timing.IQIndex(size), from)
 
 	default:
 		panic(fmt.Sprintf("core: policy %q returned unknown reconfig kind %d", m.cfg.Policy, a.Kind))

@@ -241,6 +241,15 @@ type Machine struct {
 	stats Stats
 	count int64
 
+	// tel is the run's telemetry sampler (SetTelemetry); nil by default,
+	// costing one predictable branch per decision boundary and nothing in
+	// the instruction loop.
+	tel *Telemetry
+	// dirCounts accumulates committed reconfigurations by
+	// [reconfigKind][direction index] for the process-wide
+	// structure/direction metric, folded once at result construction.
+	dirCounts [4][3]int64
+
 	// par is the intra-run parallel execution state; nil during sequential
 	// runs, making every parallel gate in step() one predictable branch.
 	par *parState

@@ -19,7 +19,21 @@ var (
 
 	reconfigMu       sync.Mutex
 	reconfigByPolicy map[string]int64
+
+	reconfigDirMu sync.Mutex
+	reconfigByDir map[ReconfigCell]int64
+
+	telemetryRuns  atomic.Int64
+	telemetryBytes atomic.Int64
 )
+
+// ReconfigCell keys the process-wide reconfiguration-event counters: one
+// cell per (structure, direction) pair, the label set of the
+// gals_reconfig_events_total metric.
+type ReconfigCell struct {
+	Structure string
+	Direction string
+}
 
 // noteRun folds one completed run into the boundary counters: a handful of
 // atomic adds plus, only when the run reconfigured, one short mutex
@@ -53,6 +67,60 @@ func policyLabel(cfg Config) string {
 	}
 	return "none"
 }
+
+// noteReconfigDirections folds a completed run's per-structure,
+// per-direction reconfiguration counts into the process-wide map, then
+// zeroes them so a machine driven in multiple Run calls folds each
+// completion's delta exactly once. Runs that never reconfigured pay only
+// the array scan.
+func noteReconfigDirections(counts *[4][3]int64) {
+	var locked bool
+	for k := range counts {
+		for d := range counts[k] {
+			n := counts[k][d]
+			if n == 0 {
+				continue
+			}
+			if !locked {
+				reconfigDirMu.Lock()
+				locked = true
+				if reconfigByDir == nil {
+					reconfigByDir = make(map[ReconfigCell]int64)
+				}
+			}
+			reconfigByDir[ReconfigCell{reconfigNames[k], reconfigDirections[d]}] += n
+			counts[k][d] = 0
+		}
+	}
+	if locked {
+		reconfigDirMu.Unlock()
+	}
+}
+
+// ReconfigEventsByCell snapshots the process-wide reconfiguration-event
+// counts by (structure, direction).
+func ReconfigEventsByCell() map[ReconfigCell]int64 {
+	reconfigDirMu.Lock()
+	defer reconfigDirMu.Unlock()
+	out := make(map[ReconfigCell]int64, len(reconfigByDir))
+	for k, v := range reconfigByDir {
+		out[k] = v
+	}
+	return out
+}
+
+// NoteTelemetryArtifact folds one serialized telemetry artifact into the
+// process-wide counters (called by whoever persists the artifact, at
+// artifact granularity — never on a simulation path).
+func NoteTelemetryArtifact(bytes int64) {
+	telemetryRuns.Add(1)
+	telemetryBytes.Add(bytes)
+}
+
+// TelemetryRuns reports how many telemetry artifacts this process has
+// serialized; TelemetryBytes their total encoded size.
+func TelemetryRuns() int64  { return telemetryRuns.Load() }
+func TelemetryBytes() int64 { return telemetryBytes.Load() }
 
 // noteParallelRun folds one completed intra-run-parallel run into the
 // boundary counters (the run itself is also counted by noteRun).

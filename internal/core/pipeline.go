@@ -473,6 +473,10 @@ func (m *Machine) Run(n int64) *Result {
 
 func (m *Machine) result() *Result {
 	noteRun(m.cfg, &m.stats)
+	noteReconfigDirections(&m.dirCounts)
+	if t := m.tel; t != nil {
+		t.Seal(m)
+	}
 	return &Result{
 		Workload: m.trace.Spec().Name,
 		Config:   m.cfg,

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"gals/internal/control"
+	"gals/internal/workload"
+)
+
+const telTestWindow = 30_000
+
+// TestTelemetryParity pins the tentpole's invisibility contract: attaching
+// a telemetry sampler must not change a single simulated bit. For every
+// registered adaptation policy (blob-requiring ones excluded — they need a
+// trained artifact) the telemetry-on run must produce identical Stats
+// (recorded reconfiguration trace included) and identical wall time, and
+// the artifact's event total must reconcile exactly with Stats.Reconfigs.
+func TestTelemetryParity(t *testing.T) {
+	spec, ok := workload.ByName("gcc")
+	if !ok {
+		t.Fatal("no gcc workload")
+	}
+	cfgs := map[string]Config{"sync": DefaultSync(), "program": DefaultAdaptive(ProgramAdaptive)}
+	for _, in := range control.Infos() {
+		if in.RequiresBlob {
+			continue
+		}
+		cfg := DefaultAdaptive(PhaseAdaptive)
+		cfg.PLLScale = 0.1
+		cfg.Policy = in.Name
+		cfg.RecordTrace = true
+		cfgs["phase/"+in.Name] = cfg
+	}
+
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			off := RunWorkloadParallel(spec, cfg, telTestWindow, 1)
+
+			tel := NewTelemetry(0)
+			on := RunWorkloadTelemetry(spec, cfg, telTestWindow, tel)
+
+			if !reflect.DeepEqual(off.Stats, on.Stats) {
+				t.Errorf("telemetry changed Stats:\noff %+v\non  %+v", off.Stats, on.Stats)
+			}
+			if off.TimeFS != on.TimeFS {
+				t.Errorf("telemetry changed simulated time: off %d on %d", off.TimeFS, on.TimeFS)
+			}
+			if got, want := tel.EventTotal(), on.Stats.Reconfigs; got != want {
+				t.Errorf("artifact holds %d events, Stats.Reconfigs = %d", got, want)
+			}
+			if tel.Reconfigs != on.Stats.Reconfigs || tel.Window != telTestWindow {
+				t.Errorf("sealed metadata off: reconfigs %d (want %d), window %d",
+					tel.Reconfigs, on.Stats.Reconfigs, tel.Window)
+			}
+		})
+	}
+}
+
+// TestTelemetryParallelParity pins the series itself, not just the Stats:
+// the sampler rides the timing stage, so every RunParallel degree must
+// record the bit-identical sample and event sequence.
+func TestTelemetryParallelParity(t *testing.T) {
+	spec, _ := workload.ByName("gcc")
+	cfg := DefaultAdaptive(PhaseAdaptive)
+	cfg.PLLScale = 0.1
+
+	seq := NewTelemetry(0)
+	res := RunWorkloadTelemetry(spec, cfg, telTestWindow, seq)
+
+	for degree := 2; degree <= 3; degree++ {
+		tel := NewTelemetry(0)
+		resD, err := RunWorkloadTelemetryContext(context.Background(), spec, cfg, telTestWindow, degree, tel)
+		if err != nil {
+			t.Fatalf("degree %d: %v", degree, err)
+		}
+		if !reflect.DeepEqual(res.Stats, resD.Stats) {
+			t.Errorf("degree %d changed Stats", degree)
+		}
+		if !reflect.DeepEqual(seq.Samples, tel.Samples) {
+			t.Errorf("degree %d recorded a different sample series (%d vs %d samples)",
+				degree, len(tel.Samples), len(seq.Samples))
+		}
+		if !reflect.DeepEqual(seq.Events, tel.Events) {
+			t.Errorf("degree %d recorded a different event series (%d vs %d events)",
+				degree, len(tel.Events), len(seq.Events))
+		}
+	}
+}
+
+// TestTelemetryRingOverflow pins the bounded-ring contract: a tiny
+// capacity drops the OLDEST entries (the kept window is chronological and
+// ends at the run's end), counts every drop, and the event total still
+// reconciles with Stats.Reconfigs.
+func TestTelemetryRingOverflow(t *testing.T) {
+	spec, _ := workload.ByName("gcc")
+	cfg := DefaultAdaptive(PhaseAdaptive)
+	cfg.PLLScale = 0.1
+
+	full := NewTelemetry(0)
+	RunWorkloadTelemetry(spec, cfg, telTestWindow, full)
+	if len(full.Samples) >= DefaultTelemetryCap {
+		t.Fatalf("test window overflows the default ring (%d samples): shrink it", len(full.Samples))
+	}
+	if full.DroppedSamples != 0 || full.DroppedEvents != 0 {
+		t.Fatalf("default-cap run dropped entries: %d/%d", full.DroppedSamples, full.DroppedEvents)
+	}
+
+	const tiny = 8
+	small := NewTelemetry(tiny)
+	res := RunWorkloadTelemetry(spec, cfg, telTestWindow, small)
+
+	if len(small.Samples) != tiny {
+		t.Errorf("ring kept %d samples, capacity %d", len(small.Samples), tiny)
+	}
+	if small.DroppedSamples != int64(len(full.Samples)-tiny) {
+		t.Errorf("DroppedSamples = %d, want %d", small.DroppedSamples, len(full.Samples)-tiny)
+	}
+	if got, want := small.EventTotal(), res.Stats.Reconfigs; got != want {
+		t.Errorf("EventTotal %d != Reconfigs %d after overflow", got, want)
+	}
+	// The kept tail must be the chronological END of the full series.
+	tail := full.Samples[len(full.Samples)-tiny:]
+	if !reflect.DeepEqual(small.Samples, tail) {
+		t.Errorf("overflowed ring does not hold the newest %d samples in order", tiny)
+	}
+	if len(small.Events) > 0 && len(full.Events) >= len(small.Events) {
+		wantEvents := full.Events[len(full.Events)-len(small.Events):]
+		if !reflect.DeepEqual(small.Events, wantEvents) {
+			t.Errorf("overflowed event ring does not hold the newest events in order")
+		}
+	}
+}
+
+// TestTelemetryDirectionAccounting cross-checks the per-direction process
+// counters against the artifact: the delta the run contributed must match
+// the artifact's per-structure/direction event counts exactly.
+func TestTelemetryDirectionAccounting(t *testing.T) {
+	spec, _ := workload.ByName("gcc")
+	cfg := DefaultAdaptive(PhaseAdaptive)
+	cfg.PLLScale = 0.1
+
+	before := ReconfigEventsByCell()
+	tel := NewTelemetry(0)
+	res := RunWorkloadTelemetry(spec, cfg, telTestWindow, tel)
+	after := ReconfigEventsByCell()
+
+	if res.Stats.Reconfigs == 0 {
+		t.Fatal("phase-adaptive gcc run committed no reconfigurations; the cross-check is vacuous")
+	}
+	var deltaTotal int64
+	fromArtifact := map[ReconfigCell]int64{}
+	for _, ev := range tel.Events {
+		fromArtifact[ReconfigCell{Structure: ev.Structure, Direction: ev.Direction}]++
+	}
+	for cell, n := range after {
+		if d := n - before[cell]; d != 0 {
+			deltaTotal += d
+			if fromArtifact[cell] != d {
+				t.Errorf("cell %+v: process counter delta %d, artifact holds %d", cell, d, fromArtifact[cell])
+			}
+		}
+	}
+	if deltaTotal != res.Stats.Reconfigs {
+		t.Errorf("process counters gained %d events, Stats.Reconfigs = %d", deltaTotal, res.Stats.Reconfigs)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"gals/internal/control"
+	"gals/internal/core"
 	"gals/internal/faultinject"
 	"gals/internal/metrics"
 	"gals/internal/workload"
@@ -26,6 +27,7 @@ import (
 //	GET  /v1/policies    the adaptation-policy registry (names, parameters)
 //	GET  /v1/workloads   the benchmark suite
 //	POST /v1/run         one simulation           (RunRequest -> RunResult)
+//	GET  /v1/telemetry/<digest>  a telemetry artifact (core.Telemetry; digests from runs with telemetry:true)
 //	POST /v1/batch       many simulations         ({"runs": [...]} -> {"results": [...]})
 //	POST /v1/sweep       a design-space sweep     (SweepRequest -> SweepResult)
 //	POST /v1/suite       the Figure-6 pipeline    (SuiteRequest -> SuiteSummary)
@@ -94,6 +96,20 @@ func (s *Service) Handler() http.Handler {
 			return
 		}
 		writeTraced(w, r, res, s.finishTrace("run", tr))
+	})
+
+	mux.HandleFunc("GET /v1/telemetry/{digest}", func(w http.ResponseWriter, r *http.Request) {
+		digest := r.PathValue("digest")
+		if !validDigest(digest) {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed telemetry digest"})
+			return
+		}
+		var tel core.Telemetry
+		if s.cache == nil || !s.cache.Load("telemetry/"+digest, &tel) {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown telemetry digest"})
+			return
+		}
+		writeJSON(w, http.StatusOK, &tel)
 	})
 
 	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
@@ -256,6 +272,22 @@ func (s *Service) authenticate(next http.Handler) http.Handler {
 		}
 		next.ServeHTTP(w, r)
 	})
+}
+
+// validDigest accepts exactly the digests Run hands out: 64 lowercase hex
+// characters (the sha256 half of a "telemetry/<digest>" cache key). Checked
+// before the digest is spliced into a cache path.
+func validDigest(d string) bool {
+	if len(d) != 64 {
+		return false
+	}
+	for i := 0; i < len(d); i++ {
+		c := d[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {

@@ -176,6 +176,45 @@ func (s *Service) initMetrics() {
 			return out
 		})
 
+	// Run telemetry: artifact counters from the simulator-boundary atomics,
+	// event counts by structure and direction, and the dwell histogram fed
+	// at artifact-persist time.
+	r.NewCounterFunc("gals_telemetry_runs_total",
+		"Telemetry artifacts serialized (one per telemetry-enabled simulation).",
+		func() float64 { return float64(core.TelemetryRuns()) })
+	r.NewCounterFunc("gals_telemetry_bytes_total",
+		"Total encoded bytes of telemetry artifacts serialized.",
+		func() float64 { return float64(core.TelemetryBytes()) })
+	r.NewFunc("gals_reconfig_events_total",
+		"Reconfiguration events committed, by structure and direction (all runs, telemetry or not).",
+		"counter", func() []metrics.Sample {
+			byCell := core.ReconfigEventsByCell()
+			cells := make([]core.ReconfigCell, 0, len(byCell))
+			for c := range byCell {
+				cells = append(cells, c)
+			}
+			sort.Slice(cells, func(i, j int) bool {
+				if cells[i].Structure != cells[j].Structure {
+					return cells[i].Structure < cells[j].Structure
+				}
+				return cells[i].Direction < cells[j].Direction
+			})
+			out := make([]metrics.Sample, 0, len(cells))
+			for _, c := range cells {
+				out = append(out, metrics.Sample{
+					Labels: []metrics.Label{
+						{Key: "structure", Value: c.Structure},
+						{Key: "direction", Value: c.Direction},
+					},
+					Value: float64(byCell[c]),
+				})
+			}
+			return out
+		})
+	s.dwellHist = r.NewHistogramVec("gals_reconfig_dwell_intervals",
+		"Decision intervals a structure stayed in one configuration before reconfiguring (observed when telemetry artifacts persist).",
+		"structure", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+
 	// Build identity, the standard always-1 info gauge.
 	version, goVersion, revision := buildInfo()
 	r.NewFunc("gals_build_info",

@@ -145,6 +145,8 @@ func TestMetricsMatchStats(t *testing.T) {
 		{"gals_checkpoints_resumed_total", st.CheckpointsResumed},
 		{"gals_resumed_cells_total", st.ResumedCells},
 		{"gals_scrub_quarantined_total", st.ScrubQuarantined},
+		{"gals_telemetry_runs_total", st.TelemetryRuns},
+		{"gals_telemetry_bytes_total", st.TelemetryBytes},
 	}
 	for _, p := range pairs {
 		v, ok := sc.Value(p.series)

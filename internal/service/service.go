@@ -25,6 +25,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -109,6 +110,11 @@ type Config struct {
 	// server gains nothing, and the knob exists to cut single-run latency.
 	// galsd wires -run-parallel.
 	RunParallel bool
+	// TelemetryCap bounds each telemetry-enabled run's sample and event
+	// rings (0 = core.DefaultTelemetryCap). A saturated ring keeps the most
+	// recent entries and reports the rotation in the artifact's Dropped
+	// counters. galsd wires -telemetry-cap.
+	TelemetryCap int
 	// CheckpointEvery, when > 0 and CacheDir is set, makes sweep and suite
 	// requests persist crash-safe progress checkpoints at this interval
 	// (sweep.Options.CheckpointEvery): a killed or cancelled request's rerun
@@ -160,6 +166,7 @@ type Service struct {
 	// observes directly. See initMetrics for the full series catalogue.
 	reg          *metrics.Registry
 	runSeconds   *metrics.HistogramVec
+	dwellHist    *metrics.HistogramVec
 	httpLatency  *metrics.HistogramVec
 	httpRequests *metrics.CounterVec
 	httpStatus   *metrics.CounterVec
@@ -448,6 +455,12 @@ type RunRequest struct {
 	// PolicyBlob carries the policy's structured artifact (the "learned"
 	// policy's trained weights, as produced by the training pipeline).
 	PolicyBlob string `json:"policy_blob,omitempty"`
+	// Telemetry, when true, attaches a sampler to the run and persists its
+	// adaptation series as a content-addressed "telemetry" artifact; the
+	// response carries the artifact digest (RunResult.Telemetry) for
+	// GET /v1/telemetry/<digest>. Result-neutral and excluded from the run
+	// cache key: a telemetry run's Stats are bit-identical to a plain one.
+	Telemetry bool `json:"telemetry,omitempty"`
 	// Priority orders this request against others (higher first). It does
 	// not affect the result and is excluded from the cache key.
 	Priority int `json:"priority,omitempty"`
@@ -573,6 +586,12 @@ type RunResult struct {
 	IPnsec       float64    `json:"ip_nsec"`
 	Instructions int64      `json:"instructions"`
 	Stats        core.Stats `json:"stats"`
+	// Telemetry is the run's telemetry artifact digest (set only when the
+	// request asked for telemetry), retrievable via
+	// GET /v1/telemetry/<digest>. Never persisted into the run blob, so
+	// cached run results stay byte-identical whether or not telemetry was
+	// ever requested.
+	Telemetry string `json:"telemetry,omitempty"`
 	// Cached is true when the result came from the persistent cache
 	// without simulating.
 	Cached bool `json:"cached,omitempty"`
@@ -587,7 +606,7 @@ type RunResult struct {
 // recording streams to the store (the slab is abandoned, not half-written)
 // and at accounting-interval boundaries during simulation; a cancelled run
 // returns ctx's error and no result.
-func (s *Service) runOne(ctx context.Context, spec workload.Spec, cfg core.Config, window int64) (*core.Result, error) {
+func (s *Service) runOne(ctx context.Context, spec workload.Spec, cfg core.Config, window int64, tel *core.Telemetry) (*core.Result, error) {
 	tr := tracerFrom(ctx)
 	degree := s.runDegree()
 	mode := "sequential"
@@ -606,11 +625,11 @@ func (s *Service) runOne(ctx context.Context, spec workload.Spec, cfg core.Confi
 		}
 		start = time.Now() // the histogram measures simulation, not recording
 		simSpan := tr.Start("replay+measure", cfg.Label())
-		res, err = core.RunSourceParallelContext(ctx, rec.Replay(), cfg, window, degree)
+		res, err = core.RunSourceTelemetryContext(ctx, rec.Replay(), cfg, window, degree, tel)
 		simSpan.End()
 	} else {
 		simSpan := tr.Start("generate+measure", cfg.Label())
-		res, err = core.RunWorkloadParallelContext(ctx, spec, cfg, window, degree)
+		res, err = core.RunWorkloadTelemetryContext(ctx, spec, cfg, window, degree, tel)
 		simSpan.End()
 	}
 	if err == nil {
@@ -643,10 +662,98 @@ func (s *Service) runDegree() int {
 func (r RunRequest) cacheKey() string {
 	r.Priority = 0
 	r.TimeoutMS = 0
+	r.Telemetry = false
 	if r.PolicyBlob != "" {
 		r.PolicyBlob = "digest:" + control.BlobDigest(r.PolicyBlob)
 	}
 	return resultcache.Key("run", r)
+}
+
+// telemetryKey returns the run's telemetry artifact key: the same
+// normalized payload as cacheKey under the "telemetry" kind, so the
+// artifact is content-addressed by the run identity that produced it and a
+// given digest always names the series of exactly one normalized request.
+func (r RunRequest) telemetryKey() string {
+	r.Priority = 0
+	r.TimeoutMS = 0
+	r.Telemetry = false
+	if r.PolicyBlob != "" {
+		r.PolicyBlob = "digest:" + control.BlobDigest(r.PolicyBlob)
+	}
+	return resultcache.Key("telemetry", r)
+}
+
+// telemetryDigest extracts the hex digest a client uses against
+// GET /v1/telemetry/<digest> from an artifact key ("telemetry/<digest>").
+func telemetryDigest(key string) string {
+	_, digest, _ := strings.Cut(key, "/")
+	return digest
+}
+
+// persistTelemetry stores one sealed telemetry series under its artifact
+// key and folds it into the observability surface: the process-wide
+// artifact counters (runs, serialized bytes) and the per-structure dwell
+// histogram. Returns false when persistence is disabled — the series then
+// has no digest a client could fetch.
+func (s *Service) persistTelemetry(key string, tel *core.Telemetry) bool {
+	if s.cache == nil {
+		return false
+	}
+	s.cache.Store(key, tel)
+	blob, err := json.Marshal(tel)
+	if err != nil {
+		return false
+	}
+	core.NoteTelemetryArtifact(int64(len(blob)))
+	s.observeDwell(tel)
+	return true
+}
+
+// observeDwell feeds the reconfiguration dwell histogram: for every event,
+// the number of decision intervals its structure spent in the previous
+// configuration — cache structures dwell across accounting intervals,
+// issue queues across ILP intervals. Computed from the artifact at persist
+// time, never on the simulation path.
+func (s *Service) observeDwell(tel *core.Telemetry) {
+	// Boundary counts by kind, cumulative at each sample, let an event at
+	// instruction i look up how many boundaries of its trigger kind have
+	// passed; the difference between consecutive events of one structure is
+	// its dwell in intervals.
+	type mark struct {
+		instr int64
+		n     int64
+	}
+	counts := map[string][]mark{}
+	var nCache, nIQ int64
+	for i := range tel.Samples {
+		sm := &tel.Samples[i]
+		switch sm.Kind {
+		case "cache":
+			nCache++
+			counts["cache-interval"] = append(counts["cache-interval"], mark{sm.Instr, nCache})
+		case "iq":
+			nIQ++
+			counts["iq-interval"] = append(counts["iq-interval"], mark{sm.Instr, nIQ})
+		}
+	}
+	intervalsAt := func(trigger string, instr int64) int64 {
+		ms := counts[trigger]
+		var n int64
+		for _, m := range ms {
+			if m.instr > instr {
+				break
+			}
+			n = m.n
+		}
+		return n
+	}
+	last := map[string]int64{} // structure -> interval count at its last event
+	for i := range tel.Events {
+		ev := &tel.Events[i]
+		at := intervalsAt(ev.Trigger, ev.Instr)
+		s.dwellHist.With(ev.Structure).Observe(float64(at - last[ev.Structure]))
+		last[ev.Structure] = at
+	}
 }
 
 // Run executes (or serves from cache / an in-flight twin) one simulation,
@@ -666,14 +773,26 @@ func (s *Service) Run(ctx context.Context, req RunRequest) (RunResult, error) {
 	defer cancel()
 	key := n.cacheKey()
 
+	// A telemetry request joins its own singleflight lane: an in-flight
+	// plain twin computes no artifact, so joining it would return a digest
+	// that was never persisted. The persistent-cache key stays shared — the
+	// run result is identical either way.
+	var telKey string
+	flightKey := key
+	if n.Telemetry {
+		telKey = n.telemetryKey()
+		flightKey = key + "+telemetry"
+	}
+
 	tr := tracerFrom(ctx)
-	v, err, shared := s.flight.Do(ctx, key, func() (any, error) {
+	v, err, shared := s.flight.Do(ctx, flightKey, func() (any, error) {
 		var out RunResult
 		lookup := tr.Start("cache-lookup", "run")
-		if s.cache.Load(key, &out) {
+		if s.cache.Load(key, &out) && (!n.Telemetry || s.cache.Has(telKey)) {
 			lookup.Annotate("run: hit")
 			lookup.End()
 			out.Cached = true
+			out.Telemetry = telemetryDigest(telKey)
 			return out, nil
 		}
 		lookup.End()
@@ -681,8 +800,12 @@ func (s *Service) Run(ctx context.Context, req RunRequest) (RunResult, error) {
 		if err != nil {
 			return RunResult{}, err
 		}
+		var tel *core.Telemetry
+		if n.Telemetry {
+			tel = core.NewTelemetry(s.cfg.TelemetryCap)
+		}
 		cell := func() {
-			res, rerr := s.runOne(ctx, spec, cfg, n.Window)
+			res, rerr := s.runOne(ctx, spec, cfg, n.Window, tel)
 			if rerr != nil {
 				// Cancelled mid-run: ExecuteContext reports the batch's
 				// ctx error; nothing to deliver.
@@ -703,9 +826,16 @@ func (s *Service) Run(ctx context.Context, req RunRequest) (RunResult, error) {
 			cellSpan.End()
 			return RunResult{}, err
 		}
+		cellSpan.Annotate(fmt.Sprintf("%s: %d reconfigs", n.Bench, out.Stats.Reconfigs))
 		cellSpan.End()
 		persist := tr.Start("persist", "run")
+		// The run blob is stored before the digest is attached, so cached
+		// results stay byte-identical whether telemetry was requested.
 		s.cache.Store(key, out)
+		if tel != nil && s.persistTelemetry(telKey, tel) {
+			out.Telemetry = telemetryDigest(telKey)
+			persist.Annotate("run+telemetry: " + out.Telemetry)
+		}
 		persist.End()
 		return out, nil
 	})
@@ -1214,6 +1344,11 @@ type Stats struct {
 	// ScrubQuarantined counts undecodable cache blobs Scrub passes moved to
 	// quarantine over this service's lifetime.
 	ScrubQuarantined int64 `json:"scrub_quarantined"`
+	// TelemetryRuns counts telemetry artifacts serialized in this process;
+	// TelemetryBytes their total encoded size. Process-wide, read from the
+	// same simulator-boundary atomics as /metrics.
+	TelemetryRuns  int64 `json:"telemetry_runs"`
+	TelemetryBytes int64 `json:"telemetry_bytes"`
 	// Cache reports the persistent cache's counters; CacheDir its root
 	// ("" when persistence is disabled).
 	Cache    resultcache.Stats `json:"cache"`
@@ -1244,6 +1379,8 @@ func (s *Service) Stats() Stats {
 		CheckpointsResumed: sweep.CheckpointsResumed(),
 		ResumedCells:       sweep.ResumedCells(),
 		ScrubQuarantined:   s.quarantined.Load(),
+		TelemetryRuns:      core.TelemetryRuns(),
+		TelemetryBytes:     core.TelemetryBytes(),
 		Cache:              s.cache.Stats(),
 		CacheDir:           s.cache.Dir(),
 	}

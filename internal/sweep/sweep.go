@@ -486,10 +486,15 @@ func runCells(specs []workload.Spec, cfgs []core.Config, o Options, skip func(ci
 					simSpan := cellSpan.Child("replay+measure", "")
 					res, err := core.RunSourceParallelContext(ctx, rec.Replay(), o.apply(cfgs[ci]), o.Window, cellDegree(exec, o.RunParallel))
 					simSpan.End()
-					cellSpan.End()
 					if err != nil {
+						cellSpan.End()
 						return
 					}
+					if o.Tracer != nil {
+						cellSpan.Annotate(fmt.Sprintf("%s / %s: %d reconfigs",
+							cfgs[ci].Label(), specs[si].Name, res.Stats.Reconfigs))
+					}
+					cellSpan.End()
 					sink(ci, si, res)
 				})
 			}
